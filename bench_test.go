@@ -1,0 +1,311 @@
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// BenchmarkFig5* regenerate Figure 5 (E1) under both compiler variants;
+// BenchmarkDeadOccupancy regenerates E2; BenchmarkPolicies regenerates E3
+// (including Belady MIN); BenchmarkMillerRatio regenerates E4;
+// BenchmarkSingleUse regenerates E5. BenchmarkVM_* measure simulator
+// throughput on each workload. Key quantities are attached as custom
+// benchmark metrics so runs are comparable over time.
+package unicache
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/experiments"
+)
+
+var (
+	benchOnce     sync.Once
+	benchBaseline []*experiments.Workload
+	benchOpt      []*experiments.Workload
+	benchErr      error
+)
+
+func benchWorkloads(b *testing.B) (baseline, optimized []*experiments.Workload) {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchBaseline, benchErr = experiments.BuildAll(experiments.PaperGeometry(), experiments.Baseline)
+		if benchErr == nil {
+			benchOpt, benchErr = experiments.BuildAll(experiments.PaperGeometry(), experiments.Optimizing)
+		}
+	})
+	if benchErr != nil {
+		b.Fatalf("build workloads: %v", benchErr)
+	}
+	return benchBaseline, benchOpt
+}
+
+// BenchmarkFig5Baseline regenerates Figure 5 with the era-faithful
+// baseline compiler (scalars in memory). The reported custom metrics are
+// the paper's two series averaged over the six benchmarks.
+func BenchmarkFig5Baseline(b *testing.B) {
+	base, _ := benchWorkloads(b)
+	b.ResetTimer()
+	var tab experiments.Fig5Table
+	for i := 0; i < b.N; i++ {
+		tab = experiments.Fig5(base, experiments.PaperGeometry())
+	}
+	b.StopTimer()
+	var static, dynamic float64
+	for _, r := range tab.Rows {
+		static += r.StaticBypassPct
+		dynamic += r.DynamicBypassPct
+	}
+	n := float64(len(tab.Rows))
+	b.ReportMetric(static/n, "static-unamb-%")
+	b.ReportMetric(dynamic/n, "dynamic-unamb-%")
+	b.Logf("\n%s", tab)
+}
+
+// BenchmarkFig5Optimizing regenerates Figure 5 with the full
+// register-allocating compiler.
+func BenchmarkFig5Optimizing(b *testing.B) {
+	_, opt := benchWorkloads(b)
+	b.ResetTimer()
+	var tab experiments.Fig5Table
+	for i := 0; i < b.N; i++ {
+		tab = experiments.Fig5(opt, experiments.PaperGeometry())
+	}
+	b.StopTimer()
+	var dynamic float64
+	for _, r := range tab.Rows {
+		dynamic += r.DynamicBypassPct
+	}
+	b.ReportMetric(dynamic/float64(len(tab.Rows)), "dynamic-unamb-%")
+	b.Logf("\n%s", tab)
+}
+
+// BenchmarkDeadOccupancy regenerates E2: dead cache occupancy under
+// fully-associative LRU with and without dead marking, against the 1/r
+// prediction of §3.2.
+func BenchmarkDeadOccupancy(b *testing.B) {
+	base, _ := benchWorkloads(b)
+	sizes := []int{16, 64, 256}
+	b.ResetTimer()
+	var tab experiments.DeadLRUTable
+	var err error
+	for i := 0; i < b.N; i++ {
+		tab, err = experiments.DeadLRU(base, sizes)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	var conv float64
+	for _, r := range tab.Rows {
+		conv += r.ConvDeadOcc
+	}
+	b.ReportMetric(100*conv/float64(len(tab.Rows)), "mean-dead-occ-%")
+	b.Logf("\n%s", tab)
+}
+
+// BenchmarkPolicies regenerates E3: LRU/FIFO/Random/MIN × {conventional,
+// +bypass, +bypass+dead}.
+func BenchmarkPolicies(b *testing.B) {
+	base, _ := benchWorkloads(b)
+	geom := experiments.PaperGeometry()
+	b.ResetTimer()
+	var tab experiments.PolicyTable
+	var err error
+	for i := 0; i < b.N; i++ {
+		tab, err = experiments.Policies(base, geom)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	var lruMiss, minMiss float64
+	var nLRU, nMIN int
+	for _, r := range tab.Rows {
+		switch r.Policy {
+		case cache.LRU:
+			lruMiss += r.FullMissRatio
+			nLRU++
+		case cache.MIN:
+			minMiss += r.FullMissRatio
+			nMIN++
+		}
+	}
+	if nLRU > 0 {
+		b.ReportMetric(100*lruMiss/float64(nLRU), "lru-full-miss-%")
+	}
+	if nMIN > 0 {
+		b.ReportMetric(100*minMiss/float64(nMIN), "min-full-miss-%")
+	}
+	b.Logf("\n%s", tab)
+}
+
+// BenchmarkMillerRatio regenerates E4: static unambiguous:ambiguous site
+// ratios versus Miller's 1:1..3:1 band.
+func BenchmarkMillerRatio(b *testing.B) {
+	base, _ := benchWorkloads(b)
+	b.ResetTimer()
+	var tab experiments.MillerTable
+	for i := 0; i < b.N; i++ {
+		tab = experiments.Miller(base)
+	}
+	b.StopTimer()
+	var ratio float64
+	for _, r := range tab.Rows {
+		ratio += r.Ratio
+	}
+	b.ReportMetric(ratio/float64(len(tab.Rows)), "mean-ratio")
+	b.Logf("\n%s", tab)
+}
+
+// BenchmarkSingleUse regenerates E5: single-use cache fills, conventional
+// versus unified.
+func BenchmarkSingleUse(b *testing.B) {
+	base, _ := benchWorkloads(b)
+	b.ResetTimer()
+	var tab experiments.SingleUseTable
+	for i := 0; i < b.N; i++ {
+		tab = experiments.SingleUse(base)
+	}
+	b.StopTimer()
+	var conv, unif float64
+	for _, r := range tab.Rows {
+		conv += r.ConvPct
+		unif += r.UnifPct
+	}
+	n := float64(len(tab.Rows))
+	b.ReportMetric(conv/n, "conv-single-use-%")
+	b.ReportMetric(unif/n, "unif-single-use-%")
+	b.Logf("\n%s", tab)
+}
+
+// BenchmarkVM measures end-to-end simulator throughput per workload and
+// mode (compile once, run per iteration).
+func BenchmarkVM(b *testing.B) {
+	for _, info := range Benchmarks() {
+		info := info
+		for _, mode := range []Mode{Conventional, Unified} {
+			mode := mode
+			b.Run(info.Name+"/"+mode.String(), func(b *testing.B) {
+				p, err := Compile(info.Source, &CompileOptions{Mode: mode})
+				if err != nil {
+					b.Fatal(err)
+				}
+				var instrs int64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := p.Run(nil)
+					if err != nil {
+						b.Fatal(err)
+					}
+					instrs = res.Instructions
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(instrs), "instructions")
+			})
+		}
+	}
+}
+
+// BenchmarkCompile measures full-pipeline compilation speed on the largest
+// benchmark source.
+func BenchmarkCompile(b *testing.B) {
+	src, err := Benchmark("puzzle")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(src.Source, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPromotion regenerates E6: how much of the naive unified model's
+// DRAM regression register promotion recovers.
+func BenchmarkPromotion(b *testing.B) {
+	var tab experiments.PromotionTable
+	var err error
+	for i := 0; i < b.N; i++ {
+		tab, err = experiments.Promotion(experiments.PaperGeometry())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	// Headline metric: traffic ratio unified/promoted on the hot loop.
+	for _, r := range tab.Rows {
+		if r.Name == "hotloop" && r.Promoted > 0 {
+			b.ReportMetric(float64(r.Unified)/float64(r.Promoted), "hotloop-traffic-ratio")
+		}
+	}
+	b.Logf("\n%s", tab)
+}
+
+// BenchmarkLineSize regenerates E7: cache line-size sensitivity of the
+// unified model (the paper assumes one-word lines).
+func BenchmarkLineSize(b *testing.B) {
+	base, _ := benchWorkloads(b)
+	b.ResetTimer()
+	var tab experiments.LineSizeTable
+	var err error
+	for i := 0; i < b.N; i++ {
+		tab, err = experiments.LineSize(base, experiments.PaperGeometry())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.Logf("\n%s", tab)
+}
+
+// BenchmarkRegPressure regenerates E8: register-file size vs spill
+// traffic under both management models.
+func BenchmarkRegPressure(b *testing.B) {
+	var tab experiments.RegPressureTable
+	var err error
+	for i := 0; i < b.N; i++ {
+		tab, err = experiments.RegPressure(experiments.PaperGeometry())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	var spills int
+	for _, r := range tab.Rows {
+		spills += r.SpilledWebs
+	}
+	b.ReportMetric(float64(spills), "total-spilled-webs")
+	b.Logf("\n%s", tab)
+}
+
+// BenchmarkDeadMode regenerates E9: mark-empty vs demote-to-victim.
+func BenchmarkDeadMode(b *testing.B) {
+	base, _ := benchWorkloads(b)
+	b.ResetTimer()
+	var tab experiments.DeadModeTable
+	var err error
+	for i := 0; i < b.N; i++ {
+		tab, err = experiments.DeadMode(base, experiments.PaperGeometry())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.Logf("\n%s", tab)
+}
+
+// BenchmarkICache regenerates E10: instruction-cache behavior of the six
+// benchmarks (instructions are the paper's always-cached reference class).
+func BenchmarkICache(b *testing.B) {
+	var tab experiments.ICacheTable
+	var err error
+	for i := 0; i < b.N; i++ {
+		tab, err = experiments.ICache(experiments.PaperGeometry())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.Logf("\n%s", tab)
+}

@@ -1,0 +1,44 @@
+package unicache
+
+import (
+	"fmt"
+
+	"repro/internal/bench"
+)
+
+// BenchmarkInfo describes one of the paper's six evaluation workloads.
+type BenchmarkInfo struct {
+	Name        string
+	Description string
+	Source      string // MC source text
+	Expected    string // known output, empty if checked differentially
+}
+
+// Benchmarks returns the six PLDI'89 evaluation workloads (Bubble, Intmm,
+// Puzzle, Queen, Sieve, Towers) as compilable MC source.
+func Benchmarks() []BenchmarkInfo {
+	var out []BenchmarkInfo
+	for _, b := range bench.All() {
+		out = append(out, BenchmarkInfo{
+			Name:        b.Name,
+			Description: b.Description,
+			Source:      b.Source,
+			Expected:    b.Expected,
+		})
+	}
+	return out
+}
+
+// Benchmark returns one workload by name.
+func Benchmark(name string) (BenchmarkInfo, error) {
+	b := bench.Get(name)
+	if b == nil {
+		return BenchmarkInfo{}, fmt.Errorf("unicache: unknown benchmark %q", name)
+	}
+	return BenchmarkInfo{
+		Name:        b.Name,
+		Description: b.Description,
+		Source:      b.Source,
+		Expected:    b.Expected,
+	}, nil
+}

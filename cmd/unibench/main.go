@@ -1,0 +1,117 @@
+// Command unibench regenerates the paper's evaluation tables (DESIGN.md's
+// experiment index E1–E5) from scratch: it compiles the six benchmarks
+// under both management models and both compiler variants, runs them on
+// the UM simulator, and prints the paper-style tables.
+//
+// Usage:
+//
+//	unibench [-experiment all|fig5|fig5-opt|deadlru|policies|miller|singleuse]
+//	         [-sets N -ways N -line N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cache"
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("experiment", "all",
+		"experiment: all, fig5, fig5-opt, deadlru, policies, miller, singleuse, promotion, linesize, regs, deadmode, icache")
+	sets := flag.Int("sets", 32, "cache sets")
+	ways := flag.Int("ways", 2, "cache ways")
+	line := flag.Int("line", 1, "cache line words")
+	flag.Parse()
+
+	geom := experiments.CacheGeometry{Sets: *sets, Ways: *ways, LineWords: *line, Policy: cache.LRU}
+
+	needBaseline := *exp != "fig5-opt" && *exp != "promotion" && *exp != "regs" && *exp != "icache"
+	needOpt := *exp == "all" || *exp == "fig5-opt"
+
+	var base, opt []*experiments.Workload
+	var err error
+	if needBaseline {
+		fmt.Fprintln(os.Stderr, "building baseline-compiler workloads...")
+		if base, err = experiments.BuildAll(geom, experiments.Baseline); err != nil {
+			fatal(err)
+		}
+	}
+	if needOpt {
+		fmt.Fprintln(os.Stderr, "building optimizing-compiler workloads...")
+		if opt, err = experiments.BuildAll(geom, experiments.Optimizing); err != nil {
+			fatal(err)
+		}
+	}
+
+	show := func(name string) bool { return *exp == "all" || *exp == name }
+
+	if show("fig5") {
+		fmt.Println(experiments.Fig5(base, geom))
+	}
+	if show("fig5-opt") {
+		fmt.Println(experiments.Fig5(opt, geom))
+	}
+	if show("deadlru") {
+		tab, err := experiments.DeadLRU(base, []int{16, 32, 64, 128, 256})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(tab)
+	}
+	if show("policies") {
+		tab, err := experiments.Policies(base, geom)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(tab)
+	}
+	if show("miller") {
+		fmt.Println(experiments.Miller(base))
+	}
+	if show("singleuse") {
+		fmt.Println(experiments.SingleUse(base))
+	}
+	if show("promotion") {
+		tab, err := experiments.Promotion(geom)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(tab)
+	}
+	if show("linesize") {
+		tab, err := experiments.LineSize(base, geom)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(tab)
+	}
+	if show("regs") {
+		tab, err := experiments.RegPressure(geom)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(tab)
+	}
+	if show("deadmode") {
+		tab, err := experiments.DeadMode(base, geom)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(tab)
+	}
+	if show("icache") {
+		tab, err := experiments.ICache(geom)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(tab)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "unibench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,135 @@
+// Command unicc is the MC compiler driver: it compiles an MC source file
+// through the unified registers/cache management pipeline and prints a
+// selected intermediate artifact.
+//
+// Usage:
+//
+//	unicc [flags] file.mc
+//
+//	-mode unified|conventional   management model (default unified)
+//	-alloc chaitin|usage         register allocator (default chaitin)
+//	-stack                       keep scalars in frame memory (era baseline)
+//	-dump tokens|ast|ir|alias|stats|asm
+//	                             artifact to print (default asm)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/alias"
+	"repro/internal/ast"
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/lexer"
+	"repro/internal/parser"
+	"repro/internal/regalloc"
+	"repro/internal/sem"
+	"repro/internal/token"
+)
+
+func main() {
+	mode := flag.String("mode", "unified", "management model: unified or conventional")
+	alloc := flag.String("alloc", "chaitin", "register allocator: chaitin or usage")
+	stack := flag.Bool("stack", false, "keep scalars in frame memory (baseline compiler)")
+	optimize := flag.Bool("O", false, "run the IR optimizer (folding, copy propagation, DCE)")
+	promoteG := flag.Bool("promote", false, "register-promote unambiguous globals")
+	dump := flag.String("dump", "asm", "artifact: tokens, ast, ir, cfg, alias, stats, asm")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: unicc [flags] file.mc")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	srcBytes, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	src := string(srcBytes)
+
+	switch *dump {
+	case "tokens":
+		lx := lexer.New(src)
+		for {
+			t := lx.Next()
+			fmt.Printf("%s\t%s\n", t.Pos, t)
+			if t.Kind == token.EOF || t.Kind == token.ILLEGAL {
+				return
+			}
+		}
+	case "ast":
+		file, err := parser.Parse(src)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(ast.Print(file))
+		return
+	case "alias":
+		file, err := parser.Parse(src)
+		if err != nil {
+			fatal(err)
+		}
+		info, err := sem.Check(file)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(alias.Analyze(info).Report())
+		return
+	}
+
+	cfg := core.Config{StackScalars: *stack, Optimize: *optimize, PromoteGlobals: *promoteG}
+	switch *mode {
+	case "unified":
+		cfg.Mode = core.Unified
+	case "conventional":
+		cfg.Mode = core.Conventional
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+	switch *alloc {
+	case "chaitin":
+		cfg.Strategy = regalloc.Chaitin
+	case "usage":
+		cfg.Strategy = regalloc.UsageCount
+	default:
+		fatal(fmt.Errorf("unknown allocator %q", *alloc))
+	}
+
+	comp, err := core.Compile(src, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	switch *dump {
+	case "ir":
+		fmt.Print(comp.Prog.String())
+	case "cfg":
+		for _, f := range comp.Prog.Funcs {
+			fmt.Print(f.Dot())
+		}
+	case "stats":
+		s := comp.Stats
+		fmt.Printf("mode:           %s\n", cfg.Mode)
+		fmt.Printf("sites:          %d (%d loads, %d stores)\n", s.Sites, s.Loads, s.Stores)
+		fmt.Printf("bypass sites:   %d (%.1f%%)\n", s.Bypass, s.PercentBypass())
+		fmt.Printf("cached sites:   %d\n", s.Cached)
+		fmt.Printf("ambiguous:      %d\n", s.AmbiguousRef)
+		fmt.Printf("spill stores:   %d\n", s.SpillStores)
+		fmt.Printf("spill reloads:  %d\n", s.SpillReloads)
+		fmt.Printf("dead-marked:    %d\n", s.LastMarked)
+	case "asm":
+		prog, err := codegen.Generate(comp)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(prog.Listing())
+	default:
+		fatal(fmt.Errorf("unknown dump %q", *dump))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "unicc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,173 @@
+// Command unisim compiles an MC source file and executes it on the UM
+// machine simulator with a parameterized data cache, printing the program
+// output followed by the reference and traffic statistics the paper's
+// evaluation is built on.
+//
+// Usage:
+//
+//	unisim [flags] file.mc      compile and run MC source
+//	unisim [flags] file.s       assemble and run saved UM assembly
+//	unisim [flags] -benchmark bubble
+//
+//	-mode unified|conventional    management model (default unified)
+//	-stack                        baseline compiler (scalars in memory)
+//	-sets/-ways/-line             cache geometry (default 32x2, 1-word lines)
+//	-policy lru|fifo|random       replacement policy
+//	-dead off|invalidate|demote   dead-marking mode
+//	-trace FILE                   write the data-reference trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/cache"
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+func main() {
+	mode := flag.String("mode", "unified", "management model: unified or conventional")
+	stack := flag.Bool("stack", false, "baseline compiler (scalars in memory)")
+	optimize := flag.Bool("O", false, "run the IR optimizer")
+	promoteG := flag.Bool("promote", false, "register-promote unambiguous globals")
+	benchName := flag.String("benchmark", "", "run a built-in benchmark instead of a file")
+	sets := flag.Int("sets", 32, "cache sets (power of two)")
+	ways := flag.Int("ways", 2, "cache associativity")
+	line := flag.Int("line", 1, "cache line size in words")
+	policy := flag.String("policy", "lru", "replacement policy: lru, fifo, random")
+	dead := flag.String("dead", "", "dead marking: off, invalidate, demote (default by mode)")
+	traceFile := flag.String("trace", "", "write the data reference trace to FILE")
+	saveFile := flag.String("save", "", "write the compiled program as UM assembly to FILE")
+	flag.Parse()
+
+	var src string
+	asmInput := false
+	switch {
+	case *benchName != "":
+		b := bench.Get(*benchName)
+		if b == nil {
+			fatal(fmt.Errorf("unknown benchmark %q", *benchName))
+		}
+		src = b.Source
+	case flag.NArg() == 1:
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		src = string(data)
+		asmInput = strings.HasSuffix(flag.Arg(0), ".s")
+	default:
+		fmt.Fprintln(os.Stderr, "usage: unisim [flags] file.mc")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	cfg := core.Config{StackScalars: *stack, Optimize: *optimize, PromoteGlobals: *promoteG}
+	ccfg := cache.Config{Sets: *sets, Ways: *ways, LineWords: *line, Seed: 1}
+	switch *mode {
+	case "unified":
+		cfg.Mode = core.Unified
+		ccfg.HonorBypass = true
+		ccfg.Dead = cache.DeadInvalidate
+	case "conventional":
+		cfg.Mode = core.Conventional
+		ccfg.HonorBypass = false
+		ccfg.Dead = cache.DeadOff
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+	switch *policy {
+	case "lru":
+		ccfg.Policy = cache.LRU
+	case "fifo":
+		ccfg.Policy = cache.FIFO
+	case "random":
+		ccfg.Policy = cache.Random
+	default:
+		fatal(fmt.Errorf("unknown policy %q", *policy))
+	}
+	switch *dead {
+	case "":
+	case "off":
+		ccfg.Dead = cache.DeadOff
+	case "invalidate":
+		ccfg.Dead = cache.DeadInvalidate
+	case "demote":
+		ccfg.Dead = cache.DeadDemote
+	default:
+		fatal(fmt.Errorf("unknown dead mode %q", *dead))
+	}
+
+	var prog *isa.Program
+	if asmInput {
+		var err error
+		prog, err = isa.Assemble(src)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		comp, err := core.Compile(src, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		prog, err = codegen.Generate(comp)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *saveFile != "" {
+		if err := os.WriteFile(*saveFile, []byte(prog.Save()), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "saved assembly -> %s\n", *saveFile)
+	}
+	res, err := vm.Run(prog, vm.Config{Cache: ccfg, RecordTrace: *traceFile != ""})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Print(res.Output)
+	s := res.CacheStats
+	fmt.Println("----------------------------------------")
+	fmt.Printf("instructions:    %d\n", res.Instructions)
+	fmt.Printf("data refs:       %d (%d loads, %d stores)\n", s.Refs, res.Loads, res.Stores)
+	fmt.Printf("cache stream:    %d refs (%.1f%% bypassed)\n", s.CachedRefs,
+		100*float64(s.BypassRefs)/maxf(float64(s.Refs), 1))
+	fmt.Printf("hits/misses:     %d / %d (miss ratio %.2f%%)\n", s.Hits, s.Misses,
+		100*float64(s.Misses)/maxf(float64(s.CachedRefs), 1))
+	fmt.Printf("line fetches:    %d\n", s.Fetches)
+	fmt.Printf("writebacks:      %d\n", s.Writebacks)
+	fmt.Printf("bypass words:    %d read, %d written\n", s.BypassReads, s.BypassWrites)
+	fmt.Printf("dead marks:      %d (%d dirty discards)\n", s.DeadMarks, s.DeadDiscards)
+	fmt.Printf("DRAM traffic:    %d words\n", s.MemTrafficWords(*line))
+
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := res.Trace.Write(f); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace:           %d records -> %s\n", len(res.Trace), *traceFile)
+	}
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "unisim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,71 @@
+// Aliasing: demonstrates the compile-time analysis at the heart of the
+// unified model (§4.1 of the paper). Two globals are ambiguously aliased
+// through a dereferenced pointer, a third is provably unaliased; the
+// compiler sends the first two through the cache and lets the third
+// bypass. The example prints the alias sets, the per-site classification,
+// and the annotated assembly for inspection.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	unicache "repro"
+)
+
+const src = `
+int contended1;
+int contended2;
+int private;
+
+void bump(int *p) {
+    *p = *p + 1;
+}
+
+void main() {
+    int i;
+    for (i = 0; i < 100; i++) {
+        bump(&contended1);       // pts(p) = {contended1, contended2}
+        bump(&contended2);       // -> both are ambiguous aliases
+        private = private + 1;   // never aliased -> bypass the cache
+    }
+    print(contended1);
+    print(contended2);
+    print(private);
+}
+`
+
+func main() {
+	prog, err := unicache.Compile(src, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== alias analysis (points-to sets and alias sets) ===")
+	fmt.Println(prog.AliasReport())
+
+	st := prog.Static()
+	fmt.Println("=== reference-site classification ===")
+	fmt.Printf("%d sites: %d bypass (unambiguous), %d through the cache (ambiguous)\n\n",
+		st.Sites, st.Bypass, st.Cached)
+
+	fmt.Println("=== annotated assembly for main (lw/sw suffix = flavor) ===")
+	asm := prog.Assembly()
+	// Show just main's body: from "main:" to the next function label.
+	if i := strings.Index(asm, "main:"); i >= 0 {
+		body := asm[i:]
+		if j := strings.Index(body[1:], "\nbump:"); j >= 0 {
+			body = body[:j+1]
+		}
+		fmt.Println(body)
+	}
+
+	res, err := prog.Run(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("run output:\n%s", res.Output)
+	fmt.Printf("dynamic: %.1f%% of %d data references bypassed the cache\n",
+		res.Cache.PercentBypass, res.Cache.Refs)
+}

@@ -1,0 +1,61 @@
+// Optimizing: shows how the classic compiler pipeline interacts with the
+// paper's unified management. Each stage — scalar optimization, leaf
+// inlining, global register promotion — shrinks either the instruction
+// stream or the residual memory reference stream the unified model has to
+// classify. The workload is Intmm (40x40 matrix multiply).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	unicache "repro"
+)
+
+func main() {
+	b, err := unicache.Benchmark("intmm")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type stage struct {
+		label string
+		opts  unicache.CompileOptions
+	}
+	stages := []stage{
+		{"plain", unicache.CompileOptions{}},
+		{"+optimize", unicache.CompileOptions{Optimize: true}},
+		{"+inline", unicache.CompileOptions{Optimize: true, Inline: true}},
+		{"+promote", unicache.CompileOptions{Optimize: true, Inline: true, PromoteGlobals: true}},
+	}
+
+	fmt.Printf("workload: %s — %s\n\n", b.Name, b.Description)
+	fmt.Printf("%-12s %14s %10s %12s %12s %10s\n",
+		"pipeline", "instructions", "sites", "data refs", "DRAM words", "bypass%")
+
+	var firstOutput string
+	for _, s := range stages {
+		opts := s.opts
+		prog, err := unicache.Compile(b.Source, &opts)
+		if err != nil {
+			log.Fatalf("%s: %v", s.label, err)
+		}
+		res, err := prog.Run(nil)
+		if err != nil {
+			log.Fatalf("%s: %v", s.label, err)
+		}
+		if firstOutput == "" {
+			firstOutput = res.Output
+		} else if res.Output != firstOutput {
+			log.Fatalf("%s: output changed! %q vs %q", s.label, res.Output, firstOutput)
+		}
+		st := prog.Static()
+		fmt.Printf("%-12s %14d %10d %12d %12d %9.1f%%\n",
+			s.label, res.Instructions, st.Sites, res.Cache.Refs,
+			res.Cache.MemTrafficWords, res.Cache.PercentBypass)
+	}
+
+	fmt.Println("\nEvery pipeline produces identical program output; the unified")
+	fmt.Println("management bits never change semantics, only where references go.")
+	fmt.Printf("output: %q\n", firstOutput)
+}

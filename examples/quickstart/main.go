@@ -1,0 +1,68 @@
+// Quickstart: compile a small MC program under the paper's unified
+// registers/cache management model, run it on the UM simulator, and
+// compare the data-cache load against conventional management.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	unicache "repro"
+)
+
+const src = `
+int table[64];
+int checksum;
+
+void fill(int n) {
+    int i;
+    for (i = 0; i < n; i++) {
+        table[i] = i * i % 97;
+    }
+}
+
+void main() {
+    int i;
+    fill(64);
+    checksum = 0;
+    for (i = 0; i < 64; i++) {
+        checksum = checksum + table[i];
+    }
+    print(checksum);
+}
+`
+
+func main() {
+	// Compile under the unified model (the default).
+	prog, err := unicache.Compile(src, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The compiler classified every load/store site: unambiguous sites
+	// bypass the cache, ambiguous ones (the array elements here) use it.
+	st := prog.Static()
+	fmt.Printf("reference sites: %d total, %d bypass (%.1f%%), %d cached\n",
+		st.Sites, st.Bypass, st.PercentBypass, st.Cached)
+
+	// Run on the simulated machine with the paper's small data cache.
+	res, err := prog.Run(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("program output: %s", res.Output)
+	fmt.Printf("executed %d instructions, %d data references\n",
+		res.Instructions, res.Cache.Refs)
+	fmt.Printf("dynamic bypass: %.1f%% of references skipped the cache\n",
+		res.Cache.PercentBypass)
+
+	// Head-to-head against conventional hardware on the same program.
+	cmp, err := unicache.CompareTraffic(src, nil, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cache reference stream: %d refs conventional -> %d unified (%.1f%% reduction)\n",
+		cmp.ConventionalRefsToCache, cmp.UnifiedRefsToCache, cmp.ReferenceReductionPct)
+	fmt.Printf("DRAM words moved: %d conventional, %d unified\n",
+		cmp.ConventionalDRAMWords, cmp.UnifiedDRAMWords)
+}

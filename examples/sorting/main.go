@@ -1,0 +1,52 @@
+// Sorting: the paper's Bubble workload end to end. Compiles the benchmark
+// under both the era-faithful baseline compiler and the full optimizing
+// compiler, and reports the Figure 5 quantities for each: static and
+// dynamic unambiguous-reference percentages and the cache-stream
+// reduction, plus the DRAM word counts the paper did not measure.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	unicache "repro"
+)
+
+func measure(label string, stackScalars bool, src string) {
+	cmp, err := unicache.CompareTraffic(src,
+		&unicache.CompileOptions{StackScalars: stackScalars}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-22s static %5.1f%%  dynamic %5.1f%%  cache-stream -%5.1f%%  DRAM %d -> %d words\n",
+		label, cmp.StaticPercentBypass, cmp.DynamicPercentBypass,
+		cmp.ReferenceReductionPct, cmp.ConventionalDRAMWords, cmp.UnifiedDRAMWords)
+}
+
+func main() {
+	b, err := unicache.Benchmark("bubble")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %s — %s\n\n", b.Name, b.Description)
+
+	// Sanity: the program sorts correctly (self-check prints 1 first).
+	prog, err := unicache.Compile(b.Source, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := prog.Run(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("output: %q (expected %q)\n\n", res.Output, b.Expected)
+
+	fmt.Println("unified vs conventional management:")
+	measure("baseline compiler", true, b.Source)
+	measure("optimizing compiler", false, b.Source)
+
+	fmt.Println("\nThe baseline compiler keeps scalars in memory like the 1989 MIPS")
+	fmt.Println("toolchain, reproducing the paper's 70-80% static / 45-75% dynamic")
+	fmt.Println("unambiguous bands; the optimizing compiler register-allocates those")
+	fmt.Println("scalars away, so far fewer memory references remain to bypass.")
+}

@@ -1,0 +1,707 @@
+// Package alias implements the compile-time alias analysis of the unified
+// registers/cache management model (§4.1 of the paper):
+//
+//   - an Andersen-style flow-insensitive points-to analysis over MC
+//     programs (the "familiar algorithms of compiler flow analysis");
+//   - construction of alias sets: the closure of the ambiguous-alias
+//     relation over object names (§4.1.1.2), realized as a union-find;
+//   - the paper's five-way alias classification between names (true /
+//     intersection / sometimes / ambiguous / mutually exclusive);
+//   - per-reference ambiguity verdicts used to decide register vs. cache
+//     placement for every load/store site.
+package alias
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/ir"
+	"repro/internal/sem"
+	"repro/internal/token"
+	"repro/internal/types"
+)
+
+// Class is the paper's alias classification between two names.
+type Class int
+
+// Alias classes, in increasing order of uncertainty.
+const (
+	MutuallyExclusive Class = iota
+	TrueAlias
+	IntersectionAlias
+	SometimesAlias
+	Ambiguous
+)
+
+func (c Class) String() string {
+	switch c {
+	case MutuallyExclusive:
+		return "mutually-exclusive"
+	case TrueAlias:
+		return "true"
+	case IntersectionAlias:
+		return "intersection"
+	case SometimesAlias:
+		return "sometimes"
+	case Ambiguous:
+		return "ambiguous"
+	}
+	return "?"
+}
+
+// Analysis is the result of points-to and alias-set construction for one
+// program.
+type Analysis struct {
+	Info *sem.Info
+
+	// PointsTo maps each pointer-holding object (pointer variables and
+	// arrays of pointers) to the set of objects it may target.
+	PointsTo map[*sem.Object]map[*sem.Object]bool
+
+	// Dereferenced records pointer objects that are dereferenced somewhere
+	// (via *, [], or as the base of pointer arithmetic that is then read).
+	Dereferenced map[*sem.Object]bool
+
+	// setOf is the union-find over object IDs realizing alias sets.
+	setOf []int
+
+	// ambiguous marks objects that may be accessed under more than one
+	// name and therefore cannot be register-allocated (§2.3 [1]).
+	ambiguous map[*sem.Object]bool
+
+	// anyUnknownDeref is set when some dereference has no identifiable
+	// base pointer; every address-taken object is then pessimized.
+	anyUnknownDeref bool
+}
+
+// Analyze runs points-to analysis and alias-set construction.
+func Analyze(info *sem.Info) *Analysis {
+	a := &Analysis{
+		Info:         info,
+		PointsTo:     make(map[*sem.Object]map[*sem.Object]bool),
+		Dereferenced: make(map[*sem.Object]bool),
+		ambiguous:    make(map[*sem.Object]bool),
+		setOf:        make([]int, len(info.Objects)),
+	}
+	for i := range a.setOf {
+		a.setOf[i] = i
+	}
+
+	c := &collector{a: a, info: info}
+	c.collect()
+	a.solve(c)
+	a.buildSets()
+	return a
+}
+
+// ---- constraint collection ----
+
+// constraint forms:
+//
+//	addrOf:  dst ⊇ {obj}            (p = &x, p = arr, p = &a[i])
+//	copyOf:  dst ⊇ pts(src)         (p = q, p = q+n, f(q) into param)
+//	loadOf:  dst ⊇ pts(*src)        (p = *q : for t in pts(q), dst ⊇ pts(t))
+//	storeTo: *dst ⊇ pts(src)        (*p = q : for t in pts(p), t ⊇ pts(src))
+type constraint struct {
+	kind     int // 0 addrOf, 1 copyOf, 2 loadOf, 3 storeTo
+	dst, src *sem.Object
+	obj      *sem.Object // addrOf target
+}
+
+const (
+	kAddrOf = iota
+	kCopyOf
+	kLoadOf
+	kStoreTo
+)
+
+type collector struct {
+	a    *Analysis
+	info *sem.Info
+	cons []constraint
+	fn   *sem.Func
+}
+
+func (c *collector) collect() {
+	for _, fn := range c.info.Funcs {
+		c.fn = fn
+		c.stmt(fn.Decl.Body)
+	}
+}
+
+func (c *collector) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, sub := range s.List {
+			c.stmt(sub)
+		}
+	case *ast.DeclStmt:
+		obj := c.info.Decls[s.Decl]
+		if s.Decl.Init != nil {
+			c.expr(s.Decl.Init)
+			if obj != nil && holdsPointers(obj.Type) {
+				c.assignTo(obj, s.Decl.Init)
+			}
+		}
+	case *ast.AssignStmt:
+		c.expr(s.LHS)
+		c.expr(s.RHS)
+		if s.Op != token.ASSIGN {
+			// Compound ops: only p += n keeps pointerness; targets unchanged
+			// modulo arithmetic, which Andersen ignores (field-insensitive).
+			return
+		}
+		lt := c.info.TypeOf(s.LHS)
+		if lt == nil || !holdsPointers(lt) {
+			return
+		}
+		switch lhs := s.LHS.(type) {
+		case *ast.Ident:
+			if obj := c.info.ObjectOf(lhs); obj != nil {
+				c.assignTo(obj, s.RHS)
+			}
+		case *ast.Index:
+			// Store of a pointer into an array of pointers: the array
+			// object absorbs the constraint (field-insensitive).
+			if root := c.rootArray(lhs); root != nil {
+				c.assignTo(root, s.RHS)
+			} else if base := c.basePointer(lhs.X); base != nil {
+				c.storeThrough(base, s.RHS)
+			}
+		case *ast.Unary:
+			if lhs.Op == token.STAR {
+				if base := c.basePointer(lhs.X); base != nil {
+					c.storeThrough(base, s.RHS)
+				} else {
+					c.a.anyUnknownDeref = true
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		c.expr(s.LHS)
+	case *ast.ExprStmt:
+		c.expr(s.X)
+	case *ast.IfStmt:
+		c.expr(s.Cond)
+		c.stmt(s.Then)
+		if s.Else != nil {
+			c.stmt(s.Else)
+		}
+	case *ast.WhileStmt:
+		c.expr(s.Cond)
+		c.stmt(s.Body)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			c.expr(s.Cond)
+		}
+		if s.Post != nil {
+			c.stmt(s.Post)
+		}
+		c.stmt(s.Body)
+	case *ast.ReturnStmt:
+		if s.Result != nil {
+			c.expr(s.Result)
+		}
+	}
+}
+
+// expr records dereference facts and call-induced flows inside expressions.
+func (c *collector) expr(e ast.Expr) {
+	switch e := e.(type) {
+	case *ast.Unary:
+		c.expr(e.X)
+		if e.Op == token.STAR {
+			c.noteDeref(e.X)
+		}
+	case *ast.Binary:
+		c.expr(e.X)
+		c.expr(e.Y)
+	case *ast.Index:
+		c.expr(e.X)
+		c.expr(e.Idx)
+		if xt := c.info.TypeOf(e.X); xt != nil && xt.IsPointer() {
+			c.noteDeref(e.X)
+		}
+	case *ast.Call:
+		callee := c.info.ObjectOf(e.Fun)
+		for i, arg := range e.Args {
+			c.expr(arg)
+			if callee == nil || callee.Func == nil {
+				continue
+			}
+			if i < len(callee.Func.Params) {
+				prm := callee.Func.Params[i]
+				if holdsPointers(prm.Type) {
+					c.assignTo(prm, arg)
+				}
+			}
+		}
+	}
+}
+
+// noteDeref marks the base pointer of a dereference as dereferenced.
+func (c *collector) noteDeref(base ast.Expr) {
+	if p := c.basePointer(base); p != nil {
+		c.a.Dereferenced[p] = true
+	} else {
+		c.a.anyUnknownDeref = true
+	}
+}
+
+// assignTo adds constraints for "dst = rhs" where dst holds pointers.
+func (c *collector) assignTo(dst *sem.Object, rhs ast.Expr) {
+	switch r := rhs.(type) {
+	case *ast.Ident:
+		obj := c.info.ObjectOf(r)
+		if obj == nil {
+			return
+		}
+		if obj.Type.IsArray() {
+			// Array decay: dst points to the array object.
+			c.cons = append(c.cons, constraint{kind: kAddrOf, dst: dst, obj: obj})
+			return
+		}
+		c.cons = append(c.cons, constraint{kind: kCopyOf, dst: dst, src: obj})
+	case *ast.Unary:
+		switch r.Op {
+		case token.AMP:
+			if target := c.addrTarget(r.X); target != nil {
+				c.cons = append(c.cons, constraint{kind: kAddrOf, dst: dst, obj: target})
+			}
+		case token.STAR:
+			// dst = *q (a pointer loaded through a pointer, int** style).
+			if base := c.basePointer(r.X); base != nil {
+				c.cons = append(c.cons, constraint{kind: kLoadOf, dst: dst, src: base})
+			} else {
+				c.a.anyUnknownDeref = true
+			}
+		}
+	case *ast.Binary:
+		// Pointer arithmetic: same targets as the pointer side.
+		if xt := c.info.TypeOf(r.X); xt != nil && xt.Decay().IsPointer() {
+			c.assignTo(dst, r.X)
+		}
+		if yt := c.info.TypeOf(r.Y); yt != nil && yt.Decay().IsPointer() {
+			c.assignTo(dst, r.Y)
+		}
+	case *ast.Index:
+		// dst = pa[i] where pa is an array of pointers, or p[i] through
+		// a pointer-to-pointer.
+		if root := c.rootArray(r); root != nil && holdsPointers(root.Type) {
+			c.cons = append(c.cons, constraint{kind: kCopyOf, dst: dst, src: root})
+		} else if base := c.basePointer(r.X); base != nil {
+			c.cons = append(c.cons, constraint{kind: kLoadOf, dst: dst, src: base})
+		}
+	}
+}
+
+// storeThrough adds constraints for "*base = rhs".
+func (c *collector) storeThrough(base *sem.Object, rhs ast.Expr) {
+	c.a.Dereferenced[base] = true
+	rt := c.info.TypeOf(rhs)
+	if rt == nil || !rt.Decay().IsPointer() {
+		return
+	}
+	// Route through a temporary constraint: for t in pts(base), t ⊇ rhs.
+	// Express rhs as either addrOf or copyOf against a synthetic handling:
+	// reuse assignTo into each target at solve time via storeTo with a
+	// captured source object when rhs is a simple pointer, otherwise
+	// conservatively via an address constraint.
+	switch r := rhs.(type) {
+	case *ast.Ident:
+		if obj := c.info.ObjectOf(r); obj != nil {
+			if obj.Type.IsArray() {
+				c.cons = append(c.cons, constraint{kind: kStoreTo, dst: base, obj: obj})
+			} else {
+				c.cons = append(c.cons, constraint{kind: kStoreTo, dst: base, src: obj})
+			}
+		}
+	case *ast.Unary:
+		if r.Op == token.AMP {
+			if target := c.addrTarget(r.X); target != nil {
+				c.cons = append(c.cons, constraint{kind: kStoreTo, dst: base, obj: target})
+			}
+		}
+	}
+}
+
+// addrTarget resolves &x to the object x (or the root array for &a[i]).
+func (c *collector) addrTarget(e ast.Expr) *sem.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return c.info.ObjectOf(e)
+	case *ast.Index:
+		if root := c.rootArray(e); root != nil {
+			return root
+		}
+		return nil
+	case *ast.Unary:
+		if e.Op == token.STAR {
+			return nil // &*p handled as copy at the assignTo level
+		}
+	}
+	return nil
+}
+
+// rootArray returns the array object an index chain is rooted at, or nil if
+// the chain goes through a pointer.
+func (c *collector) rootArray(e *ast.Index) *sem.Object {
+	switch x := e.X.(type) {
+	case *ast.Ident:
+		obj := c.info.ObjectOf(x)
+		if obj != nil && obj.Type.IsArray() {
+			return obj
+		}
+		return nil
+	case *ast.Index:
+		return c.rootArray(x)
+	}
+	return nil
+}
+
+// basePointer mirrors irgen's notion: the single pointer variable an
+// address expression goes through, or nil.
+func (c *collector) basePointer(e ast.Expr) *sem.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := c.info.ObjectOf(e)
+		if obj != nil && obj.IsVar() && holdsPointers(obj.Type) {
+			return obj
+		}
+		return nil
+	case *ast.Binary:
+		if xt := c.info.TypeOf(e.X); xt != nil && xt.Decay().IsPointer() {
+			return c.basePointer(e.X)
+		}
+		if yt := c.info.TypeOf(e.Y); yt != nil && yt.Decay().IsPointer() {
+			return c.basePointer(e.Y)
+		}
+		return nil
+	case *ast.Index:
+		if xt := c.info.TypeOf(e.X); xt != nil && xt.IsArray() && xt.Elem.IsPointer() {
+			return c.basePointer(e.X)
+		}
+		return nil
+	}
+	return nil
+}
+
+// holdsPointers reports whether storage of type t contains pointer values.
+func holdsPointers(t *types.Type) bool {
+	switch t.Kind {
+	case types.PointerKind:
+		return true
+	case types.ArrayKind:
+		return holdsPointers(t.Elem)
+	}
+	return false
+}
+
+// ---- solving ----
+
+func (a *Analysis) pts(o *sem.Object) map[*sem.Object]bool {
+	s, ok := a.PointsTo[o]
+	if !ok {
+		s = make(map[*sem.Object]bool)
+		a.PointsTo[o] = s
+	}
+	return s
+}
+
+func (a *Analysis) solve(c *collector) {
+	for changed := true; changed; {
+		changed = false
+		add := func(dst *sem.Object, tgt *sem.Object) {
+			s := a.pts(dst)
+			if !s[tgt] {
+				s[tgt] = true
+				changed = true
+			}
+		}
+		for _, con := range c.cons {
+			switch con.kind {
+			case kAddrOf:
+				add(con.dst, con.obj)
+			case kCopyOf:
+				for t := range a.pts(con.src) {
+					add(con.dst, t)
+				}
+			case kLoadOf:
+				for mid := range a.pts(con.src) {
+					for t := range a.pts(mid) {
+						add(con.dst, t)
+					}
+				}
+			case kStoreTo:
+				for mid := range a.pts(con.dst) {
+					if !holdsPointers(mid.Type) {
+						continue
+					}
+					if con.obj != nil {
+						add(mid, con.obj)
+					} else if con.src != nil {
+						for t := range a.pts(con.src) {
+							add(mid, t)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// ---- alias sets ----
+
+func (a *Analysis) find(x int) int {
+	for a.setOf[x] != x {
+		a.setOf[x] = a.setOf[a.setOf[x]]
+		x = a.setOf[x]
+	}
+	return x
+}
+
+func (a *Analysis) union(x, y int) {
+	rx, ry := a.find(x), a.find(y)
+	if rx != ry {
+		a.setOf[rx] = ry
+	}
+}
+
+// buildSets forms alias sets (closure of the ambiguous-alias relation) and
+// the per-object ambiguity verdicts.
+func (a *Analysis) buildSets() {
+	// Arrays are self-ambiguous: two element references may collide
+	// (sometimes aliases), so the array object can never be a register
+	// value; mark it ambiguous without needing set mates.
+	for _, obj := range a.Info.Objects {
+		if obj.IsVar() && obj.Type.IsArray() {
+			a.ambiguous[obj] = true
+		}
+	}
+
+	// Every dereferenced pointer fuses its candidate targets into one set;
+	// with two or more candidates each target becomes ambiguous.
+	for p := range a.Dereferenced {
+		targets := a.targetsOf(p)
+		if len(targets) >= 2 {
+			for i := 1; i < len(targets); i++ {
+				a.union(targets[0].ID, targets[i].ID)
+			}
+			for _, t := range targets {
+				a.ambiguous[t] = true
+			}
+		}
+	}
+
+	// A dereference with an unknown base may touch any address-taken
+	// object: pessimize them all into one set (the paper's "safe
+	// assumption" when analysis is confused, §2.1.3).
+	if a.anyUnknownDeref {
+		var taken []*sem.Object
+		for _, obj := range a.Info.Objects {
+			if obj.IsVar() && obj.AddrTaken {
+				taken = append(taken, obj)
+			}
+		}
+		for i := 1; i < len(taken); i++ {
+			a.union(taken[0].ID, taken[i].ID)
+		}
+		for _, t := range taken {
+			a.ambiguous[t] = true
+		}
+	}
+}
+
+// targetsOf returns pts(p) as a deterministic slice.
+func (a *Analysis) targetsOf(p *sem.Object) []*sem.Object {
+	var out []*sem.Object
+	for t := range a.PointsTo[p] {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// SetID returns the alias-set identifier of an object (objects in the same
+// set may be ambiguously aliased).
+func (a *Analysis) SetID(obj *sem.Object) int { return a.find(obj.ID) }
+
+// SameSet reports whether two objects share an alias set.
+func (a *Analysis) SameSet(x, y *sem.Object) bool { return a.find(x.ID) == a.find(y.ID) }
+
+// ObjectAmbiguous reports whether the object may be reached under more than
+// one name (and therefore must live behind the cache, not in registers).
+func (a *Analysis) ObjectAmbiguous(obj *sem.Object) bool { return a.ambiguous[obj] }
+
+// Classify returns the paper's alias class between two variable objects.
+func (a *Analysis) Classify(x, y *sem.Object) Class {
+	if x == y {
+		if x.Type.IsArray() {
+			// A name versus itself is a true alias; for arrays the name
+			// denotes the aggregate, still the same object.
+			return TrueAlias
+		}
+		return TrueAlias
+	}
+	// A pointer and a target it may reference.
+	if a.PointsTo[x] != nil && a.PointsTo[x][y] {
+		if len(a.PointsTo[x]) == 1 {
+			// *x always refers to y (among declared objects).
+			return TrueAlias
+		}
+		return SometimesAlias
+	}
+	if a.PointsTo[y] != nil && a.PointsTo[y][x] {
+		if len(a.PointsTo[y]) == 1 {
+			return TrueAlias
+		}
+		return SometimesAlias
+	}
+	if a.SameSet(x, y) {
+		return Ambiguous
+	}
+	return MutuallyExclusive
+}
+
+// ClassifyRefs classifies two memory-reference sites, including the
+// element-level cases the object view cannot express.
+func (a *Analysis) ClassifyRefs(x, y *ir.MemRef) Class {
+	// Spill slots are compiler-private: they alias nothing, not even each
+	// other (distinct slots), except the same slot.
+	if x.Kind == ir.RefSpill || y.Kind == ir.RefSpill {
+		if x.Kind == ir.RefSpill && y.Kind == ir.RefSpill && x.Slot == y.Slot {
+			return TrueAlias
+		}
+		return MutuallyExclusive
+	}
+	xo, yo := a.refObject(x), a.refObject(y)
+	if xo == nil || yo == nil {
+		return Ambiguous
+	}
+	if xo == yo {
+		switch {
+		case x.Kind == ir.RefScalar && y.Kind == ir.RefScalar:
+			return TrueAlias
+		case x.Kind == ir.RefElement && y.Kind == ir.RefElement:
+			return SometimesAlias // a[i] vs a[j]
+		default:
+			return IntersectionAlias // the array vs one of its elements
+		}
+	}
+	return a.Classify(xo, yo)
+}
+
+// refObject resolves the object a reference certainly or possibly denotes;
+// nil when unknown (pointer with no single base).
+func (a *Analysis) refObject(r *ir.MemRef) *sem.Object {
+	switch r.Kind {
+	case ir.RefScalar, ir.RefElement:
+		return r.Obj
+	case ir.RefPointer:
+		if r.Ptr == nil {
+			return nil
+		}
+		ts := a.targetsOf(r.Ptr)
+		if len(ts) == 1 {
+			return ts[0]
+		}
+		return nil
+	}
+	return nil
+}
+
+// ---- IR annotation ----
+
+// Annotate fills AliasSet and Ambiguous on every memory reference of the
+// program, resolving singleton pointer dereferences to their target object
+// (a strong update in the sense of §4.1.1.2 type [1]).
+func (a *Analysis) Annotate(prog *ir.Program) {
+	for _, f := range prog.Funcs {
+		for _, ref := range f.Refs() {
+			a.annotateRef(ref)
+		}
+	}
+}
+
+func (a *Analysis) annotateRef(ref *ir.MemRef) {
+	switch ref.Kind {
+	case ir.RefSpill:
+		ref.Ambiguous = false
+		ref.AliasSet = -1
+	case ir.RefScalar:
+		ref.Ambiguous = a.ObjectAmbiguous(ref.Obj)
+		ref.AliasSet = a.SetID(ref.Obj)
+	case ir.RefElement:
+		ref.Ambiguous = true
+		ref.AliasSet = a.SetID(ref.Obj)
+	case ir.RefPointer:
+		if ref.Ptr != nil {
+			ts := a.targetsOf(ref.Ptr)
+			if len(ts) == 1 {
+				// The dereference always denotes this object.
+				ref.Obj = ts[0]
+				ref.AliasSet = a.SetID(ts[0])
+				ref.Ambiguous = ts[0].Type.IsArray() || a.ObjectAmbiguous(ts[0])
+				return
+			}
+			if len(ts) > 1 {
+				ref.AliasSet = a.SetID(ts[0])
+				ref.Ambiguous = true
+				return
+			}
+		}
+		ref.AliasSet = -1
+		ref.Ambiguous = true
+	}
+}
+
+// Report renders the analysis results for cmd/unicc -alias.
+func (a *Analysis) Report() string {
+	var sb strings.Builder
+	sb.WriteString("points-to:\n")
+	var ptrs []*sem.Object
+	for p := range a.PointsTo {
+		ptrs = append(ptrs, p)
+	}
+	sort.Slice(ptrs, func(i, j int) bool { return ptrs[i].ID < ptrs[j].ID })
+	for _, p := range ptrs {
+		var names []string
+		for _, t := range a.targetsOf(p) {
+			names = append(names, t.Name)
+		}
+		deref := ""
+		if a.Dereferenced[p] {
+			deref = " (dereferenced)"
+		}
+		fmt.Fprintf(&sb, "  %s -> {%s}%s\n", p.Name, strings.Join(names, ", "), deref)
+	}
+	sb.WriteString("alias sets:\n")
+	groups := make(map[int][]*sem.Object)
+	for _, obj := range a.Info.Objects {
+		if obj.IsVar() {
+			groups[a.find(obj.ID)] = append(groups[a.find(obj.ID)], obj)
+		}
+	}
+	var roots []int
+	for r := range groups {
+		roots = append(roots, r)
+	}
+	sort.Ints(roots)
+	for _, r := range roots {
+		var names []string
+		for _, obj := range groups[r] {
+			tag := ""
+			if a.ambiguous[obj] {
+				tag = "!"
+			}
+			names = append(names, obj.Name+tag)
+		}
+		fmt.Fprintf(&sb, "  {%s}\n", strings.Join(names, ", "))
+	}
+	return sb.String()
+}

@@ -1,0 +1,433 @@
+package alias
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/irgen"
+	"repro/internal/parser"
+	"repro/internal/sem"
+)
+
+func analyze(t *testing.T, src string) (*sem.Info, *Analysis) {
+	t.Helper()
+	f, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := sem.Check(f)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return info, Analyze(info)
+}
+
+func obj(t *testing.T, info *sem.Info, name string) *sem.Object {
+	t.Helper()
+	var found *sem.Object
+	for _, o := range info.Objects {
+		if o.IsVar() && o.Name == name {
+			if found != nil {
+				t.Fatalf("multiple objects named %s; use unique names in tests", name)
+			}
+			found = o
+		}
+	}
+	if found == nil {
+		t.Fatalf("no object named %s", name)
+	}
+	return found
+}
+
+func TestPointsToBasic(t *testing.T) {
+	info, a := analyze(t, `
+int x;
+int y;
+void main() {
+    int *p;
+    p = &x;
+    p = &y;
+    *p = 1;
+}`)
+	p := obj(t, info, "p")
+	x := obj(t, info, "x")
+	y := obj(t, info, "y")
+	if !a.PointsTo[p][x] || !a.PointsTo[p][y] {
+		t.Fatalf("pts(p) = %v, want {x,y}", a.targetsOf(p))
+	}
+	if !a.Dereferenced[p] {
+		t.Error("p not marked dereferenced")
+	}
+	if !a.ObjectAmbiguous(x) || !a.ObjectAmbiguous(y) {
+		t.Error("x and y should both be ambiguous (two-candidate deref)")
+	}
+	if !a.SameSet(x, y) {
+		t.Error("x and y should share an alias set")
+	}
+}
+
+func TestSingletonDerefStaysUnambiguous(t *testing.T) {
+	info, a := analyze(t, `
+int x;
+int z;
+void main() {
+    int *p;
+    p = &x;
+    *p = 1;
+    z = 2;
+}`)
+	x := obj(t, info, "x")
+	z := obj(t, info, "z")
+	if a.ObjectAmbiguous(x) {
+		t.Error("x has a single-candidate deref; should stay unambiguous")
+	}
+	if a.ObjectAmbiguous(z) {
+		t.Error("z is never aliased")
+	}
+	if a.SameSet(x, z) {
+		t.Error("x and z must be in different alias sets")
+	}
+	p := obj(t, info, "p")
+	if a.Classify(p, x) != TrueAlias {
+		t.Errorf("Classify(p,x) = %s, want true (singleton points-to)", a.Classify(p, x))
+	}
+}
+
+func TestAddressNeverDereferenced(t *testing.T) {
+	info, a := analyze(t, `
+int x;
+void main() {
+    int *p;
+    p = &x;
+    if (p == &x) print(1);
+}`)
+	x := obj(t, info, "x")
+	if a.ObjectAmbiguous(x) {
+		t.Error("address taken but never dereferenced: x should stay unambiguous")
+	}
+}
+
+func TestArraysAreAmbiguous(t *testing.T) {
+	info, a := analyze(t, `
+int arr9[10];
+void main() { arr9[1] = 2; }`)
+	arr := obj(t, info, "arr9")
+	if !a.ObjectAmbiguous(arr) {
+		t.Error("arrays must be ambiguous (element collisions)")
+	}
+}
+
+func TestCallPropagatesPointers(t *testing.T) {
+	info, a := analyze(t, `
+int g1;
+int g2;
+void set(int *q) { *q = 1; }
+void main() {
+    set(&g1);
+    set(&g2);
+}`)
+	q := obj(t, info, "q")
+	g1 := obj(t, info, "g1")
+	g2 := obj(t, info, "g2")
+	if !a.PointsTo[q][g1] || !a.PointsTo[q][g2] {
+		t.Fatalf("pts(q) = %v, want {g1,g2}", a.targetsOf(q))
+	}
+	if !a.ObjectAmbiguous(g1) || !a.ObjectAmbiguous(g2) {
+		t.Error("g1,g2 aliased through q")
+	}
+}
+
+func TestArrayDecayIntoCall(t *testing.T) {
+	info, a := analyze(t, `
+int data[8];
+int sum(int *v, int n) {
+    int s;
+    int i;
+    s = 0;
+    for (i = 0; i < n; i++) s += v[i];
+    return s;
+}
+void main() { print(sum(data, 8)); }`)
+	v := obj(t, info, "v")
+	data := obj(t, info, "data")
+	if !a.PointsTo[v][data] {
+		t.Fatalf("pts(v) = %v, want {data}", a.targetsOf(v))
+	}
+	if !a.Dereferenced[v] {
+		t.Error("v[i] should mark v dereferenced")
+	}
+}
+
+func TestPointerCopyChain(t *testing.T) {
+	info, a := analyze(t, `
+int x;
+void main() {
+    int *p;
+    int *q;
+    int *r;
+    p = &x;
+    q = p;
+    r = q + 1;
+    *r = 5;
+}`)
+	r := obj(t, info, "r")
+	x := obj(t, info, "x")
+	if !a.PointsTo[r][x] {
+		t.Fatalf("pts(r) = %v, want {x} through copy chain", a.targetsOf(r))
+	}
+}
+
+func TestClassification(t *testing.T) {
+	info, a := analyze(t, `
+int x;
+int y;
+int z;
+void main() {
+    int *p;
+    p = &x;
+    p = &y;
+    *p = 1;
+    z = 3;
+}`)
+	p := obj(t, info, "p")
+	x := obj(t, info, "x")
+	y := obj(t, info, "y")
+	z := obj(t, info, "z")
+	if got := a.Classify(p, x); got != SometimesAlias {
+		t.Errorf("Classify(p,x) = %s, want sometimes", got)
+	}
+	if got := a.Classify(x, y); got != Ambiguous {
+		t.Errorf("Classify(x,y) = %s, want ambiguous", got)
+	}
+	if got := a.Classify(x, z); got != MutuallyExclusive {
+		t.Errorf("Classify(x,z) = %s, want mutually-exclusive", got)
+	}
+	if got := a.Classify(x, x); got != TrueAlias {
+		t.Errorf("Classify(x,x) = %s, want true", got)
+	}
+}
+
+func TestClassifyRefs(t *testing.T) {
+	info, a := analyze(t, `
+int arr8[10];
+int w;
+void main() {
+    arr8[1] = 1;
+    w = 2;
+}`)
+	arr := obj(t, info, "arr8")
+	w := obj(t, info, "w")
+	e1 := &ir.MemRef{Kind: ir.RefElement, Obj: arr}
+	e2 := &ir.MemRef{Kind: ir.RefElement, Obj: arr}
+	sw := &ir.MemRef{Kind: ir.RefScalar, Obj: w}
+	sp1 := &ir.MemRef{Kind: ir.RefSpill, Slot: 0}
+	sp2 := &ir.MemRef{Kind: ir.RefSpill, Slot: 1}
+	if got := a.ClassifyRefs(e1, e2); got != SometimesAlias {
+		t.Errorf("a[i] vs a[j] = %s, want sometimes", got)
+	}
+	if got := a.ClassifyRefs(e1, sw); got != MutuallyExclusive {
+		t.Errorf("a[i] vs w = %s, want mutually-exclusive", got)
+	}
+	if got := a.ClassifyRefs(sp1, sp2); got != MutuallyExclusive {
+		t.Errorf("slot0 vs slot1 = %s, want mutually-exclusive", got)
+	}
+	if got := a.ClassifyRefs(sp1, sp1); got != TrueAlias {
+		t.Errorf("slot0 vs slot0 = %s, want true", got)
+	}
+}
+
+func TestAnnotate(t *testing.T) {
+	src := `
+int g;
+int h;
+int arr7[10];
+void main() {
+    int *p;
+    p = &g;
+    if (arr7[0]) p = &h;
+    *p = 1;
+    g = 2;
+    arr7[3] = 4;
+}`
+	f, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := sem.Check(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := irgen.Build(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Analyze(info)
+	a.Annotate(prog)
+
+	main := prog.Lookup("main")
+	var sawAmbScalar, sawElement, sawPointer bool
+	for _, ref := range main.Refs() {
+		switch ref.Kind {
+		case ir.RefScalar:
+			if ref.Obj.Name == "g" && !ref.Ambiguous {
+				t.Error("g is aliased through p; scalar ref must be ambiguous")
+			}
+			if ref.Obj.Name == "g" {
+				sawAmbScalar = true
+			}
+		case ir.RefElement:
+			sawElement = true
+			if !ref.Ambiguous {
+				t.Error("array element ref must be ambiguous")
+			}
+		case ir.RefPointer:
+			sawPointer = true
+			if !ref.Ambiguous {
+				t.Error("two-candidate deref must be ambiguous")
+			}
+			if ref.AliasSet < 0 {
+				t.Error("deref with known candidates should carry an alias set")
+			}
+		}
+	}
+	if !sawAmbScalar || !sawElement || !sawPointer {
+		t.Errorf("missing ref kinds: scalar=%v element=%v pointer=%v",
+			sawAmbScalar, sawElement, sawPointer)
+	}
+}
+
+func TestAnnotateSingletonPointerResolves(t *testing.T) {
+	src := `
+int g;
+void main() {
+    int *p;
+    p = &g;
+    *p = 1;
+}`
+	f, _ := parser.Parse(src)
+	info, err := sem.Check(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := irgen.Build(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Analyze(info)
+	a.Annotate(prog)
+	main := prog.Lookup("main")
+	for _, ref := range main.Refs() {
+		if ref.Kind == ir.RefPointer {
+			if ref.Ambiguous {
+				t.Error("singleton deref should be unambiguous")
+			}
+			if ref.Obj == nil || ref.Obj.Name != "g" {
+				t.Errorf("singleton deref should resolve to g, got %v", ref.Obj)
+			}
+		}
+	}
+}
+
+func TestReportSmoke(t *testing.T) {
+	_, a := analyze(t, `
+int x;
+void main() {
+    int *p;
+    p = &x;
+    *p = 1;
+}`)
+	rep := a.Report()
+	if rep == "" {
+		t.Error("empty report")
+	}
+}
+
+func TestMillerRatioShape(t *testing.T) {
+	// Most references in scalar code are unambiguous; check the analysis
+	// does not over-pessimize a loop over registers and one array.
+	src := `
+int acc[4];
+void main() {
+    int i;
+    int s;
+    s = 0;
+    for (i = 0; i < 100; i++) {
+        s += i;
+        acc[i % 4] = s;
+    }
+    print(s);
+}`
+	f, _ := parser.Parse(src)
+	info, err := sem.Check(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := irgen.Build(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Analyze(info)
+	a.Annotate(prog)
+	main := prog.Lookup("main")
+	amb, total := 0, 0
+	for _, ref := range main.Refs() {
+		total++
+		if ref.Ambiguous {
+			amb++
+		}
+	}
+	// i and s never touch memory; only acc[...] refs exist and they are
+	// ambiguous.
+	if total == 0 {
+		t.Fatal("expected some refs")
+	}
+	if amb != total {
+		t.Errorf("all memory refs here are array elements; amb=%d total=%d", amb, total)
+	}
+}
+
+func TestPointerArrayFieldInsensitive(t *testing.T) {
+	info, a := analyze(t, `
+int x;
+int y;
+int *table[4];
+void main() {
+    table[0] = &x;
+    table[1] = &y;
+    *table[0] = 5;
+}`)
+	tab := obj(t, info, "table")
+	x := obj(t, info, "x")
+	y := obj(t, info, "y")
+	// The array node absorbs both targets (field-insensitive).
+	if !a.PointsTo[tab][x] || !a.PointsTo[tab][y] {
+		t.Fatalf("pts(table) = %v, want {x,y}", a.targetsOf(tab))
+	}
+	// Dereferencing an element may hit either target: both ambiguous.
+	if !a.ObjectAmbiguous(x) || !a.ObjectAmbiguous(y) {
+		t.Error("x and y must be ambiguous through the pointer array")
+	}
+}
+
+func TestDoublePointerConservative(t *testing.T) {
+	info, a := analyze(t, `
+int x;
+void main() {
+    int *p;
+    int **pp;
+    p = &x;
+    pp = &p;
+    **pp = 3;
+}`)
+	pp := obj(t, info, "pp")
+	p := obj(t, info, "p")
+	x := obj(t, info, "x")
+	if !a.PointsTo[pp][p] {
+		t.Fatalf("pts(pp) = %v, want {p}", a.targetsOf(pp))
+	}
+	// **pp has no single base pointer; the analysis must pessimize all
+	// address-taken objects rather than miss the write to x.
+	if !a.ObjectAmbiguous(x) || !a.ObjectAmbiguous(p) {
+		t.Error("unknown-base deref must pessimize address-taken objects")
+	}
+}

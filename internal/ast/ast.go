@@ -1,0 +1,245 @@
+// Package ast defines the abstract syntax tree for MC programs.
+//
+// Nodes are plain structs; semantic information (resolved objects,
+// expression types) is attached by package sem in side tables so the tree
+// itself stays purely syntactic.
+package ast
+
+import (
+	"repro/internal/token"
+	"repro/internal/types"
+)
+
+// Node is implemented by every AST node.
+type Node interface {
+	Pos() token.Pos
+}
+
+// Expr is implemented by expression nodes.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// Stmt is implemented by statement nodes.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// Decl is implemented by top-level declarations.
+type Decl interface {
+	Node
+	declNode()
+}
+
+// ---- Expressions ----
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Value  int64
+	LitPos token.Pos
+}
+
+// Ident is a use of a declared name.
+type Ident struct {
+	Name    string
+	NamePos token.Pos
+}
+
+// Unary is a prefix operation: -x, !x, *p, &lv, ^x is not unary (xor only).
+type Unary struct {
+	Op    token.Kind // MINUS, NOT, STAR (deref), AMP (address-of)
+	X     Expr
+	OpPos token.Pos
+}
+
+// Binary is an infix operation.
+type Binary struct {
+	Op    token.Kind
+	X, Y  Expr
+	OpPos token.Pos
+}
+
+// Index is a subscript expression a[i]; a may be an array or pointer.
+type Index struct {
+	X     Expr
+	Idx   Expr
+	LBrak token.Pos
+}
+
+// Call is a function call f(args...). Fun is always an identifier in MC.
+type Call struct {
+	Fun  *Ident
+	Args []Expr
+}
+
+func (e *IntLit) Pos() token.Pos { return e.LitPos }
+func (e *Ident) Pos() token.Pos  { return e.NamePos }
+func (e *Unary) Pos() token.Pos  { return e.OpPos }
+func (e *Binary) Pos() token.Pos { return e.X.Pos() }
+func (e *Index) Pos() token.Pos  { return e.X.Pos() }
+func (e *Call) Pos() token.Pos   { return e.Fun.Pos() }
+
+func (*IntLit) exprNode() {}
+func (*Ident) exprNode()  {}
+func (*Unary) exprNode()  {}
+func (*Binary) exprNode() {}
+func (*Index) exprNode()  {}
+func (*Call) exprNode()   {}
+
+// ---- Statements ----
+
+// VarDecl declares one variable. It appears both as a top-level declaration
+// (global) and wrapped in DeclStmt (local). The parser resolves the full
+// type including array dimensions.
+type VarDecl struct {
+	Name    string
+	Type    *types.Type
+	Init    Expr // optional, scalars only
+	NamePos token.Pos
+}
+
+// DeclStmt is a local variable declaration statement.
+type DeclStmt struct {
+	Decl *VarDecl
+}
+
+// AssignStmt is "lhs op rhs" where op is one of =, +=, -=, *=, /=, %=.
+type AssignStmt struct {
+	Op  token.Kind
+	LHS Expr
+	RHS Expr
+}
+
+// IncDecStmt is "lhs++" or "lhs--".
+type IncDecStmt struct {
+	Op  token.Kind // INC or DEC
+	LHS Expr
+}
+
+// ExprStmt is an expression evaluated for effect; in MC only calls occur.
+type ExprStmt struct {
+	X Expr
+}
+
+// BlockStmt is a braced statement list with its own scope.
+type BlockStmt struct {
+	LBrace token.Pos
+	List   []Stmt
+}
+
+// IfStmt is if (cond) then [else els].
+type IfStmt struct {
+	IfPos token.Pos
+	Cond  Expr
+	Then  Stmt
+	Else  Stmt // optional
+}
+
+// WhileStmt is while (cond) body.
+type WhileStmt struct {
+	WhilePos token.Pos
+	Cond     Expr
+	Body     Stmt
+}
+
+// ForStmt is for (init; cond; post) body. Init and Post are optional simple
+// statements (assignment, inc/dec, call, or declaration for Init); Cond is
+// an optional expression.
+type ForStmt struct {
+	ForPos token.Pos
+	Init   Stmt
+	Cond   Expr
+	Post   Stmt
+	Body   Stmt
+}
+
+// ReturnStmt is return [expr];
+type ReturnStmt struct {
+	RetPos token.Pos
+	Result Expr // optional
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ KwPos token.Pos }
+
+// ContinueStmt continues the innermost loop.
+type ContinueStmt struct{ KwPos token.Pos }
+
+func (s *VarDecl) Pos() token.Pos      { return s.NamePos }
+func (s *DeclStmt) Pos() token.Pos     { return s.Decl.Pos() }
+func (s *AssignStmt) Pos() token.Pos   { return s.LHS.Pos() }
+func (s *IncDecStmt) Pos() token.Pos   { return s.LHS.Pos() }
+func (s *ExprStmt) Pos() token.Pos     { return s.X.Pos() }
+func (s *BlockStmt) Pos() token.Pos    { return s.LBrace }
+func (s *IfStmt) Pos() token.Pos       { return s.IfPos }
+func (s *WhileStmt) Pos() token.Pos    { return s.WhilePos }
+func (s *ForStmt) Pos() token.Pos      { return s.ForPos }
+func (s *ReturnStmt) Pos() token.Pos   { return s.RetPos }
+func (s *BreakStmt) Pos() token.Pos    { return s.KwPos }
+func (s *ContinueStmt) Pos() token.Pos { return s.KwPos }
+
+func (*DeclStmt) stmtNode()     {}
+func (*AssignStmt) stmtNode()   {}
+func (*IncDecStmt) stmtNode()   {}
+func (*ExprStmt) stmtNode()     {}
+func (*BlockStmt) stmtNode()    {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()      {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+
+// ---- Declarations ----
+
+// Param is a single function parameter. Array-typed parameters decay to
+// pointers at parse time, so Type is always scalar.
+type Param struct {
+	Name    string
+	Type    *types.Type
+	NamePos token.Pos
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Name    string
+	Params  []Param
+	Result  *types.Type // Int or Void
+	Body    *BlockStmt
+	NamePos token.Pos
+}
+
+func (d *FuncDecl) Pos() token.Pos { return d.NamePos }
+
+func (*VarDecl) declNode()  {}
+func (*FuncDecl) declNode() {}
+
+// File is a parsed MC source file: a sequence of global variable and
+// function declarations.
+type File struct {
+	Decls []Decl
+}
+
+// Funcs returns the function declarations in order.
+func (f *File) Funcs() []*FuncDecl {
+	var out []*FuncDecl
+	for _, d := range f.Decls {
+		if fd, ok := d.(*FuncDecl); ok {
+			out = append(out, fd)
+		}
+	}
+	return out
+}
+
+// Globals returns the global variable declarations in order.
+func (f *File) Globals() []*VarDecl {
+	var out []*VarDecl
+	for _, d := range f.Decls {
+		if vd, ok := d.(*VarDecl); ok {
+			out = append(out, vd)
+		}
+	}
+	return out
+}

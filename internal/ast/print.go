@@ -1,0 +1,268 @@
+package ast
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/token"
+	"repro/internal/types"
+)
+
+// Print renders the file back to MC source text. The output reparses to an
+// equivalent tree (used by the parser round-trip tests) and is the canonical
+// dump format of cmd/unicc -ast.
+func Print(f *File) string {
+	var p printer
+	for i, d := range f.Decls {
+		if i > 0 {
+			p.buf.WriteByte('\n')
+		}
+		p.decl(d)
+	}
+	return p.buf.String()
+}
+
+// ExprString renders a single expression.
+func ExprString(e Expr) string {
+	var p printer
+	p.expr(e, 0)
+	return p.buf.String()
+}
+
+// StmtString renders a single statement at indentation level 0.
+func StmtString(s Stmt) string {
+	var p printer
+	p.stmt(s)
+	return p.buf.String()
+}
+
+type printer struct {
+	buf    strings.Builder
+	indent int
+}
+
+func (p *printer) ws() {
+	for i := 0; i < p.indent; i++ {
+		p.buf.WriteString("    ")
+	}
+}
+
+func (p *printer) decl(d Decl) {
+	switch d := d.(type) {
+	case *VarDecl:
+		p.ws()
+		p.varDecl(d)
+		p.buf.WriteString(";\n")
+	case *FuncDecl:
+		p.ws()
+		fmt.Fprintf(&p.buf, "%s %s(", d.Result, d.Name)
+		for i, prm := range d.Params {
+			if i > 0 {
+				p.buf.WriteString(", ")
+			}
+			p.buf.WriteString(declString(prm.Type, prm.Name))
+		}
+		p.buf.WriteString(") ")
+		p.block(d.Body)
+		p.buf.WriteByte('\n')
+	}
+}
+
+// declString renders "int x", "int *p", "int a[3][4]" in C declarator style.
+func declString(t *types.Type, name string) string {
+	stars := ""
+	for t.IsPointer() {
+		stars += "*"
+		t = t.Elem
+	}
+	dims := ""
+	for t.IsArray() {
+		dims += fmt.Sprintf("[%d]", t.Len)
+		t = t.Elem
+	}
+	return fmt.Sprintf("%s %s%s%s", t, stars, name, dims)
+}
+
+func (p *printer) varDecl(d *VarDecl) {
+	p.buf.WriteString(declString(d.Type, d.Name))
+	if d.Init != nil {
+		p.buf.WriteString(" = ")
+		p.expr(d.Init, 0)
+	}
+}
+
+func (p *printer) block(b *BlockStmt) {
+	p.buf.WriteString("{\n")
+	p.indent++
+	for _, s := range b.List {
+		p.stmt(s)
+	}
+	p.indent--
+	p.ws()
+	p.buf.WriteString("}")
+}
+
+// simple renders statements usable in for-headers without ; or newline.
+func (p *printer) simple(s Stmt) {
+	switch s := s.(type) {
+	case *DeclStmt:
+		p.varDecl(s.Decl)
+	case *AssignStmt:
+		p.expr(s.LHS, 0)
+		fmt.Fprintf(&p.buf, " %s ", s.Op)
+		p.expr(s.RHS, 0)
+	case *IncDecStmt:
+		p.expr(s.LHS, 0)
+		p.buf.WriteString(s.Op.String())
+	case *ExprStmt:
+		p.expr(s.X, 0)
+	}
+}
+
+func (p *printer) stmt(s Stmt) {
+	switch s := s.(type) {
+	case *DeclStmt, *AssignStmt, *IncDecStmt, *ExprStmt:
+		p.ws()
+		p.simple(s)
+		p.buf.WriteString(";\n")
+	case *BlockStmt:
+		p.ws()
+		p.block(s)
+		p.buf.WriteByte('\n')
+	case *IfStmt:
+		p.ws()
+		p.buf.WriteString("if (")
+		p.expr(s.Cond, 0)
+		p.buf.WriteString(") ")
+		p.nested(s.Then)
+		if s.Else != nil {
+			p.ws()
+			p.buf.WriteString("else ")
+			p.nested(s.Else)
+		}
+	case *WhileStmt:
+		p.ws()
+		p.buf.WriteString("while (")
+		p.expr(s.Cond, 0)
+		p.buf.WriteString(") ")
+		p.nested(s.Body)
+	case *ForStmt:
+		p.ws()
+		p.buf.WriteString("for (")
+		if s.Init != nil {
+			p.simple(s.Init)
+		}
+		p.buf.WriteString("; ")
+		if s.Cond != nil {
+			p.expr(s.Cond, 0)
+		}
+		p.buf.WriteString("; ")
+		if s.Post != nil {
+			p.simple(s.Post)
+		}
+		p.buf.WriteString(") ")
+		p.nested(s.Body)
+	case *ReturnStmt:
+		p.ws()
+		p.buf.WriteString("return")
+		if s.Result != nil {
+			p.buf.WriteByte(' ')
+			p.expr(s.Result, 0)
+		}
+		p.buf.WriteString(";\n")
+	case *BreakStmt:
+		p.ws()
+		p.buf.WriteString("break;\n")
+	case *ContinueStmt:
+		p.ws()
+		p.buf.WriteString("continue;\n")
+	}
+}
+
+// nested prints a statement used as an if/loop body: blocks inline, other
+// statements on the next line indented.
+func (p *printer) nested(s Stmt) {
+	if b, ok := s.(*BlockStmt); ok {
+		p.block(b)
+		p.buf.WriteByte('\n')
+		return
+	}
+	p.buf.WriteByte('\n')
+	p.indent++
+	p.stmt(s)
+	p.indent--
+}
+
+// Binding powers mirror the parser's precedence table; used to emit minimal
+// parentheses.
+func precOf(op token.Kind) int {
+	switch op {
+	case token.LOR:
+		return 1
+	case token.LAND:
+		return 2
+	case token.PIPE:
+		return 3
+	case token.CARET:
+		return 4
+	case token.AMP:
+		return 5
+	case token.EQ, token.NEQ:
+		return 6
+	case token.LT, token.GT, token.LEQ, token.GEQ:
+		return 7
+	case token.SHL, token.SHR:
+		return 8
+	case token.PLUS, token.MINUS:
+		return 9
+	case token.STAR, token.SLASH, token.PERCENT:
+		return 10
+	}
+	return 0
+}
+
+const unaryPrec = 11
+
+func (p *printer) expr(e Expr, min int) {
+	switch e := e.(type) {
+	case *IntLit:
+		fmt.Fprintf(&p.buf, "%d", e.Value)
+	case *Ident:
+		p.buf.WriteString(e.Name)
+	case *Unary:
+		if min > unaryPrec {
+			p.buf.WriteByte('(')
+		}
+		p.buf.WriteString(e.Op.String())
+		p.expr(e.X, unaryPrec)
+		if min > unaryPrec {
+			p.buf.WriteByte(')')
+		}
+	case *Binary:
+		prec := precOf(e.Op)
+		if min > prec {
+			p.buf.WriteByte('(')
+		}
+		p.expr(e.X, prec)
+		fmt.Fprintf(&p.buf, " %s ", e.Op)
+		p.expr(e.Y, prec+1)
+		if min > prec {
+			p.buf.WriteByte(')')
+		}
+	case *Index:
+		p.expr(e.X, unaryPrec+1)
+		p.buf.WriteByte('[')
+		p.expr(e.Idx, 0)
+		p.buf.WriteByte(']')
+	case *Call:
+		p.buf.WriteString(e.Fun.Name)
+		p.buf.WriteByte('(')
+		for i, a := range e.Args {
+			if i > 0 {
+				p.buf.WriteString(", ")
+			}
+			p.expr(a, 0)
+		}
+		p.buf.WriteByte(')')
+	}
+}

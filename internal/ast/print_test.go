@@ -1,0 +1,91 @@
+package ast
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/token"
+	"repro/internal/types"
+)
+
+func id(name string) *Ident { return &Ident{Name: name} }
+func lit(v int64) *IntLit   { return &IntLit{Value: v} }
+func bin(op token.Kind, x, y Expr) *Binary {
+	return &Binary{Op: op, X: x, Y: y}
+}
+
+func TestExprStringMinimalParens(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		// (a+b)*c needs parens, a+(b*c) does not.
+		{bin(token.STAR, bin(token.PLUS, id("a"), id("b")), id("c")), "(a + b) * c"},
+		{bin(token.PLUS, id("a"), bin(token.STAR, id("b"), id("c"))), "a + b * c"},
+		// Left-associativity: a-(b-c) needs parens, (a-b)-c does not.
+		{bin(token.MINUS, bin(token.MINUS, id("a"), id("b")), id("c")), "a - b - c"},
+		{bin(token.MINUS, id("a"), bin(token.MINUS, id("b"), id("c"))), "a - (b - c)"},
+		// Unary binds tighter than binary.
+		{bin(token.PLUS, &Unary{Op: token.MINUS, X: id("a")}, id("b")), "-a + b"},
+		{&Unary{Op: token.MINUS, X: bin(token.PLUS, id("a"), id("b"))}, "-(a + b)"},
+		// Comparison vs logical.
+		{bin(token.LAND, bin(token.LT, id("a"), id("b")), bin(token.GT, id("c"), id("d"))),
+			"a < b && c > d"},
+		{bin(token.LOR, bin(token.LAND, id("a"), id("b")), id("c")), "a && b || c"},
+		{bin(token.LAND, bin(token.LOR, id("a"), id("b")), id("c")), "(a || b) && c"},
+		// Index and call never need parens around themselves.
+		{&Index{X: id("a"), Idx: bin(token.PLUS, id("i"), lit(1))}, "a[i + 1]"},
+		{&Call{Fun: id("f"), Args: []Expr{lit(1), bin(token.PLUS, id("x"), lit(2))}}, "f(1, x + 2)"},
+		// Deref and address-of.
+		{&Unary{Op: token.STAR, X: id("p")}, "*p"},
+		{&Unary{Op: token.AMP, X: id("x")}, "&x"},
+	}
+	for _, c := range cases {
+		if got := ExprString(c.e); got != c.want {
+			t.Errorf("ExprString = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestDeclString(t *testing.T) {
+	f := &File{Decls: []Decl{
+		&VarDecl{Name: "x", Type: types.Int},
+		&VarDecl{Name: "p", Type: types.PointerTo(types.Int)},
+		&VarDecl{Name: "m", Type: types.ArrayOf(3, types.ArrayOf(4, types.Int))},
+		&VarDecl{Name: "y", Type: types.Int, Init: lit(7)},
+	}}
+	out := Print(f)
+	for _, want := range []string{"int x;", "int *p;", "int m[3][4];", "int y = 7;"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Print missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStmtString(t *testing.T) {
+	s := &IfStmt{
+		Cond: bin(token.LT, id("x"), lit(3)),
+		Then: &BlockStmt{List: []Stmt{&ReturnStmt{Result: lit(1)}}},
+		Else: &ReturnStmt{Result: lit(2)},
+	}
+	out := StmtString(s)
+	for _, want := range []string{"if (x < 3) {", "return 1;", "else", "return 2;"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("StmtString missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFileHelpers(t *testing.T) {
+	f := &File{Decls: []Decl{
+		&VarDecl{Name: "g", Type: types.Int},
+		&FuncDecl{Name: "main", Result: types.Void, Body: &BlockStmt{}},
+		&VarDecl{Name: "h", Type: types.Int},
+	}}
+	if got := len(f.Globals()); got != 2 {
+		t.Errorf("Globals = %d, want 2", got)
+	}
+	if got := len(f.Funcs()); got != 1 {
+		t.Errorf("Funcs = %d, want 1", got)
+	}
+}

@@ -1,0 +1,406 @@
+// Package bench holds the six benchmark programs of the paper's evaluation
+// (§5), re-implemented in MC from the DARPA MIPS / Stanford benchmark
+// suite the authors used:
+//
+//	Bubble — bubble sort of 500 pseudo-random elements
+//	Intmm  — 40×40 integer matrix multiplication
+//	Puzzle — Forest Baskett's bin-packing puzzle, size 511
+//	Queen  — the 8-queens problem
+//	Sieve  — primes between 0 and 8190
+//	Towers — recursive towers of Hanoi, 18 discs
+//
+// Each program prints a small self-check so every simulator run is
+// verified against the reference IR interpreter. Where the originals used
+// "random data" (Bubble, Intmm) the Stanford suite's deterministic linear
+// congruential generator (seed*1309+13849 mod 2^16) is used, which is also
+// what the original benchmark sources shipped.
+package bench
+
+// Benchmark is one workload of the paper's evaluation.
+type Benchmark struct {
+	Name        string
+	Description string
+	Source      string // MC source text
+	// Expected is the program's output when known a priori (self-checking
+	// benchmarks); empty means tests rely on the IR-interpreter reference.
+	Expected string
+}
+
+// All returns the six benchmarks in the paper's order.
+func All() []Benchmark {
+	return []Benchmark{
+		{
+			Name:        "bubble",
+			Description: "bubble sort, 500 pseudo-random elements",
+			Source:      bubbleSrc,
+			Expected:    "1\n-50000\n15505\n", // verified against the LCG independently
+		},
+		{
+			Name:        "intmm",
+			Description: "40x40 integer matrix multiplication",
+			Source:      intmmSrc,
+			Expected:    "43608\n-6984\n5468\n", // trace and corner checksums
+		},
+		{
+			Name:        "puzzle",
+			Description: "Baskett's puzzle, size 511, compute bound",
+			Source:      puzzleSrc,
+			Expected:    "1\n2005\n", // 2005 trials, the published Stanford result
+		},
+		{
+			Name:        "queen",
+			Description: "8-queens, all solutions",
+			Source:      queenSrc,
+			Expected:    "92\n",
+		},
+		{
+			Name:        "sieve",
+			Description: "primes between 0 and 8190",
+			Source:      sieveSrc,
+			Expected:    "1027\n", // pi(8190), verified independently
+		},
+		{
+			Name:        "towers",
+			Description: "towers of Hanoi, 18 discs",
+			Source:      towersSrc,
+			Expected:    "1\n262143\n",
+		},
+	}
+}
+
+// Get returns the benchmark with the given name, or nil.
+func Get(name string) *Benchmark {
+	for _, b := range All() {
+		if b.Name == name {
+			bb := b
+			return &bb
+		}
+	}
+	return nil
+}
+
+const bubbleSrc = `
+// Bubble: sort 500 pseudo-random elements (Stanford benchmark suite).
+int sortlist[501];
+int seed;
+int biggest;
+int littlest;
+
+int rnd() {
+    seed = (seed * 1309 + 13849) % 65536;
+    return seed;
+}
+
+void initarr() {
+    int i;
+    seed = 74755;
+    biggest = 0;
+    littlest = 0;
+    for (i = 1; i <= 500; i++) {
+        sortlist[i] = rnd() - 50000;
+        if (sortlist[i] > biggest) biggest = sortlist[i];
+        if (sortlist[i] < littlest) littlest = sortlist[i];
+    }
+}
+
+void main() {
+    int i;
+    int top;
+    int t;
+    initarr();
+    top = 500;
+    while (top > 1) {
+        i = 1;
+        while (i < top) {
+            if (sortlist[i] > sortlist[i + 1]) {
+                t = sortlist[i];
+                sortlist[i] = sortlist[i + 1];
+                sortlist[i + 1] = t;
+            }
+            i = i + 1;
+        }
+        top = top - 1;
+    }
+    if (sortlist[1] != littlest) print(0);
+    else if (sortlist[500] != biggest) print(0);
+    else print(1);
+    print(sortlist[1]);
+    print(sortlist[500]);
+}
+`
+
+const intmmSrc = `
+// Intmm: multiply two 40x40 integer matrices (Stanford benchmark suite).
+int ma[41][41];
+int mb[41][41];
+int mr[41][41];
+int seed;
+
+int rnd() {
+    seed = (seed * 1309 + 13849) % 65536;
+    return seed;
+}
+
+void initmatrix(int which) {
+    int i;
+    int j;
+    for (i = 1; i <= 40; i++) {
+        for (j = 1; j <= 40; j++) {
+            if (which == 0) ma[i][j] = rnd() % 120 - 60;
+            else mb[i][j] = rnd() % 120 - 60;
+        }
+    }
+}
+
+int innerproduct(int row, int col) {
+    int s;
+    int k;
+    s = 0;
+    for (k = 1; k <= 40; k++) s = s + ma[row][k] * mb[k][col];
+    return s;
+}
+
+void main() {
+    int i;
+    int j;
+    int sum;
+    seed = 74755;
+    initmatrix(0);
+    initmatrix(1);
+    for (i = 1; i <= 40; i++)
+        for (j = 1; j <= 40; j++)
+            mr[i][j] = innerproduct(i, j);
+    sum = 0;
+    for (i = 1; i <= 40; i++) sum = sum + mr[i][i];
+    print(sum);
+    print(mr[1][1]);
+    print(mr[40][40]);
+}
+`
+
+const puzzleSrc = `
+// Puzzle: Forest Baskett's bin-packing search, size 511 (Stanford suite).
+int piececount[4];
+int class[13];
+int piecemax[13];
+int puzzle[512];
+int p[13][512];
+int kount;
+int n;
+
+int fit(int i, int j) {
+    int k;
+    for (k = 0; k <= piecemax[i]; k++) {
+        if (p[i][k]) {
+            if (puzzle[j + k]) return 0;
+        }
+    }
+    return 1;
+}
+
+int place(int i, int j) {
+    int k;
+    for (k = 0; k <= piecemax[i]; k++) {
+        if (p[i][k]) puzzle[j + k] = 1;
+    }
+    piececount[class[i]] = piececount[class[i]] - 1;
+    for (k = j; k <= 511; k++) {
+        if (!puzzle[k]) return k;
+    }
+    return 0;
+}
+
+void removep(int i, int j) {
+    int k;
+    for (k = 0; k <= piecemax[i]; k++) {
+        if (p[i][k]) puzzle[j + k] = 0;
+    }
+    piececount[class[i]] = piececount[class[i]] + 1;
+}
+
+int trial(int j) {
+    int i;
+    int k;
+    kount = kount + 1;
+    for (i = 0; i <= 12; i++) {
+        if (piececount[class[i]] != 0) {
+            if (fit(i, j)) {
+                k = place(i, j);
+                if (trial(k) || k == 0) return 1;
+                removep(i, j);
+            }
+        }
+    }
+    return 0;
+}
+
+void definePiece(int index, int cls, int di, int dj, int dk) {
+    int i;
+    int j;
+    int k;
+    for (i = 0; i <= di; i++)
+        for (j = 0; j <= dj; j++)
+            for (k = 0; k <= dk; k++)
+                p[index][i + 8 * (j + 8 * k)] = 1;
+    class[index] = cls;
+    piecemax[index] = di + 8 * (dj + 8 * dk);
+}
+
+void main() {
+    int i;
+    int j;
+    int k;
+    int m;
+    for (m = 0; m <= 511; m++) puzzle[m] = 1;
+    for (i = 1; i <= 5; i++)
+        for (j = 1; j <= 5; j++)
+            for (k = 1; k <= 5; k++)
+                puzzle[i + 8 * (j + 8 * k)] = 0;
+    for (i = 0; i <= 12; i++)
+        for (m = 0; m <= 511; m++)
+            p[i][m] = 0;
+
+    definePiece(0, 0, 3, 1, 0);
+    definePiece(1, 0, 1, 0, 3);
+    definePiece(2, 0, 0, 3, 1);
+    definePiece(3, 0, 1, 3, 0);
+    definePiece(4, 0, 3, 0, 1);
+    definePiece(5, 0, 0, 1, 3);
+    definePiece(6, 1, 2, 0, 0);
+    definePiece(7, 1, 0, 2, 0);
+    definePiece(8, 1, 0, 0, 2);
+    definePiece(9, 2, 1, 1, 0);
+    definePiece(10, 2, 1, 0, 1);
+    definePiece(11, 2, 0, 1, 1);
+    definePiece(12, 3, 1, 1, 1);
+
+    piececount[0] = 13;
+    piececount[1] = 3;
+    piececount[2] = 1;
+    piececount[3] = 1;
+    m = 1 + 8 * (1 + 8 * 1);
+    kount = 0;
+    if (fit(0, m)) n = place(0, m);
+    else print(-1);
+    if (trial(n)) {
+        print(1);
+        print(kount);
+    } else {
+        print(0);
+    }
+}
+`
+
+const queenSrc = `
+// Queen: count all solutions of the 8-queens problem.
+int rowfree[9];
+int diagup[17];
+int diagdown[16];
+int solutions;
+
+void try(int col) {
+    int row;
+    for (row = 1; row <= 8; row++) {
+        if (rowfree[row] == 0) {
+            if (diagup[row + col] == 0) {
+                if (diagdown[row - col + 8] == 0) {
+                    rowfree[row] = 1;
+                    diagup[row + col] = 1;
+                    diagdown[row - col + 8] = 1;
+                    if (col == 8) solutions = solutions + 1;
+                    else try(col + 1);
+                    rowfree[row] = 0;
+                    diagup[row + col] = 0;
+                    diagdown[row - col + 8] = 0;
+                }
+            }
+        }
+    }
+}
+
+void main() {
+    solutions = 0;
+    try(1);
+    print(solutions);
+}
+`
+
+const sieveSrc = `
+// Sieve: count the primes between 0 and 8190.
+int flags[8191];
+void main() {
+    int i;
+    int k;
+    int count;
+    count = 0;
+    for (i = 0; i <= 8190; i++) flags[i] = 1;
+    for (i = 2; i <= 8190; i++) {
+        if (flags[i]) {
+            k = i + i;
+            while (k <= 8190) {
+                flags[k] = 0;
+                k = k + i;
+            }
+            count = count + 1;
+        }
+    }
+    print(count);
+}
+`
+
+const towersSrc = `
+// Towers: towers of Hanoi with 18 discs on explicit array stacks.
+int stacks[4][19];
+int height[4];
+int movesdone;
+int errors;
+
+int pop(int peg) {
+    int v;
+    height[peg] = height[peg] - 1;
+    v = stacks[peg][height[peg]];
+    stacks[peg][height[peg]] = 0;
+    return v;
+}
+
+void push(int d, int peg) {
+    if (height[peg] > 0) {
+        if (stacks[peg][height[peg] - 1] < d) errors = errors + 1;
+    }
+    stacks[peg][height[peg]] = d;
+    height[peg] = height[peg] + 1;
+}
+
+void mov(int from, int to) {
+    push(pop(from), to);
+    movesdone = movesdone + 1;
+}
+
+void tower(int i, int j, int k) {
+    int other;
+    if (k == 1) {
+        mov(i, j);
+        return;
+    }
+    other = 6 - i - j;
+    tower(i, other, k - 1);
+    mov(i, j);
+    tower(other, j, k - 1);
+}
+
+void main() {
+    int d;
+    movesdone = 0;
+    errors = 0;
+    height[1] = 0;
+    height[2] = 0;
+    height[3] = 0;
+    for (d = 18; d >= 1; d--) push(d, 1);
+    tower(1, 2, 18);
+    if (errors == 0) {
+        if (height[2] == 18) print(1);
+        else print(0);
+    } else print(0);
+    print(movesdone);
+}
+`

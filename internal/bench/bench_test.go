@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/irinterp"
+)
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 6 {
+		t.Fatalf("benchmarks = %d, want 6", len(all))
+	}
+	want := []string{"bubble", "intmm", "puzzle", "queen", "sieve", "towers"}
+	for i, b := range all {
+		if b.Name != want[i] {
+			t.Errorf("benchmark %d = %s, want %s", i, b.Name, want[i])
+		}
+		if Get(b.Name) == nil {
+			t.Errorf("Get(%s) = nil", b.Name)
+		}
+	}
+	if Get("nosuch") != nil {
+		t.Error("Get(nosuch) should be nil")
+	}
+}
+
+// Every benchmark must compile and pass its self-check under the reference
+// interpreter.
+func TestBenchmarksSelfCheck(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			comp, err := core.Compile(b.Source, core.Config{Mode: core.Unified})
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			res, err := irinterp.Run(comp.Prog, irinterp.Config{MaxSteps: 2_000_000_000})
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			t.Logf("%s output: %q (%d steps)", b.Name, res.Output, res.Steps)
+			if b.Expected != "" && res.Output != b.Expected {
+				t.Errorf("output %q, want %q", res.Output, b.Expected)
+			}
+			// All self-checking benchmarks print 1 first on success.
+			selfChecking := b.Name == "bubble" || b.Name == "puzzle" || b.Name == "towers"
+			if selfChecking && !strings.HasPrefix(res.Output, "1\n") {
+				t.Errorf("self-check failed: output %q", res.Output)
+			}
+		})
+	}
+}

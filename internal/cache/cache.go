@@ -1,0 +1,484 @@
+// Package cache implements the data-cache model of the paper: a
+// set-associative write-back cache whose replacement policy is augmented
+// with the two compiler-supplied control bits of the unified
+// registers/cache management model:
+//
+//   - bypass (§3.2): the reference skips the cache; on a UmAm_LOAD that
+//     hits, the datum is read from cache and the line is dead-marked;
+//   - last-reference (§3.1): the line holding a value just consumed for
+//     the final time is marked empty (or demoted to next-victim), so a
+//     dead value never evicts a live one and is never written back.
+//
+// The model carries data, not just tags: the VM routes every load and
+// store through Memory, so a protocol bug (for example dead-marking a
+// dirty spill line too early) produces wrong program output and is caught
+// by the differential tests against the IR interpreter.
+package cache
+
+import "fmt"
+
+// Policy selects the underlying hardware replacement policy.
+type Policy int
+
+// Replacement policies. MIN (Belady) needs future knowledge and is only
+// available in the trace-driven simulator (SimulateTrace).
+const (
+	LRU Policy = iota
+	FIFO
+	Random
+	MIN
+)
+
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "lru"
+	case FIFO:
+		return "fifo"
+	case Random:
+		return "random"
+	case MIN:
+		return "min"
+	}
+	return "?"
+}
+
+// DeadMode selects how the cache honors the last-reference bit (§3.2
+// offers both variants).
+type DeadMode int
+
+// Dead-marking modes.
+const (
+	// DeadOff ignores the last-reference bit (conventional hardware).
+	DeadOff DeadMode = iota
+	// DeadInvalidate marks the line empty. A dirty single-word line is
+	// discarded without writeback (the value is dead by compiler
+	// guarantee); with LineWords > 1 a dirty line is demoted instead, since
+	// sibling words may still be live.
+	DeadInvalidate
+	// DeadDemote keeps the line but makes it the preferred victim.
+	DeadDemote
+)
+
+func (d DeadMode) String() string {
+	switch d {
+	case DeadOff:
+		return "off"
+	case DeadInvalidate:
+		return "invalidate"
+	case DeadDemote:
+		return "demote"
+	}
+	return "?"
+}
+
+// Config parameterizes the cache. The paper's evaluation assumes a small
+// on-chip data cache with line size one (§1); DefaultConfig matches that.
+type Config struct {
+	Sets      int // number of sets (power of two)
+	Ways      int // associativity
+	LineWords int // words per line (1 in the paper)
+	Policy    Policy
+	Dead      DeadMode
+	// HonorBypass: when false the bypass bit is ignored and every
+	// reference goes through the cache (conventional hardware).
+	HonorBypass bool
+	Seed        uint64 // PRNG seed for Random replacement
+}
+
+// DefaultConfig models the paper's small on-chip data cache: 64 one-word
+// lines (the paper's line-size-one assumption), 2-way set-associative with
+// LRU, bypass honored and dead marking on. Experiments sweep these knobs.
+func DefaultConfig() Config {
+	return Config{Sets: 32, Ways: 2, LineWords: 1, Policy: LRU,
+		Dead: DeadInvalidate, HonorBypass: true, Seed: 1}
+}
+
+// ConventionalConfig is the same hardware with the paper's features off.
+func ConventionalConfig() Config {
+	c := DefaultConfig()
+	c.Dead = DeadOff
+	c.HonorBypass = false
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Sets <= 0 || c.Ways <= 0 || c.LineWords <= 0 {
+		return fmt.Errorf("cache: sets, ways, linewords must be positive (got %d/%d/%d)",
+			c.Sets, c.Ways, c.LineWords)
+	}
+	if c.Sets&(c.Sets-1) != 0 {
+		return fmt.Errorf("cache: sets must be a power of two, got %d", c.Sets)
+	}
+	if c.LineWords&(c.LineWords-1) != 0 {
+		return fmt.Errorf("cache: line words must be a power of two, got %d", c.LineWords)
+	}
+	if c.Policy == MIN {
+		return fmt.Errorf("cache: MIN policy requires the trace-driven simulator")
+	}
+	return nil
+}
+
+// Lines returns the total line count.
+func (c Config) Lines() int { return c.Sets * c.Ways }
+
+// Stats is the word-exact traffic accounting of one run. "Memory traffic"
+// in the paper's Figure 5 sense is MemTrafficWords.
+type Stats struct {
+	Refs       int64 // all data references issued by the CPU
+	CachedRefs int64 // references that went through the cache
+	BypassRefs int64 // references that used the bypass path
+
+	Hits   int64 // cached-reference hits (plus bypass loads answered by cache)
+	Misses int64 // cached-reference misses
+
+	Fetches        int64 // lines fetched from memory into cache
+	Writebacks     int64 // dirty lines written back on eviction
+	StoreAllocs    int64 // store misses allocated without a fetch (line==1 word)
+	BypassReads    int64 // words read directly from memory
+	BypassWrites   int64 // words written directly to memory
+	DeadMarks      int64 // dead-mark events honored
+	DeadDiscards   int64 // dirty lines discarded by dead marking (writeback avoided)
+	SingleUseFills int64 // evicted lines that were referenced exactly once
+	Evictions      int64
+}
+
+// MemTrafficWords is total words moved between cache/CPU and main memory:
+// the quantity whose reduction Figure 5 reports.
+func (s Stats) MemTrafficWords(lineWords int) int64 {
+	return (s.Fetches+s.Writebacks)*int64(lineWords) + s.BypassReads + s.BypassWrites
+}
+
+// HitRatio is hits over cached references.
+func (s Stats) HitRatio() float64 {
+	if s.CachedRefs == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.CachedRefs)
+}
+
+type line struct {
+	valid bool
+	dirty bool
+	tag   int64 // line-aligned address / LineWords
+	data  []int64
+	last  int64 // LRU timestamp
+	seq   int64 // FIFO insertion order
+	refs  int64 // references since fill (single-use accounting)
+	dead  bool  // demoted by dead marking
+}
+
+// Memory is main memory fronted by the modeled data cache. All CPU data
+// references go through Load/Store; instruction fetches are not modeled
+// (the paper's evaluation concerns the data cache).
+type Memory struct {
+	cfg   Config
+	mem   []int64
+	sets  [][]line
+	stats Stats
+	tick  int64
+	rng   uint64
+}
+
+// NewMemory builds a memory of words size fronted by a cache with cfg.
+func NewMemory(words int, cfg Config) (*Memory, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Memory{cfg: cfg, mem: make([]int64, words), rng: cfg.Seed | 1}
+	m.sets = make([][]line, cfg.Sets)
+	for i := range m.sets {
+		ways := make([]line, cfg.Ways)
+		for w := range ways {
+			ways[w].data = make([]int64, cfg.LineWords)
+		}
+		m.sets[i] = ways
+	}
+	return m, nil
+}
+
+// Words returns the memory size.
+func (m *Memory) Words() int { return len(m.mem) }
+
+// Stats returns a copy of the accumulated statistics.
+func (m *Memory) Stats() Stats { return m.stats }
+
+// Poke writes a word directly to backing memory without touching the cache
+// or statistics (program loading).
+func (m *Memory) Poke(addr int64, v int64) { m.mem[addr] = v }
+
+// Peek reads a word, preferring a cached dirty copy, without statistics
+// (debugger/test use).
+func (m *Memory) Peek(addr int64) int64 {
+	set, tag, off := m.split(addr)
+	for w := range m.sets[set] {
+		ln := &m.sets[set][w]
+		if ln.valid && ln.tag == tag {
+			return ln.data[off]
+		}
+	}
+	return m.mem[addr]
+}
+
+func (m *Memory) split(addr int64) (set int, tag int64, off int) {
+	lineAddr := addr / int64(m.cfg.LineWords)
+	return int(lineAddr & int64(m.cfg.Sets-1)), lineAddr, int(addr % int64(m.cfg.LineWords))
+}
+
+func (m *Memory) lookup(set int, tag int64) *line {
+	for w := range m.sets[set] {
+		ln := &m.sets[set][w]
+		if ln.valid && ln.tag == tag {
+			return ln
+		}
+	}
+	return nil
+}
+
+func (m *Memory) nextRand() uint64 {
+	// xorshift64*
+	x := m.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	m.rng = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// victim picks the way to replace in set. Empty (invalid) lines are always
+// preferred — the paper's "simple placement instead of line-replace"
+// benefit of dead marking — then dead-demoted lines, then the policy.
+func (m *Memory) victim(set int) *line {
+	ways := m.sets[set]
+	for w := range ways {
+		if !ways[w].valid {
+			return &ways[w]
+		}
+	}
+	for w := range ways {
+		if ways[w].dead {
+			return &ways[w]
+		}
+	}
+	switch m.cfg.Policy {
+	case FIFO:
+		best := 0
+		for w := 1; w < len(ways); w++ {
+			if ways[w].seq < ways[best].seq {
+				best = w
+			}
+		}
+		return &ways[best]
+	case Random:
+		return &ways[m.nextRand()%uint64(len(ways))]
+	default: // LRU
+		best := 0
+		for w := 1; w < len(ways); w++ {
+			if ways[w].last < ways[best].last {
+				best = w
+			}
+		}
+		return &ways[best]
+	}
+}
+
+// evict writes back a dirty victim and accounts for the eviction.
+func (m *Memory) evict(ln *line) {
+	if !ln.valid {
+		return
+	}
+	m.stats.Evictions++
+	if ln.refs == 1 {
+		m.stats.SingleUseFills++
+	}
+	if ln.dirty {
+		m.writebackLine(ln)
+		m.stats.Writebacks++
+	}
+	ln.valid = false
+	ln.dead = false
+}
+
+func (m *Memory) writebackLine(ln *line) {
+	base := ln.tag * int64(m.cfg.LineWords)
+	for i := 0; i < m.cfg.LineWords; i++ {
+		m.mem[base+int64(i)] = ln.data[i]
+	}
+}
+
+func (m *Memory) fillLine(ln *line, tag int64) {
+	base := tag * int64(m.cfg.LineWords)
+	for i := 0; i < m.cfg.LineWords; i++ {
+		ln.data[i] = m.mem[base+int64(i)]
+	}
+	ln.valid = true
+	ln.dirty = false
+	ln.tag = tag
+	ln.refs = 0
+	ln.dead = false
+	m.tick++
+	ln.last = m.tick
+	ln.seq = m.tick
+}
+
+// deadMark applies the last-reference bit to a resident line.
+func (m *Memory) deadMark(ln *line) {
+	switch m.cfg.Dead {
+	case DeadOff:
+		return
+	case DeadDemote:
+		m.stats.DeadMarks++
+		ln.dead = true
+		ln.last = -1 // least recently used
+		ln.seq = -1  // first-in for FIFO
+	case DeadInvalidate:
+		m.stats.DeadMarks++
+		if ln.dirty && m.cfg.LineWords > 1 {
+			// Sibling words may be live: demote instead of discarding.
+			ln.dead = true
+			ln.last = -1
+			ln.seq = -1
+			return
+		}
+		if ln.dirty {
+			m.stats.DeadDiscards++ // writeback avoided: value is dead
+		}
+		if ln.refs == 1 {
+			m.stats.SingleUseFills++
+		}
+		ln.valid = false
+		ln.dirty = false
+		ln.dead = false
+	}
+}
+
+// Load performs a data load with the instruction's control bits and
+// returns the loaded value.
+func (m *Memory) Load(addr int64, bypass, lastRef bool) int64 {
+	m.stats.Refs++
+	set, tag, off := m.split(addr)
+
+	if bypass && m.cfg.HonorBypass {
+		m.stats.BypassRefs++
+		// UmAm_LOAD: check the cache first; a hit consumes the cached
+		// datum and (on the final reference) kills the line.
+		if ln := m.lookup(set, tag); ln != nil {
+			m.tick++
+			ln.last = m.tick
+			ln.refs++
+			v := ln.data[off]
+			if lastRef {
+				m.deadMark(ln)
+			}
+			return v
+		}
+		// Miss: read the word straight from memory, no allocation.
+		m.stats.BypassReads++
+		return m.mem[addr]
+	}
+
+	// Am_LOAD: through the cache.
+	m.stats.CachedRefs++
+	if ln := m.lookup(set, tag); ln != nil {
+		m.stats.Hits++
+		m.tick++
+		ln.last = m.tick
+		ln.refs++
+		ln.dead = false // referenced again: alive after all
+		v := ln.data[off]
+		if lastRef {
+			m.deadMark(ln)
+		}
+		return v
+	}
+	m.stats.Misses++
+	ln := m.victim(set)
+	m.evict(ln)
+	m.fillLine(ln, tag)
+	m.stats.Fetches++
+	ln.refs = 1
+	v := ln.data[off]
+	if lastRef {
+		m.deadMark(ln)
+	}
+	return v
+}
+
+// Store performs a data store with the instruction's control bits.
+func (m *Memory) Store(addr int64, val int64, bypass, lastRef bool) {
+	m.stats.Refs++
+	set, tag, off := m.split(addr)
+
+	if bypass && m.cfg.HonorBypass {
+		m.stats.BypassRefs++
+		// UmAm_STORE: straight to memory. A stale cached copy (possible
+		// only in mixed classifications) is updated in place to stay
+		// coherent rather than invalidated, preserving sibling words.
+		m.stats.BypassWrites++
+		m.mem[addr] = val
+		if ln := m.lookup(set, tag); ln != nil {
+			m.tick++
+			ln.last = m.tick
+			ln.refs++
+			ln.data[off] = val
+			if lastRef {
+				m.deadMark(ln)
+			}
+		}
+		return
+	}
+
+	// AmSp_STORE: write-allocate, write-back.
+	m.stats.CachedRefs++
+	if ln := m.lookup(set, tag); ln != nil {
+		m.stats.Hits++
+		m.tick++
+		ln.last = m.tick
+		ln.refs++
+		ln.data[off] = val
+		ln.dirty = true
+		ln.dead = false
+		if lastRef {
+			m.deadMark(ln)
+		}
+		return
+	}
+	m.stats.Misses++
+	ln := m.victim(set)
+	m.evict(ln)
+	if m.cfg.LineWords == 1 {
+		// The whole line is overwritten: allocate without fetching.
+		m.stats.StoreAllocs++
+		ln.valid = true
+		ln.tag = tag
+		ln.refs = 0
+		ln.dead = false
+		m.tick++
+		ln.last = m.tick
+		ln.seq = m.tick
+	} else {
+		m.fillLine(ln, tag)
+		m.stats.Fetches++
+	}
+	ln.refs = 1
+	ln.data[off] = val
+	ln.dirty = true
+	if lastRef {
+		m.deadMark(ln)
+	}
+}
+
+// FlushAll writes every dirty line back to memory (end-of-run barrier for
+// inspecting memory contents; traffic is not counted).
+func (m *Memory) FlushAll() {
+	for s := range m.sets {
+		for w := range m.sets[s] {
+			ln := &m.sets[s][w]
+			if ln.valid && ln.dirty {
+				m.writebackLine(ln)
+				ln.dirty = false
+			}
+		}
+	}
+}

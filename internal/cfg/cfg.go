@@ -1,0 +1,137 @@
+// Package cfg provides control-flow-graph analyses over IR functions:
+// reverse postorder, dominator trees, and natural-loop nesting depth. Loop
+// depth feeds the register allocator's spill cost model (deeper references
+// are costlier to spill, exactly as in Chaitin-style allocators).
+package cfg
+
+import "repro/internal/ir"
+
+// ReversePostorder returns the blocks of f in reverse postorder of a DFS
+// from the entry. Unreachable blocks are excluded.
+func ReversePostorder(f *ir.Func) []*ir.Block {
+	seen := make([]bool, len(f.Blocks))
+	var post []*ir.Block
+	var dfs func(b *ir.Block)
+	dfs = func(b *ir.Block) {
+		if seen[b.ID] {
+			return
+		}
+		seen[b.ID] = true
+		for _, s := range b.Succs {
+			dfs(s)
+		}
+		post = append(post, b)
+	}
+	dfs(f.Entry())
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// Dominators computes the immediate dominator of every block using the
+// Cooper-Harvey-Kennedy iterative algorithm. idom[entry] == entry;
+// unreachable blocks get idom nil.
+func Dominators(f *ir.Func) []*ir.Block {
+	rpo := ReversePostorder(f)
+	order := make([]int, len(f.Blocks)) // block ID -> RPO index
+	for i := range order {
+		order[i] = -1
+	}
+	for i, b := range rpo {
+		order[b.ID] = i
+	}
+	idom := make([]*ir.Block, len(f.Blocks))
+	entry := f.Entry()
+	idom[entry.ID] = entry
+
+	intersect := func(a, b *ir.Block) *ir.Block {
+		for a != b {
+			for order[a.ID] > order[b.ID] {
+				a = idom[a.ID]
+			}
+			for order[b.ID] > order[a.ID] {
+				b = idom[b.ID]
+			}
+		}
+		return a
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			if b == entry {
+				continue
+			}
+			var newIdom *ir.Block
+			for _, p := range b.Preds {
+				if idom[p.ID] == nil {
+					continue // pred not yet processed or unreachable
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom != nil && idom[b.ID] != newIdom {
+				idom[b.ID] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+// Dominates reports whether a dominates b under the idom tree.
+func Dominates(idom []*ir.Block, a, b *ir.Block) bool {
+	for {
+		if a == b {
+			return true
+		}
+		next := idom[b.ID]
+		if next == nil || next == b {
+			return false
+		}
+		b = next
+	}
+}
+
+// LoopDepth returns, for each block ID, how many natural loops contain the
+// block. A natural loop is found for every back edge t->h where h dominates
+// t; its body is h plus all blocks that reach t without passing through h.
+func LoopDepth(f *ir.Func) []int {
+	idom := Dominators(f)
+	depth := make([]int, len(f.Blocks))
+	for _, t := range f.Blocks {
+		if idom[t.ID] == nil {
+			continue // unreachable
+		}
+		for _, h := range t.Succs {
+			if !Dominates(idom, h, t) {
+				continue
+			}
+			// Collect the natural loop of back edge t->h.
+			inLoop := make([]bool, len(f.Blocks))
+			inLoop[h.ID] = true
+			stack := []*ir.Block{t}
+			for len(stack) > 0 {
+				b := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if inLoop[b.ID] {
+					continue
+				}
+				inLoop[b.ID] = true
+				for _, p := range b.Preds {
+					stack = append(stack, p)
+				}
+			}
+			for id, in := range inLoop {
+				if in {
+					depth[id]++
+				}
+			}
+		}
+	}
+	return depth
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/alias"
+	"repro/internal/dataflow"
+	"repro/internal/inline"
+	"repro/internal/ir"
+	"repro/internal/irgen"
+	"repro/internal/opt"
+	"repro/internal/parser"
+	"repro/internal/promote"
+	"repro/internal/regalloc"
+	"repro/internal/sem"
+)
+
+// DefaultTarget is the UM machine's allocatable register file: t0–t7
+// (caller-saved, registers 8–15) and s0–s7 (callee-saved, 16–23).
+// internal/isa asserts these numbers match its register definitions.
+var DefaultTarget = regalloc.Target{
+	CallerSaved: []int{8, 9, 10, 11, 12, 13, 14, 15},
+	CalleeSaved: []int{16, 17, 18, 19, 20, 21, 22, 23},
+}
+
+// Config selects the compilation pipeline's policy knobs.
+type Config struct {
+	Mode     Mode              // Unified (the paper) or Conventional baseline
+	Strategy regalloc.Strategy // Chaitin (default) or UsageCount
+	Target   regalloc.Target   // register palette; zero value = DefaultTarget
+
+	// StackScalars compiles scalars to frame memory instead of registers,
+	// reproducing the reference mix of the simpler compilers the paper's
+	// MIPS measurements reflect (see irgen.Options).
+	StackScalars bool
+
+	// Optimize runs the scalar IR optimizer (constant/branch folding,
+	// value numbering, copy propagation, dead-code elimination;
+	// internal/opt) before analysis.
+	Optimize bool
+
+	// Inline expands small leaf callees at their call sites
+	// (internal/inline), removing per-call frame traffic and widening the
+	// scope of register promotion.
+	Inline bool
+
+	// PromoteGlobals enables register promotion of unambiguous scalar
+	// globals (internal/promote): one UmAm_LOAD per function entry and one
+	// UmAm_STORE per exit replace the per-reference bypass accesses the
+	// naive reading of §4.3 produces. Experiment E6 quantifies the effect.
+	PromoteGlobals bool
+}
+
+func (c Config) target() regalloc.Target {
+	if c.Target.Colors() == 0 {
+		return DefaultTarget
+	}
+	return c.Target
+}
+
+// Compilation bundles every artifact of the pipeline for inspection,
+// code generation, and statistics.
+type Compilation struct {
+	Source string
+	Config Config
+
+	Info   *sem.Info
+	Alias  *alias.Analysis
+	Prog   *ir.Program
+	Allocs map[string]*regalloc.Allocation
+	Stats  StaticStats
+}
+
+// Compile runs the full middle end on MC source:
+//
+//	parse -> check -> IR -> web split -> alias sets -> register
+//	allocation (spills through cache) -> unified/conventional reference
+//	classification -> static statistics.
+func Compile(src string, cfg Config) (*Compilation, error) {
+	file, err := parser.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	info, err := sem.Check(file)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck: %w", err)
+	}
+	prog, err := irgen.BuildWithOptions(info, irgen.Options{StackScalars: cfg.StackScalars})
+	if err != nil {
+		return nil, err
+	}
+
+	// Inlining first (it exposes leaf bodies to every later pass), then
+	// scalar optimizations, then value-grained live ranges (the paper's
+	// user-name splitting) before allocation.
+	if cfg.Inline {
+		inline.Run(prog)
+	}
+	for _, f := range prog.Funcs {
+		if cfg.Optimize {
+			opt.Optimize(f)
+		}
+		dataflow.SplitWebs(f)
+	}
+
+	// Alias sets and per-site ambiguity. Annotation happens before
+	// allocation only for the object-level verdicts; spill references are
+	// created by the allocator and annotated afterwards by Apply.
+	an := alias.Analyze(info)
+	an.Annotate(prog)
+
+	if cfg.PromoteGlobals {
+		promote.Run(prog, an)
+	}
+
+	allocs := make(map[string]*regalloc.Allocation, len(prog.Funcs))
+	for _, f := range prog.Funcs {
+		a, err := regalloc.Allocate(f, cfg.target(), cfg.Strategy)
+		if err != nil {
+			return nil, fmt.Errorf("regalloc %s: %w", f.Name, err)
+		}
+		allocs[f.Name] = a
+	}
+
+	// The unified-management verdict for every reference site.
+	ApplyProgram(prog, cfg.Mode)
+
+	if err := prog.Verify(); err != nil {
+		return nil, fmt.Errorf("internal error after pipeline: %w", err)
+	}
+	return &Compilation{
+		Source: src,
+		Config: cfg,
+		Info:   info,
+		Alias:  an,
+		Prog:   prog,
+		Allocs: allocs,
+		Stats:  CollectProgramStats(prog),
+	}, nil
+}

@@ -1,0 +1,187 @@
+package dataflow
+
+import (
+	"repro/internal/cfg"
+	"repro/internal/ir"
+)
+
+// DefSite identifies one definition of a virtual register: an instruction
+// (Block, Index) or, when Index == -1, the synthetic entry definition used
+// for parameters and values live into the function.
+type DefSite struct {
+	Block *ir.Block
+	Index int // instruction index, or -1 for the entry pseudo-definition
+	Reg   ir.Reg
+}
+
+// ReachingDefs is the solved forward reaching-definitions problem.
+type ReachingDefs struct {
+	F      *ir.Func
+	Sites  []DefSite
+	SiteAt map[[2]int]int // (blockID, instrIndex) -> site id
+	DefsOf [][]int        // register -> site ids defining it
+	In     []BitSet       // per block
+	Out    []BitSet
+}
+
+// ComputeReachingDefs numbers every definition site and solves the forward
+// union problem. Registers that are live into the entry block (parameters
+// and any use not dominated by a def) get a synthetic entry definition so
+// every use has at least one reaching def.
+func ComputeReachingDefs(f *ir.Func, lv *Liveness) *ReachingDefs {
+	rd := &ReachingDefs{
+		F:      f,
+		SiteAt: make(map[[2]int]int),
+		DefsOf: make([][]int, f.NReg),
+	}
+	addSite := func(b *ir.Block, idx int, r ir.Reg) int {
+		id := len(rd.Sites)
+		rd.Sites = append(rd.Sites, DefSite{Block: b, Index: idx, Reg: r})
+		rd.DefsOf[r] = append(rd.DefsOf[r], id)
+		if idx >= 0 {
+			rd.SiteAt[[2]int{b.ID, idx}] = id
+		}
+		return id
+	}
+
+	entry := f.Entry()
+	var entrySites []int
+	lv.In[entry.ID].ForEach(func(r int) {
+		entrySites = append(entrySites, addSite(entry, -1, ir.Reg(r)))
+	})
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			if d := b.Instrs[i].Def(); d != ir.NoReg {
+				addSite(b, i, d)
+			}
+		}
+	}
+
+	ns := len(rd.Sites)
+	nb := len(f.Blocks)
+	gen := make([]BitSet, nb)
+	kill := make([]BitSet, nb)
+	rd.In = make([]BitSet, nb)
+	rd.Out = make([]BitSet, nb)
+	for _, b := range f.Blocks {
+		gen[b.ID] = NewBitSet(ns)
+		kill[b.ID] = NewBitSet(ns)
+		rd.In[b.ID] = NewBitSet(ns)
+		rd.Out[b.ID] = NewBitSet(ns)
+	}
+
+	// Per-block gen/kill: a def of r kills all other defs of r.
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			d := b.Instrs[i].Def()
+			if d == ir.NoReg {
+				continue
+			}
+			id := rd.SiteAt[[2]int{b.ID, i}]
+			for _, other := range rd.DefsOf[d] {
+				gen[b.ID].Clear(other)
+				kill[b.ID].Set(other)
+			}
+			kill[b.ID].Clear(id)
+			gen[b.ID].Set(id)
+		}
+	}
+	// Entry pseudo-defs are generated at the top of the entry block; real
+	// defs in the entry block kill them through the normal kill sets.
+	entryGen := NewBitSet(ns)
+	for _, id := range entrySites {
+		entryGen.Set(id)
+	}
+
+	rpo := cfg.ReversePostorder(f)
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			in := rd.In[b.ID]
+			if b == entry {
+				in.UnionWith(entryGen)
+			}
+			for _, p := range b.Preds {
+				in.UnionWith(rd.Out[p.ID])
+			}
+			out := in.Copy()
+			out.DiffWith(kill[b.ID])
+			out.UnionWith(gen[b.ID])
+			if !out.Equal(rd.Out[b.ID]) {
+				rd.Out[b.ID] = out
+				changed = true
+			}
+		}
+	}
+	return rd
+}
+
+// Use identifies one read of a register at an instruction.
+type Use struct {
+	Block *ir.Block
+	Index int
+	Reg   ir.Reg
+}
+
+// Chains holds the D-U and U-D chains derived from reaching definitions.
+type Chains struct {
+	RD *ReachingDefs
+	// UD maps each use to the def sites reaching it.
+	UD map[Use][]int
+	// DU maps each def site to its uses.
+	DU [][]Use
+}
+
+// ComputeChains builds D-U and U-D chains by walking each block forward
+// with the block's reaching-in set.
+func ComputeChains(rd *ReachingDefs) *Chains {
+	ch := &Chains{RD: rd, UD: make(map[Use][]int), DU: make([][]Use, len(rd.Sites))}
+	f := rd.F
+	// cur[r] = set of site ids of r currently reaching, maintained per block.
+	for _, b := range f.Blocks {
+		cur := make(map[ir.Reg][]int)
+		rd.In[b.ID].ForEach(func(id int) {
+			s := rd.Sites[id]
+			cur[s.Reg] = append(cur[s.Reg], id)
+		})
+		// Entry pseudo-defs reach from the top of the entry block.
+		if b == f.Entry() {
+			for id, s := range rd.Sites {
+				if s.Index == -1 && !containsInt(cur[s.Reg], id) {
+					cur[s.Reg] = append(cur[s.Reg], id)
+				}
+			}
+		}
+		var scratch []ir.Reg
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			scratch = in.AppendUses(scratch[:0])
+			for _, r := range scratch {
+				u := Use{Block: b, Index: i, Reg: r}
+				if _, seen := ch.UD[u]; seen {
+					continue // a register used twice in one instruction
+				}
+				defs := append([]int(nil), cur[r]...)
+				ch.UD[u] = defs
+				for _, id := range defs {
+					ch.DU[id] = append(ch.DU[id], u)
+				}
+			}
+			if d := in.Def(); d != ir.NoReg {
+				id := rd.SiteAt[[2]int{b.ID, i}]
+				cur[d] = cur[d][:0]
+				cur[d] = append(cur[d], id)
+			}
+		}
+	}
+	return ch
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

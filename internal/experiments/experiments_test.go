@@ -1,0 +1,227 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/cache"
+)
+
+// Workloads are expensive to build; share them across tests.
+var (
+	wsOnce     sync.Once
+	wsBaseline []*Workload
+	wsOpt      []*Workload
+	wsErr      error
+)
+
+func workloads(t *testing.T) (baseline, optimized []*Workload) {
+	t.Helper()
+	wsOnce.Do(func() {
+		wsBaseline, wsErr = BuildAll(PaperGeometry(), Baseline)
+		if wsErr == nil {
+			wsOpt, wsErr = BuildAll(PaperGeometry(), Optimizing)
+		}
+	})
+	if wsErr != nil {
+		t.Fatalf("build workloads: %v", wsErr)
+	}
+	return wsBaseline, wsOpt
+}
+
+func TestWorkloadsSelfCheck(t *testing.T) {
+	base, opt := workloads(t)
+	for _, set := range [][]*Workload{base, opt} {
+		if len(set) != 6 {
+			t.Fatalf("workloads = %d, want 6", len(set))
+		}
+		for _, w := range set {
+			if len(w.Trace) == 0 {
+				t.Errorf("%s/%s: empty trace", w.Bench.Name, w.Compiler)
+			}
+			if w.UnifiedRes.Instructions == 0 {
+				t.Errorf("%s/%s: no instructions", w.Bench.Name, w.Compiler)
+			}
+		}
+	}
+}
+
+func TestFig5BaselineMatchesPaperBands(t *testing.T) {
+	base, _ := workloads(t)
+	tab := Fig5(base, PaperGeometry())
+	t.Logf("\n%s", tab)
+
+	var dynSum, statSum float64
+	for _, r := range tab.Rows {
+		// Paper: 70-80% of sites marked unambiguous statically; allow a
+		// generous band around it since our site inventory differs.
+		if r.StaticBypassPct < 35 || r.StaticBypassPct > 95 {
+			t.Errorf("%s: static unambiguous %.1f%%, want within [35,95]",
+				r.Name, r.StaticBypassPct)
+		}
+		// Paper: 45-75% of executed references unambiguous.
+		if r.DynamicBypassPct < 30 || r.DynamicBypassPct > 90 {
+			t.Errorf("%s: dynamic unambiguous %.1f%%, want within [30,90]",
+				r.Name, r.DynamicBypassPct)
+		}
+		if r.StaticBypassPct < r.DynamicBypassPct-25 {
+			t.Logf("note: %s dynamic exceeds static by a lot", r.Name)
+		}
+		dynSum += r.DynamicBypassPct
+		statSum += r.StaticBypassPct
+	}
+	// Paper's aggregate claim: cache reference traffic cut by ~60%.
+	if mean := dynSum / float64(len(tab.Rows)); mean < 40 {
+		t.Errorf("mean dynamic reference reduction %.1f%%, want >= 40%% (paper ~60%%)", mean)
+	}
+	if mean := statSum / float64(len(tab.Rows)); mean < 50 {
+		t.Errorf("mean static unambiguous %.1f%%, want >= 50%% (paper 70-80%%)", mean)
+	}
+}
+
+func TestFig5OptimizedCompiler(t *testing.T) {
+	_, opt := workloads(t)
+	tab := Fig5(opt, PaperGeometry())
+	t.Logf("\n%s", tab)
+	for _, r := range tab.Rows {
+		if r.DynamicBypassPct < 0 || r.DynamicBypassPct > 100 {
+			t.Errorf("%s: dynamic bypass %.1f%% out of range", r.Name, r.DynamicBypassPct)
+		}
+	}
+}
+
+func TestDeadLRUShape(t *testing.T) {
+	base, _ := workloads(t)
+	tab, err := DeadLRU(base, []int{16, 64, 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", tab)
+	for _, r := range tab.Rows {
+		if r.ConvDeadOcc < 0 || r.ConvDeadOcc > 1 {
+			t.Errorf("%s/%d: conv dead occupancy %f out of range", r.Name, r.Lines, r.ConvDeadOcc)
+		}
+		// Dead marking must not increase dead occupancy.
+		if r.UnifDeadOcc > r.ConvDeadOcc+0.05 {
+			t.Errorf("%s/%d: unified dead occupancy %.3f above conventional %.3f",
+				r.Name, r.Lines, r.UnifDeadOcc, r.ConvDeadOcc)
+		}
+	}
+}
+
+func TestPoliciesShape(t *testing.T) {
+	base, _ := workloads(t)
+	geom := PaperGeometry()
+	tab, err := Policies(base, geom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", tab)
+	// MIN is optimal: it must not miss more than LRU/FIFO/Random on the
+	// same flag-stripped trace.
+	minMiss := map[string]float64{}
+	for _, r := range tab.Rows {
+		if r.Policy == cache.MIN {
+			minMiss[r.Name] = r.ConvMissRatio
+		}
+	}
+	for _, r := range tab.Rows {
+		if r.Policy == cache.MIN {
+			continue
+		}
+		if mm, ok := minMiss[r.Name]; ok && mm > r.ConvMissRatio+1e-9 {
+			t.Errorf("%s: MIN miss %.4f exceeds %s miss %.4f",
+				r.Name, mm, r.Policy, r.ConvMissRatio)
+		}
+	}
+	// Under the unified model the cache serves only ambiguous data; its
+	// reference stream shrinks on every benchmark.
+	for _, r := range tab.Rows {
+		if r.FullMissRatio < 0 || r.FullMissRatio > 1 {
+			t.Errorf("%s/%s: miss ratio out of range", r.Name, r.Policy)
+		}
+	}
+}
+
+func TestMillerShape(t *testing.T) {
+	base, _ := workloads(t)
+	tab := Miller(base)
+	t.Logf("\n%s", tab)
+	inBand := 0
+	for _, r := range tab.Rows {
+		if r.Unambiguous == 0 {
+			t.Errorf("%s: no unambiguous sites", r.Name)
+		}
+		if r.Ratio >= 1 && r.Ratio <= 6 {
+			inBand++
+		}
+	}
+	// Miller reports 1:1..3:1; the paper's own benchmarks sit above that.
+	// Most of ours should be at least 1:1 in baseline mode.
+	if inBand < 4 {
+		t.Errorf("only %d/6 benchmarks have unambiguous:ambiguous ratio in [1,6]", inBand)
+	}
+}
+
+func TestSingleUseShape(t *testing.T) {
+	base, _ := workloads(t)
+	tab := SingleUse(base)
+	t.Logf("\n%s", tab)
+	for _, r := range tab.Rows {
+		if r.ConvPct < 0 || r.ConvPct > 100 || r.UnifPct < 0 || r.UnifPct > 100 {
+			t.Errorf("%s: percentages out of range: %+v", r.Name, r)
+		}
+	}
+}
+
+func TestLineSizeShape(t *testing.T) {
+	base, _ := workloads(t)
+	tab, err := LineSize(base, PaperGeometry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", tab)
+	for _, r := range tab.Rows {
+		if r.ConvMiss < 0 || r.ConvMiss > 1 || r.UnifMiss < 0 || r.UnifMiss > 1 {
+			t.Errorf("%s/%d: miss ratio out of range", r.Name, r.LineWords)
+		}
+		if r.ConvTraffic <= 0 {
+			t.Errorf("%s/%d: no conventional traffic", r.Name, r.LineWords)
+		}
+	}
+	// Larger lines must not reduce the conventional miss count below the
+	// fully-precise one... they generally reduce miss *ratio* for spatial
+	// locality; just assert monotone traffic growth is not violated wildly:
+	// with 8-word lines each fetch moves 8 words, so traffic at line=8 must
+	// exceed traffic at line=1 whenever miss counts are comparable. Checked
+	// loosely per benchmark.
+	byName := map[string][]LineSizeRow{}
+	for _, r := range tab.Rows {
+		byName[r.Name] = append(byName[r.Name], r)
+	}
+	for name, rows := range byName {
+		if len(rows) != 4 {
+			t.Errorf("%s: %d line sizes, want 4", name, len(rows))
+		}
+	}
+}
+
+func TestDeadModeShape(t *testing.T) {
+	base, _ := workloads(t)
+	tab, err := DeadMode(base, PaperGeometry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", tab)
+	for _, r := range tab.Rows {
+		if r.OffTraffic <= 0 {
+			t.Errorf("%s: no traffic", r.Name)
+		}
+		// Demote is the gentler mode: it must never do worse than
+		// invalidate by more than a few percent of traffic.
+		if r.DemoteTraffic > r.InvalidateTraffic+r.InvalidateTraffic/10 {
+			t.Errorf("%s: demote words %d far above invalidate %d",
+				r.Name, r.DemoteTraffic, r.InvalidateTraffic)
+		}
+	}
+}

@@ -1,0 +1,247 @@
+// Package inline implements function inlining of small leaf functions at
+// the IR level. Inlining matters to the unified model beyond the usual
+// call-overhead savings: every eliminated call removes an AmSp_STORE /
+// UmAm_LOAD pair for the return address and the callee-saved registers,
+// and exposes the callee's global references to the caller's register
+// promotion (internal/promote).
+//
+// Only leaf callees (no calls, no prints excluded — prints are fine) up to
+// a size threshold are inlined, so the transformation cannot recurse and
+// rounds terminate. Callee frame objects (arrays, address-taken scalars)
+// are merged into the caller's frame; successive inlined copies of the
+// same callee share that storage, which is sound because the lifetimes of
+// a leaf's locals never overlap across calls.
+package inline
+
+import (
+	"repro/internal/ir"
+)
+
+// MaxCalleeSize is the instruction-count threshold for inlining.
+const MaxCalleeSize = 40
+
+// MaxRounds bounds repeated inlining (a caller that becomes a leaf by
+// having its calls inlined can itself be inlined next round).
+const MaxRounds = 3
+
+// Stats reports what the inliner did.
+type Stats struct {
+	InlinedCalls int
+	Rounds       int
+}
+
+// Run inlines small leaf callees throughout the program, then removes
+// functions that are no longer reachable from main.
+func Run(prog *ir.Program) Stats {
+	var st Stats
+	for round := 0; round < MaxRounds; round++ {
+		leaves := findLeaves(prog)
+		did := 0
+		for _, f := range prog.Funcs {
+			did += inlineInto(f, leaves)
+		}
+		if did == 0 {
+			break
+		}
+		st.InlinedCalls += did
+		st.Rounds = round + 1
+	}
+	if st.InlinedCalls > 0 {
+		removeDeadFunctions(prog)
+	}
+	return st
+}
+
+// removeDeadFunctions drops functions unreachable from main (typically the
+// fully-inlined leaves) so their reference sites stop polluting the static
+// statistics.
+func removeDeadFunctions(prog *ir.Program) {
+	reach := map[string]bool{"main": true}
+	for changed := true; changed; {
+		changed = false
+		for _, f := range prog.Funcs {
+			if !reach[f.Name] {
+				continue
+			}
+			for _, b := range f.Blocks {
+				for i := range b.Instrs {
+					in := &b.Instrs[i]
+					if in.Op == ir.OpCall && !reach[in.Callee.Name] {
+						reach[in.Callee.Name] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	kept := prog.Funcs[:0]
+	for _, f := range prog.Funcs {
+		if reach[f.Name] {
+			kept = append(kept, f)
+		}
+	}
+	prog.Funcs = kept
+}
+
+// findLeaves returns the inlinable functions: no calls, small enough.
+func findLeaves(prog *ir.Program) map[string]*ir.Func {
+	out := make(map[string]*ir.Func)
+	for _, f := range prog.Funcs {
+		if f.Name == "main" {
+			continue
+		}
+		size := 0
+		hasCall := false
+		for _, b := range f.Blocks {
+			size += len(b.Instrs)
+			for i := range b.Instrs {
+				if b.Instrs[i].Op == ir.OpCall {
+					hasCall = true
+				}
+			}
+		}
+		if !hasCall && size <= MaxCalleeSize {
+			out[f.Name] = f
+		}
+	}
+	return out
+}
+
+// inlineInto replaces calls in f to leaf callees with the callee's body.
+func inlineInto(f *ir.Func, leaves map[string]*ir.Func) int {
+	inlined := 0
+	// Blocks are appended while iterating; take a snapshot. After a
+	// splice, scanning continues in the continuation block so chains of
+	// calls within one block are fully inlined in a single round.
+	work := append([]*ir.Block(nil), f.Blocks...)
+	for w := 0; w < len(work); w++ {
+		b := work[w]
+		for {
+			idx := -1
+			var callee *ir.Func
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				if in.Op == ir.OpCall {
+					if lf, ok := leaves[in.Callee.Name]; ok && lf != f {
+						idx = i
+						callee = lf
+						break
+					}
+				}
+			}
+			if idx < 0 {
+				break
+			}
+			cont := splice(f, b, idx, callee)
+			inlined++
+			b = cont
+		}
+	}
+	f.RemoveUnreachable()
+	f.Renumber()
+	return inlined
+}
+
+// splice replaces the OpCall at b.Instrs[idx] (and its staging OpArgs)
+// with a clone of callee's body, returning the continuation block holding
+// the instructions after the call.
+func splice(f *ir.Func, b *ir.Block, idx int, callee *ir.Func) *ir.Block {
+	call := b.Instrs[idx]
+	nArgs := int(call.Imm)
+
+	// Locate the OpArg instructions staging this call (they immediately
+	// precede the call, possibly interleaved with spill reloads — but
+	// inlining runs before regalloc, so they are contiguous).
+	argRegs := make([]ir.Reg, nArgs)
+	argStart := idx
+	for k := idx - 1; k >= 0 && nArgs > 0; k-- {
+		in := &b.Instrs[k]
+		if in.Op != ir.OpArg {
+			break
+		}
+		argRegs[in.Imm] = in.A
+		argStart = k
+		if int(in.Imm) == 0 {
+			break
+		}
+	}
+
+	// Clone the callee with a register offset.
+	base := f.NReg
+	f.NReg += callee.NReg
+	mapReg := func(r ir.Reg) ir.Reg {
+		if r == ir.NoReg {
+			return r
+		}
+		return r + ir.Reg(base)
+	}
+
+	cloneOf := make(map[*ir.Block]*ir.Block, len(callee.Blocks))
+	for _, cb := range callee.Blocks {
+		nb := f.NewBlock()
+		cloneOf[cb] = nb
+	}
+	// Continuation block holds everything after the call.
+	cont := f.NewBlock()
+	cont.Instrs = append(cont.Instrs, b.Instrs[idx+1:]...)
+
+	for _, cb := range callee.Blocks {
+		nb := cloneOf[cb]
+		for i := range cb.Instrs {
+			in := cb.Instrs[i] // copy
+			if in.Ref != nil {
+				ref := *in.Ref // per-site annotations must not be shared
+				in.Ref = &ref
+			}
+			if in.Op == ir.OpRet {
+				// Return: move the value into the call's destination and
+				// jump to the continuation.
+				if call.Dst != ir.NoReg && in.A != ir.NoReg {
+					nb.Instrs = append(nb.Instrs, ir.Instr{
+						Op: ir.OpCopy, Dst: call.Dst, A: mapReg(in.A), Pos: in.Pos,
+					})
+				}
+				nb.Instrs = append(nb.Instrs, ir.Instr{Op: ir.OpJmp, Then: cont, Pos: in.Pos})
+				continue
+			}
+			if in.Dst != ir.NoReg {
+				in.Dst = mapReg(in.Dst)
+			}
+			in.MapUses(mapReg)
+			if in.Then != nil {
+				in.Then = cloneOf[in.Then]
+			}
+			if in.Else != nil {
+				in.Else = cloneOf[in.Else]
+			}
+			nb.Instrs = append(nb.Instrs, in)
+		}
+	}
+
+	// Merge callee frame objects into the caller's frame (shared across
+	// inlined copies; leaf lifetimes never overlap).
+	have := make(map[int]bool, len(f.FrameObjs))
+	for _, obj := range f.FrameObjs {
+		have[obj.ID] = true
+	}
+	for _, obj := range callee.FrameObjs {
+		if !have[obj.ID] {
+			f.FrameObjs = append(f.FrameObjs, obj)
+			have[obj.ID] = true
+		}
+	}
+
+	// Rewrite the call site: copy arguments into the callee's (cloned)
+	// parameter registers, then jump to the cloned entry.
+	head := b.Instrs[:argStart:argStart]
+	for i := 0; i < nArgs; i++ {
+		head = append(head, ir.Instr{
+			Op: ir.OpCopy, Dst: mapReg(callee.Params[i]), A: argRegs[i], Pos: call.Pos,
+		})
+	}
+	head = append(head, ir.Instr{Op: ir.OpJmp, Then: cloneOf[callee.Entry()], Pos: call.Pos})
+	b.Instrs = head
+
+	f.ComputeEdges()
+	return cont
+}

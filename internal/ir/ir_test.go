@@ -1,0 +1,176 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// tiny hand-built function: entry branches to two blocks that both return.
+func buildDiamond() *Func {
+	f := &Func{Name: "t"}
+	b0 := f.NewBlock()
+	b1 := f.NewBlock()
+	b2 := f.NewBlock()
+	c := f.NewReg()
+	v := f.NewReg()
+	b0.Instrs = []Instr{
+		{Op: OpConst, Dst: c, Imm: 1},
+		{Op: OpBr, A: c, Then: b1, Else: b2},
+	}
+	b1.Instrs = []Instr{
+		{Op: OpConst, Dst: v, Imm: 10},
+		{Op: OpRet, A: v},
+	}
+	b2.Instrs = []Instr{
+		{Op: OpConst, Dst: v, Imm: 20},
+		{Op: OpRet, A: v},
+	}
+	f.ComputeEdges()
+	return f
+}
+
+func TestVerifyAcceptsWellFormed(t *testing.T) {
+	f := buildDiamond()
+	if err := f.Verify(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestVerifyRejections(t *testing.T) {
+	// Unterminated block.
+	f := buildDiamond()
+	b := f.Blocks[1]
+	b.Instrs = b.Instrs[:1]
+	if err := f.Verify(); err == nil || !strings.Contains(err.Error(), "terminator") {
+		t.Errorf("expected terminator error, got %v", err)
+	}
+
+	// Mid-block terminator.
+	f = buildDiamond()
+	b = f.Blocks[1]
+	b.Instrs = append([]Instr{{Op: OpRet, A: NoReg}}, b.Instrs...)
+	if err := f.Verify(); err == nil {
+		t.Error("expected mid-block terminator error")
+	}
+
+	// Out-of-range register.
+	f = buildDiamond()
+	f.Blocks[1].Instrs[0].Dst = Reg(99)
+	if err := f.Verify(); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("expected register range error, got %v", err)
+	}
+
+	// Load without a MemRef.
+	f = buildDiamond()
+	r := f.NewReg()
+	f.Blocks[1].Instrs = append([]Instr{{Op: OpLoad, Dst: r, A: Reg(0)}}, f.Blocks[1].Instrs...)
+	if err := f.Verify(); err == nil || !strings.Contains(err.Error(), "MemRef") {
+		t.Errorf("expected MemRef error, got %v", err)
+	}
+
+	// Stale successor edges.
+	f = buildDiamond()
+	f.Blocks[0].Succs = nil
+	if err := f.Verify(); err == nil {
+		t.Error("expected edge-consistency error")
+	}
+}
+
+func TestRemoveUnreachable(t *testing.T) {
+	f := buildDiamond()
+	dead := f.NewBlock()
+	dead.Instrs = []Instr{{Op: OpRet, A: NoReg}}
+	f.ComputeEdges()
+	f.RemoveUnreachable()
+	if len(f.Blocks) != 3 {
+		t.Errorf("blocks = %d, want 3 after unreachable removal", len(f.Blocks))
+	}
+	for i, b := range f.Blocks {
+		if b.ID != i {
+			t.Errorf("block %d has ID %d after renumber", i, b.ID)
+		}
+	}
+	if err := f.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenumberAndRefs(t *testing.T) {
+	f := buildDiamond()
+	r := f.NewReg()
+	ref1 := &MemRef{Kind: RefSpill, Slot: 0}
+	ref2 := &MemRef{Kind: RefSpill, Slot: 1}
+	f.Blocks[1].Instrs = append([]Instr{
+		{Op: OpLoad, Dst: r, A: NoReg, Ref: ref1},
+		{Op: OpStore, A: NoReg, B: r, Ref: ref2},
+	}, f.Blocks[1].Instrs...)
+	n := f.Renumber()
+	if n != 2 {
+		t.Errorf("sites = %d, want 2", n)
+	}
+	refs := f.Refs()
+	if len(refs) != 2 || refs[0].Site != 0 || refs[1].Site != 1 {
+		t.Errorf("refs = %v", refs)
+	}
+}
+
+func TestInstrUsesAndDefs(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		def  Reg
+		uses int
+	}{
+		{Instr{Op: OpConst, Dst: 1}, 1, 0},
+		{Instr{Op: OpCopy, Dst: 1, A: 2}, 1, 1},
+		{Instr{Op: OpBin, Dst: 1, A: 2, B: 3}, 1, 2},
+		{Instr{Op: OpLoad, Dst: 1, A: 2, Ref: &MemRef{}}, 1, 1},
+		{Instr{Op: OpStore, A: 1, B: 2, Ref: &MemRef{}}, NoReg, 2},
+		{Instr{Op: OpArg, A: 4, Imm: 0}, NoReg, 1},
+		{Instr{Op: OpCall, Dst: 5}, 5, 0},
+		{Instr{Op: OpRet, A: NoReg}, NoReg, 0},
+		{Instr{Op: OpBr, A: 3}, NoReg, 1},
+	}
+	for _, c := range cases {
+		if got := c.in.Def(); got != c.def {
+			t.Errorf("%s: def = %v, want %v", c.in.Op, got, c.def)
+		}
+		if got := len(c.in.AppendUses(nil)); got != c.uses {
+			t.Errorf("%s: uses = %d, want %d", c.in.Op, got, c.uses)
+		}
+	}
+}
+
+func TestMapUsesRewritesAllOperands(t *testing.T) {
+	in := Instr{Op: OpBin, Dst: 1, A: 2, B: 3}
+	in.MapUses(func(r Reg) Reg { return r + 10 })
+	if in.A != 12 || in.B != 13 || in.Dst != 1 {
+		t.Errorf("after map: %+v", in)
+	}
+}
+
+func TestMemRefString(t *testing.T) {
+	r := &MemRef{Kind: RefSpill, Slot: 3, Bypass: true, Last: true}
+	s := r.String()
+	for _, want := range []string{"spill", "slot3", "bypass", "last"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("MemRef string %q missing %q", s, want)
+		}
+	}
+}
+
+func TestProgramLookup(t *testing.T) {
+	p := &Program{Funcs: []*Func{{Name: "a"}, {Name: "b"}}}
+	if p.Lookup("b") == nil || p.Lookup("c") != nil {
+		t.Error("Lookup misbehaves")
+	}
+}
+
+func TestDotOutput(t *testing.T) {
+	f := buildDiamond()
+	dot := f.Dot()
+	for _, want := range []string{"digraph", "b0 -> b1", "b0 -> b2", "label=\"T\"", "ret"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("Dot missing %q:\n%s", want, dot)
+		}
+	}
+}

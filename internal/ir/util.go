@@ -1,0 +1,287 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ComputeEdges rebuilds Preds/Succs for every block from the terminators.
+// Call after any transformation that changes control flow.
+func (f *Func) ComputeEdges() {
+	for _, b := range f.Blocks {
+		b.Preds = b.Preds[:0]
+		b.Succs = b.Succs[:0]
+	}
+	for _, b := range f.Blocks {
+		t := b.Term()
+		if t == nil {
+			continue
+		}
+		switch t.Op {
+		case OpBr:
+			b.Succs = append(b.Succs, t.Then, t.Else)
+		case OpJmp:
+			b.Succs = append(b.Succs, t.Then)
+		}
+	}
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs {
+			s.Preds = append(s.Preds, b)
+		}
+	}
+}
+
+// RemoveUnreachable deletes blocks not reachable from the entry and
+// recomputes edges and block IDs.
+func (f *Func) RemoveUnreachable() {
+	reach := make(map[*Block]bool)
+	var walk func(b *Block)
+	walk = func(b *Block) {
+		if reach[b] {
+			return
+		}
+		reach[b] = true
+		t := b.Term()
+		if t == nil {
+			return
+		}
+		switch t.Op {
+		case OpBr:
+			walk(t.Then)
+			walk(t.Else)
+		case OpJmp:
+			walk(t.Then)
+		}
+	}
+	walk(f.Entry())
+	var kept []*Block
+	for _, b := range f.Blocks {
+		if reach[b] {
+			b.ID = len(kept)
+			kept = append(kept, b)
+		}
+	}
+	f.Blocks = kept
+	f.ComputeEdges()
+}
+
+// Renumber assigns consecutive Site numbers to every memory reference in
+// the function, in block/instruction order. Returns the number of sites.
+func (f *Func) Renumber() int {
+	n := 0
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Ref != nil {
+				in.Ref.Site = n
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Refs returns every memory-reference site in block/instruction order.
+func (f *Func) Refs() []*MemRef {
+	var out []*MemRef
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			if b.Instrs[i].Ref != nil {
+				out = append(out, b.Instrs[i].Ref)
+			}
+		}
+	}
+	return out
+}
+
+// String renders the function as a readable IR listing.
+func (f *Func) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func %s(", f.Name)
+	for i, p := range f.Params {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(p.String())
+	}
+	fmt.Fprintf(&sb, ") [%d regs]\n", f.NReg)
+	for _, b := range f.Blocks {
+		fmt.Fprintf(&sb, "b%d:", b.ID)
+		if len(b.Preds) > 0 {
+			sb.WriteString(" ; preds:")
+			for _, p := range b.Preds {
+				fmt.Fprintf(&sb, " b%d", p.ID)
+			}
+		}
+		sb.WriteByte('\n')
+		for i := range b.Instrs {
+			fmt.Fprintf(&sb, "    %s\n", b.Instrs[i].String())
+		}
+	}
+	return sb.String()
+}
+
+// String renders the whole program.
+func (p *Program) String() string {
+	var sb strings.Builder
+	for _, g := range p.Globals {
+		fmt.Fprintf(&sb, "global %s %s ; %d words\n", g.Type, g.Name, g.Type.Words())
+	}
+	for _, f := range p.Funcs {
+		sb.WriteByte('\n')
+		sb.WriteString(f.String())
+	}
+	return sb.String()
+}
+
+// Verify checks structural invariants of the function and returns the first
+// violation found, or nil. It is used by tests and by cmd/unicc -check.
+func (f *Func) Verify() error {
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("%s: no blocks", f.Name)
+	}
+	seen := make(map[*Block]bool)
+	for i, b := range f.Blocks {
+		if b.ID != i {
+			return fmt.Errorf("%s: block %d has ID %d", f.Name, i, b.ID)
+		}
+		if seen[b] {
+			return fmt.Errorf("%s: duplicate block b%d", f.Name, b.ID)
+		}
+		seen[b] = true
+		if len(b.Instrs) == 0 {
+			return fmt.Errorf("%s: empty block b%d", f.Name, b.ID)
+		}
+		for j := range b.Instrs {
+			in := &b.Instrs[j]
+			if in.IsTerminator() != (j == len(b.Instrs)-1) {
+				if in.IsTerminator() {
+					return fmt.Errorf("%s: b%d has terminator %q mid-block at %d", f.Name, b.ID, in.String(), j)
+				}
+				return fmt.Errorf("%s: b%d does not end in a terminator", f.Name, b.ID)
+			}
+			if err := f.verifyInstr(b, in); err != nil {
+				return err
+			}
+		}
+	}
+	// Edge consistency.
+	for _, b := range f.Blocks {
+		t := b.Term()
+		var want []*Block
+		switch t.Op {
+		case OpBr:
+			want = []*Block{t.Then, t.Else}
+		case OpJmp:
+			want = []*Block{t.Then}
+		}
+		if len(want) != len(b.Succs) {
+			return fmt.Errorf("%s: b%d succs out of sync", f.Name, b.ID)
+		}
+		for i := range want {
+			if want[i] != b.Succs[i] {
+				return fmt.Errorf("%s: b%d succ %d mismatch", f.Name, b.ID, i)
+			}
+			if !seen[want[i]] {
+				return fmt.Errorf("%s: b%d targets block not in func", f.Name, b.ID)
+			}
+		}
+	}
+	return nil
+}
+
+func (f *Func) verifyInstr(b *Block, in *Instr) error {
+	checkReg := func(r Reg, what string) error {
+		if r == NoReg {
+			return nil
+		}
+		if int(r) < 0 || int(r) >= f.NReg {
+			return fmt.Errorf("%s: b%d %q: %s register %s out of range [0,%d)",
+				f.Name, b.ID, in.String(), what, r, f.NReg)
+		}
+		return nil
+	}
+	if err := checkReg(in.Def(), "def"); err != nil {
+		return err
+	}
+	for _, u := range in.AppendUses(nil) {
+		if err := checkReg(u, "use"); err != nil {
+			return err
+		}
+	}
+	switch in.Op {
+	case OpLoad, OpStore:
+		if in.Ref == nil {
+			return fmt.Errorf("%s: b%d %q: missing MemRef", f.Name, b.ID, in.String())
+		}
+		if (in.Ref.Kind == RefScalar || in.Ref.Kind == RefElement) && in.Ref.Obj == nil {
+			return fmt.Errorf("%s: b%d %q: %s ref without object", f.Name, b.ID, in.String(), in.Ref.Kind)
+		}
+	case OpAddr:
+		if in.Obj == nil {
+			return fmt.Errorf("%s: b%d addr without object", f.Name, b.ID)
+		}
+	case OpCall:
+		if in.Callee == nil {
+			return fmt.Errorf("%s: b%d call without callee", f.Name, b.ID)
+		}
+	case OpBr:
+		if in.Then == nil || in.Else == nil {
+			return fmt.Errorf("%s: b%d br with nil target", f.Name, b.ID)
+		}
+	case OpJmp:
+		if in.Then == nil {
+			return fmt.Errorf("%s: b%d jmp with nil target", f.Name, b.ID)
+		}
+	}
+	return nil
+}
+
+// Verify checks every function in the program.
+func (p *Program) Verify() error {
+	for _, f := range p.Funcs {
+		if err := f.Verify(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Dot renders the function's control-flow graph in Graphviz DOT format,
+// one record-shaped node per basic block (used by cmd/unicc -dump cfg).
+func (f *Func) Dot() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n", f.Name)
+	sb.WriteString("  node [shape=box, fontname=\"monospace\"];\n")
+	for _, b := range f.Blocks {
+		var body strings.Builder
+		fmt.Fprintf(&body, "b%d:\\l", b.ID)
+		for i := range b.Instrs {
+			body.WriteString("  ")
+			body.WriteString(escapeDot(b.Instrs[i].String()))
+			body.WriteString("\\l")
+		}
+		fmt.Fprintf(&sb, "  b%d [label=\"%s\"];\n", b.ID, body.String())
+	}
+	for _, b := range f.Blocks {
+		t := b.Term()
+		if t == nil {
+			continue
+		}
+		switch t.Op {
+		case OpBr:
+			fmt.Fprintf(&sb, "  b%d -> b%d [label=\"T\"];\n", b.ID, t.Then.ID)
+			fmt.Fprintf(&sb, "  b%d -> b%d [label=\"F\"];\n", b.ID, t.Else.ID)
+		case OpJmp:
+			fmt.Fprintf(&sb, "  b%d -> b%d;\n", b.ID, t.Then.ID)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+func escapeDot(s string) string {
+	s = strings.ReplaceAll(s, "\\", "\\\\")
+	s = strings.ReplaceAll(s, "\"", "\\\"")
+	return s
+}

@@ -1,0 +1,124 @@
+package irinterp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/irgen"
+	"repro/internal/parser"
+	"repro/internal/sem"
+)
+
+func TestMissingMain(t *testing.T) {
+	f, _ := parser.Parse(`void notmain() {}`)
+	info, err := sem.Check(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := irgen.Build(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(prog, Config{}); err == nil || !strings.Contains(err.Error(), "no main") {
+		t.Errorf("expected no-main error, got %v", err)
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	f, _ := parser.Parse(`void main() { while (1) {} }`)
+	info, err := sem.Check(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := irgen.Build(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(prog, Config{MaxSteps: 5000}); err == nil ||
+		!strings.Contains(err.Error(), "step limit") {
+		t.Errorf("expected step-limit error, got %v", err)
+	}
+}
+
+func TestDivisionByZeroReported(t *testing.T) {
+	f, _ := parser.Parse(`void main() { int x; x = 0; print(3 / x); }`)
+	info, err := sem.Check(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := irgen.Build(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(prog, Config{}); err == nil ||
+		!strings.Contains(err.Error(), "division by zero") {
+		t.Errorf("expected division error, got %v", err)
+	}
+}
+
+func TestOutOfRangeAddressReported(t *testing.T) {
+	f, _ := parser.Parse(`
+void main() {
+    int *p;
+    p = &*p; // p is uninitialized (0): deref of low memory is in range,
+    *p = 1;  // but a wild negative offset is not
+    p = p - 1000000000;
+    *p = 2;
+}`)
+	info, err := sem.Check(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := irgen.Build(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(prog, Config{}); err == nil ||
+		!strings.Contains(err.Error(), "out of range") {
+		t.Errorf("expected address error, got %v", err)
+	}
+}
+
+func TestStackOverflowReported(t *testing.T) {
+	f, _ := parser.Parse(`
+int deep(int n) {
+    int frame[64];
+    frame[0] = n;
+    return deep(n + 1) + frame[0];
+}
+void main() { print(deep(0)); }`)
+	info, err := sem.Check(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := irgen.Build(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(prog, Config{MemWords: 1 << 16}); err == nil ||
+		!strings.Contains(err.Error(), "stack overflow") {
+		t.Errorf("expected stack-overflow error, got %v", err)
+	}
+}
+
+func TestStepsCounted(t *testing.T) {
+	f, _ := parser.Parse(`void main() { print(1); }`)
+	info, err := sem.Check(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := irgen.Build(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(prog, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps == 0 {
+		t.Error("steps not counted")
+	}
+	if res.Output != "1\n" {
+		t.Errorf("output = %q", res.Output)
+	}
+}

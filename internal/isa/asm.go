@@ -1,0 +1,389 @@
+// UM assembler: parses the textual assembly produced by Program.Listing
+// (and hand-written .s files) back into an executable Program. Together
+// with Listing this gives a round-trippable on-disk format, so compiled
+// programs can be saved, inspected, edited, and re-run.
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses UM assembly text. Accepted syntax is exactly what
+// Listing emits:
+//
+//	; comment                      (also "#")
+//	label:                         (function labels and block labels)
+//	    li $t0, 42
+//	    lw.uml $t0, 3($sp)         (.am/.aml/.um/.uml memory suffixes)
+//	    beqz $t0, some.label
+//	    jal main
+//
+// plus optional directives for standalone files:
+//
+//	.globals N                     (size of the global segment in words)
+//	.init ADDR VALUE               (initialize a global word)
+//	.entry LABEL                   (start label; default "_start", falling
+//	                                back to PC 0)
+//
+// Leading PC numbers (as printed by Listing) are ignored, so a listing can
+// be assembled unchanged.
+func Assemble(src string) (*Program, error) {
+	p := &Program{
+		Labels:     make(map[string]int),
+		GlobalInit: make(map[int64]int64),
+		Symbols:    make(map[string]int64),
+		GlobalBase: 64,
+	}
+	entryLabel := ""
+
+	type patch struct {
+		pc   int
+		sym  string
+		line int
+	}
+	var patches []patch
+
+	lines := strings.Split(src, "\n")
+	for lineNo, raw := range lines {
+		line := raw
+		if i := strings.IndexAny(line, ";#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+
+		// Directives.
+		if strings.HasPrefix(line, ".") {
+			fields := strings.Fields(line)
+			switch fields[0] {
+			case ".globals":
+				if len(fields) != 2 {
+					return nil, asmErr(lineNo, "usage: .globals N")
+				}
+				n, err := strconv.ParseInt(fields[1], 10, 64)
+				if err != nil || n < 0 {
+					return nil, asmErr(lineNo, "bad global size %q", fields[1])
+				}
+				p.GlobalWords = n
+			case ".init":
+				if len(fields) != 3 {
+					return nil, asmErr(lineNo, "usage: .init ADDR VALUE")
+				}
+				addr, err1 := strconv.ParseInt(fields[1], 10, 64)
+				val, err2 := strconv.ParseInt(fields[2], 10, 64)
+				if err1 != nil || err2 != nil {
+					return nil, asmErr(lineNo, "bad .init operands")
+				}
+				p.GlobalInit[addr] = val
+			case ".entry":
+				if len(fields) != 2 {
+					return nil, asmErr(lineNo, "usage: .entry LABEL")
+				}
+				entryLabel = fields[1]
+			default:
+				return nil, asmErr(lineNo, "unknown directive %s", fields[0])
+			}
+			continue
+		}
+
+		// Labels (possibly several on one line is not emitted, but accept
+		// a single "name:").
+		if strings.HasSuffix(line, ":") {
+			name := strings.TrimSuffix(line, ":")
+			if name == "" || strings.ContainsAny(name, " \t") {
+				return nil, asmErr(lineNo, "bad label %q", line)
+			}
+			if _, dup := p.Labels[name]; dup {
+				return nil, asmErr(lineNo, "duplicate label %q", name)
+			}
+			p.Labels[name] = len(p.Instrs)
+			continue
+		}
+
+		// Strip a leading PC number from listings ("   12    add ...").
+		fields := strings.Fields(line)
+		if len(fields) > 1 {
+			if _, err := strconv.Atoi(fields[0]); err == nil {
+				line = strings.TrimSpace(line[strings.Index(line, fields[0])+len(fields[0]):])
+			}
+		}
+
+		in, sym, err := parseInstr(line)
+		if err != nil {
+			return nil, asmErr(lineNo, "%v", err)
+		}
+		if sym != "" {
+			patches = append(patches, patch{pc: len(p.Instrs), sym: sym, line: lineNo})
+		}
+		p.Instrs = append(p.Instrs, in)
+	}
+
+	// Resolve symbolic targets: labels first, then @N absolute.
+	for _, pt := range patches {
+		in := &p.Instrs[pt.pc]
+		if strings.HasPrefix(pt.sym, "@") {
+			n, err := strconv.Atoi(pt.sym[1:])
+			if err != nil {
+				return nil, asmErr(pt.line, "bad absolute target %q", pt.sym)
+			}
+			in.Target = n
+			continue
+		}
+		target, ok := p.Labels[pt.sym]
+		if !ok {
+			return nil, asmErr(pt.line, "undefined label %q", pt.sym)
+		}
+		in.Sym = pt.sym
+		in.Target = target
+	}
+
+	switch {
+	case entryLabel != "":
+		pc, ok := p.Labels[entryLabel]
+		if !ok {
+			return nil, fmt.Errorf("asm: entry label %q undefined", entryLabel)
+		}
+		p.Entry = pc
+	default:
+		p.Entry = 0
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func asmErr(lineNo int, format string, args ...any) error {
+	return fmt.Errorf("asm: line %d: %s", lineNo+1, fmt.Sprintf(format, args...))
+}
+
+var nameToOp = func() map[string]Op {
+	m := make(map[string]Op, len(opNames))
+	for op, name := range opNames {
+		m[name] = op
+	}
+	return m
+}()
+
+var regNums = func() map[string]int {
+	m := make(map[string]int, NumRegs)
+	for i, n := range regNames {
+		m["$"+n] = i
+	}
+	return m
+}()
+
+// parseInstr parses one instruction line; if it has a symbolic control
+// target the symbol is returned for later patching.
+func parseInstr(line string) (Instr, string, error) {
+	var in Instr
+	mnemonic, rest, _ := strings.Cut(line, " ")
+	rest = strings.TrimSpace(rest)
+
+	// Memory-op suffixes.
+	base := mnemonic
+	if strings.HasPrefix(mnemonic, "lw.") || strings.HasPrefix(mnemonic, "sw.") {
+		base = mnemonic[:2]
+		switch mnemonic[3:] {
+		case "am":
+		case "aml":
+			in.Last = true
+		case "um":
+			in.Bypass = true
+		case "uml":
+			in.Bypass = true
+			in.Last = true
+		default:
+			return in, "", fmt.Errorf("unknown memory suffix in %q", mnemonic)
+		}
+	}
+	if base == "printchar" {
+		base = "print"
+		in.Imm = 1
+	}
+	op, ok := nameToOp[base]
+	if !ok {
+		return in, "", fmt.Errorf("unknown mnemonic %q", mnemonic)
+	}
+	in.Op = op
+
+	ops := splitOperands(rest)
+	reg := func(i int) (int, error) {
+		if i >= len(ops) {
+			return 0, fmt.Errorf("missing operand %d in %q", i, line)
+		}
+		r, ok := regNums[ops[i]]
+		if !ok {
+			return 0, fmt.Errorf("bad register %q", ops[i])
+		}
+		return r, nil
+	}
+	imm := func(i int) (int64, error) {
+		if i >= len(ops) {
+			return 0, fmt.Errorf("missing operand %d in %q", i, line)
+		}
+		return strconv.ParseInt(ops[i], 10, 64)
+	}
+
+	var err error
+	switch op {
+	case NOP, HALT:
+		if len(ops) != 0 {
+			return in, "", fmt.Errorf("%s takes no operands", base)
+		}
+	case LI:
+		if in.Rd, err = reg(0); err != nil {
+			return in, "", err
+		}
+		if in.Imm, err = imm(1); err != nil {
+			return in, "", err
+		}
+	case MOVE, NEG, NOT:
+		if in.Rd, err = reg(0); err != nil {
+			return in, "", err
+		}
+		if in.Rs, err = reg(1); err != nil {
+			return in, "", err
+		}
+	case ADD, SUB, MUL, DIV, REM, AND, OR, XOR, SLLV, SRAV,
+		SEQ, SNE, SLT, SLE, SGT, SGE:
+		if in.Rd, err = reg(0); err != nil {
+			return in, "", err
+		}
+		if in.Rs, err = reg(1); err != nil {
+			return in, "", err
+		}
+		if in.Rt, err = reg(2); err != nil {
+			return in, "", err
+		}
+	case ADDI:
+		if in.Rd, err = reg(0); err != nil {
+			return in, "", err
+		}
+		if in.Rs, err = reg(1); err != nil {
+			return in, "", err
+		}
+		if in.Imm, err = imm(2); err != nil {
+			return in, "", err
+		}
+	case LW, SW:
+		// "lw $t0, 3($sp)" / "sw $t1, 0($sp)".
+		if len(ops) != 2 {
+			return in, "", fmt.Errorf("memory op needs 2 operands in %q", line)
+		}
+		valReg, ok := regNums[ops[0]]
+		if !ok {
+			return in, "", fmt.Errorf("bad register %q", ops[0])
+		}
+		off, baseReg, err := parseMemOperand(ops[1])
+		if err != nil {
+			return in, "", err
+		}
+		in.Imm = off
+		in.Rs = baseReg
+		if op == LW {
+			in.Rd = valReg
+		} else {
+			in.Rt = valReg
+		}
+	case BEQZ, BNEZ:
+		if in.Rs, err = reg(0); err != nil {
+			return in, "", err
+		}
+		if len(ops) < 2 {
+			return in, "", fmt.Errorf("branch needs a target in %q", line)
+		}
+		return in, ops[1], nil
+	case J, JAL:
+		if len(ops) != 1 {
+			return in, "", fmt.Errorf("jump needs a target in %q", line)
+		}
+		return in, ops[0], nil
+	case JR:
+		if in.Rs, err = reg(0); err != nil {
+			return in, "", err
+		}
+	case PRINT:
+		if in.Rs, err = reg(0); err != nil {
+			return in, "", err
+		}
+	default:
+		return in, "", fmt.Errorf("unhandled opcode %q", base)
+	}
+	return in, "", nil
+}
+
+func splitOperands(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// parseMemOperand parses "off($reg)".
+func parseMemOperand(s string) (int64, int, error) {
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	offStr := strings.TrimSpace(s[:open])
+	regStr := s[open+1 : len(s)-1]
+	var off int64
+	var err error
+	if offStr != "" {
+		off, err = strconv.ParseInt(offStr, 10, 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad offset %q", offStr)
+		}
+	}
+	r, ok := regNums[regStr]
+	if !ok {
+		return 0, 0, fmt.Errorf("bad base register %q", regStr)
+	}
+	return off, r, nil
+}
+
+// Save renders the program with directives so Assemble can rebuild it
+// exactly (Listing plus .globals/.init/.entry header).
+func (p *Program) Save() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, ".globals %d\n", p.GlobalWords)
+	// Deterministic init order.
+	addrs := make([]int64, 0, len(p.GlobalInit))
+	for a := range p.GlobalInit {
+		addrs = append(addrs, a)
+	}
+	for i := 0; i < len(addrs); i++ {
+		for j := i + 1; j < len(addrs); j++ {
+			if addrs[j] < addrs[i] {
+				addrs[i], addrs[j] = addrs[j], addrs[i]
+			}
+		}
+	}
+	for _, a := range addrs {
+		fmt.Fprintf(&sb, ".init %d %d\n", a, p.GlobalInit[a])
+	}
+	for name, pc := range p.Labels {
+		if pc == p.Entry && !strings.Contains(name, ".") {
+			fmt.Fprintf(&sb, ".entry %s\n", name)
+			break
+		}
+	}
+	if p.Entry == 0 {
+		sb.WriteString("; entry at pc 0\n")
+	}
+	sb.WriteString(p.Listing())
+	return sb.String()
+}

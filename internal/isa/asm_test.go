@@ -1,0 +1,179 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAssembleBasic(t *testing.T) {
+	src := `
+.globals 4
+.init 64 7
+.init 65 -2
+; startup
+    jal main
+    halt
+main:
+main.b0:
+    li $t0, 64
+    lw.am $t1, 0($t0)
+    lw.uml $t2, 1($t0)
+    add $t3, $t1, $t2
+    print $t3
+    sw.um $t3, 2($t0)
+    jr $ra
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.GlobalWords != 4 {
+		t.Errorf("globals = %d", p.GlobalWords)
+	}
+	if p.GlobalInit[64] != 7 || p.GlobalInit[65] != -2 {
+		t.Errorf("init = %v", p.GlobalInit)
+	}
+	if p.Labels["main"] != 2 || p.Labels["main.b0"] != 2 {
+		t.Errorf("labels = %v", p.Labels)
+	}
+	if p.Instrs[0].Op != JAL || p.Instrs[0].Target != 2 {
+		t.Errorf("jal = %+v", p.Instrs[0])
+	}
+	lw := p.Instrs[4]
+	if lw.Op != LW || !lw.Bypass || !lw.Last || lw.Imm != 1 {
+		t.Errorf("lw.uml = %+v", lw)
+	}
+	sw := p.Instrs[7]
+	if sw.Op != SW || !sw.Bypass || sw.Last || sw.Imm != 2 {
+		t.Errorf("sw.um = %+v", sw)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []string{
+		"bogus $t0",
+		"li $t0",
+		"li $nope, 3",
+		"lw.xx $t0, 0($sp)",
+		"lw.am $t0, 0",
+		"j nowhere\nhalt",
+		"dup:\ndup:\nhalt",
+		".globals x",
+		".entry missing\nhalt",
+		"add $t0, $t1",
+	}
+	for _, src := range cases {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("Assemble(%q) should fail", src)
+		}
+	}
+}
+
+func TestAssembleEntryDirective(t *testing.T) {
+	p, err := Assemble(`
+.entry start
+    halt
+start:
+    print $zero
+    halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Entry != 1 {
+		t.Errorf("entry = %d, want 1", p.Entry)
+	}
+}
+
+// Save -> Assemble must reproduce the instruction stream exactly.
+func TestSaveRoundTrip(t *testing.T) {
+	orig := &Program{
+		Instrs: []Instr{
+			{Op: JAL, Sym: "main", Target: 2},
+			{Op: HALT},
+			{Op: ADDI, Rd: SP, Rs: SP, Imm: -3},
+			{Op: SW, Rs: SP, Rt: RA, Imm: 2},
+			{Op: LI, Rd: T0, Imm: 100},
+			{Op: LW, Rd: T1, Rs: T0, Bypass: true, Last: true},
+			{Op: SEQ, Rd: T2, Rs: T1, Rt: T0},
+			{Op: BNEZ, Rs: T2, Sym: "main.b1", Target: 9},
+			{Op: PRINT, Rs: T1},
+			{Op: LW, Rd: RA, Rs: SP, Imm: 2, Bypass: true, Last: true},
+			{Op: ADDI, Rd: SP, Rs: SP, Imm: 3},
+			{Op: JR, Rs: RA},
+		},
+		Entry:       0,
+		Labels:      map[string]int{"main": 2, "main.b0": 2, "main.b1": 9},
+		GlobalBase:  64,
+		GlobalWords: 8,
+		GlobalInit:  map[int64]int64{64: 1, 70: -9},
+		Symbols:     map[string]int64{"g": 64},
+	}
+	if err := orig.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	text := orig.Save()
+	got, err := Assemble(text)
+	if err != nil {
+		t.Fatalf("assemble: %v\n%s", err, text)
+	}
+	if len(got.Instrs) != len(orig.Instrs) {
+		t.Fatalf("instr count %d != %d", len(got.Instrs), len(orig.Instrs))
+	}
+	for i := range orig.Instrs {
+		a, b := orig.Instrs[i], got.Instrs[i]
+		// Sym naming for non-control ops is not significant.
+		a.Sym, b.Sym = "", ""
+		if a != b {
+			t.Errorf("instr %d: %+v != %+v", i, a, b)
+		}
+	}
+	if got.GlobalWords != orig.GlobalWords {
+		t.Errorf("global words %d != %d", got.GlobalWords, orig.GlobalWords)
+	}
+	for a, v := range orig.GlobalInit {
+		if got.GlobalInit[a] != v {
+			t.Errorf("init[%d] = %d, want %d", a, got.GlobalInit[a], v)
+		}
+	}
+	for name, pc := range orig.Labels {
+		if got.Labels[name] != pc {
+			t.Errorf("label %s = %d, want %d", name, got.Labels[name], pc)
+		}
+	}
+}
+
+func TestAssembleAcceptsListingWithPCs(t *testing.T) {
+	src := `
+main:
+    0    li $t0, 5
+    1    print $t0
+    2    halt
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Instrs) != 3 {
+		t.Fatalf("instrs = %d", len(p.Instrs))
+	}
+	if p.Instrs[0].Op != LI || p.Instrs[0].Imm != 5 {
+		t.Errorf("li = %+v", p.Instrs[0])
+	}
+}
+
+func TestSaveContainsDirectives(t *testing.T) {
+	p := &Program{
+		Instrs:      []Instr{{Op: HALT}},
+		Labels:      map[string]int{},
+		GlobalInit:  map[int64]int64{64: 3},
+		GlobalWords: 2,
+		GlobalBase:  64,
+	}
+	s := p.Save()
+	for _, want := range []string{".globals 2", ".init 64 3"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Save missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,319 @@
+// Package isa defines UM, the MIPS-like load/store target architecture of
+// the reproduction: 32 general registers, word-addressed memory, and —
+// the paper's single hardware extension (§4.4) — a cache-bypass bit and a
+// last-reference (dead-mark) bit on every load and store instruction.
+//
+// The instruction encoding question the paper discusses (steal an opcode
+// bit vs. an address bit vs. explicit control instructions) is realized
+// here as explicit fields on the instruction word, equivalent to the
+// "embed a bit in each instruction" option the paper recommends for new
+// designs.
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Register numbers, MIPS O32-flavored.
+const (
+	Zero = 0 // hardwired zero
+	AT   = 1 // assembler temporary
+	V0   = 2 // return value
+	V1   = 3 // secondary return / scratch
+	A0   = 4 // argument registers
+	A1   = 5
+	A2   = 6
+	A3   = 7
+	T0   = 8 // caller-saved allocatable
+	T1   = 9
+	T2   = 10
+	T3   = 11
+	T4   = 12
+	T5   = 13
+	T6   = 14
+	T7   = 15
+	S0   = 16 // callee-saved allocatable
+	S1   = 17
+	S2   = 18
+	S3   = 19
+	S4   = 20
+	S5   = 21
+	S6   = 22
+	S7   = 23
+	T8   = 24 // codegen scratch
+	T9   = 25 // codegen scratch
+	K0   = 26 // reserved
+	K1   = 27 // reserved
+	GP   = 28 // global pointer (unused; globals use absolute addresses)
+	SP   = 29 // stack pointer
+	FP   = 30 // frame pointer (unused; frames are SP-relative)
+	RA   = 31 // return address
+)
+
+// NumRegs is the register file size.
+const NumRegs = 32
+
+var regNames = [NumRegs]string{
+	"zero", "at", "v0", "v1", "a0", "a1", "a2", "a3",
+	"t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+	"s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+	"t8", "t9", "k0", "k1", "gp", "sp", "fp", "ra",
+}
+
+// RegName returns the conventional name of register r.
+func RegName(r int) string {
+	if r >= 0 && r < NumRegs {
+		return "$" + regNames[r]
+	}
+	return fmt.Sprintf("$r%d", r)
+}
+
+// AllocatableCallerSaved returns the caller-saved registers available to
+// the register allocator (t0–t7).
+func AllocatableCallerSaved() []int { return []int{T0, T1, T2, T3, T4, T5, T6, T7} }
+
+// AllocatableCalleeSaved returns the callee-saved registers available to
+// the register allocator (s0–s7).
+func AllocatableCalleeSaved() []int { return []int{S0, S1, S2, S3, S4, S5, S6, S7} }
+
+// ArgRegs returns the argument registers in order.
+func ArgRegs() []int { return []int{A0, A1, A2, A3} }
+
+// Op is a UM opcode.
+type Op int
+
+// Opcodes.
+const (
+	NOP Op = iota
+	HALT
+	LI   // Rd <- Imm
+	MOVE // Rd <- Rs
+	ADD  // Rd <- Rs + Rt
+	SUB
+	MUL
+	DIV
+	REM
+	AND
+	OR
+	XOR
+	SLLV // Rd <- Rs << Rt
+	SRAV // Rd <- Rs >> Rt (arithmetic)
+	SEQ  // Rd <- (Rs == Rt)
+	SNE
+	SLT
+	SLE
+	SGT
+	SGE
+	NEG   // Rd <- -Rs
+	NOT   // Rd <- (Rs == 0)
+	ADDI  // Rd <- Rs + Imm
+	LW    // Rd <- M[Rs + Imm]        (Bypass, Last)
+	SW    // M[Rs + Imm] <- Rt        (Bypass, Last)
+	BEQZ  // if Rs == 0 goto Target
+	BNEZ  // if Rs != 0 goto Target
+	J     // goto Target
+	JAL   // RA <- pc+1; goto Target
+	JR    // goto Rs
+	PRINT // syscall: Imm 0 -> print integer Rs, Imm 1 -> print char Rs
+)
+
+var opNames = map[Op]string{
+	NOP: "nop", HALT: "halt", LI: "li", MOVE: "move",
+	ADD: "add", SUB: "sub", MUL: "mul", DIV: "div", REM: "rem",
+	AND: "and", OR: "or", XOR: "xor", SLLV: "sllv", SRAV: "srav",
+	SEQ: "seq", SNE: "sne", SLT: "slt", SLE: "sle", SGT: "sgt", SGE: "sge",
+	NEG: "neg", NOT: "not", ADDI: "addi",
+	LW: "lw", SW: "sw",
+	BEQZ: "beqz", BNEZ: "bnez", J: "j", JAL: "jal", JR: "jr", PRINT: "print",
+}
+
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// Instr is one UM instruction. Target holds a resolved absolute PC for
+// control transfers; Sym keeps the symbolic label for listings.
+type Instr struct {
+	Op     Op
+	Rd     int
+	Rs     int
+	Rt     int
+	Imm    int64
+	Target int
+	Sym    string
+
+	// The paper's per-reference control bits (LW/SW only).
+	Bypass bool // 1 = skip the cache (UmAm semantics)
+	Last   bool // 1 = dead-mark the cache line after this reference
+}
+
+// IsMem reports whether the instruction references data memory.
+func (in *Instr) IsMem() bool { return in.Op == LW || in.Op == SW }
+
+// String renders the instruction in assembly syntax. Memory operations
+// show the unified-management flavor as an opcode suffix:
+//
+//	lw.am   — through cache          (Am_LOAD)
+//	sw.am   — through cache          (AmSp_STORE)
+//	lw.um   — bypass, kill on last   (UmAm_LOAD; ".uml" when Last is set)
+//	sw.um   — bypass straight to memory (UmAm_STORE)
+func (in *Instr) String() string {
+	switch in.Op {
+	case NOP, HALT:
+		return in.Op.String()
+	case LI:
+		return fmt.Sprintf("li %s, %d", RegName(in.Rd), in.Imm)
+	case MOVE:
+		return fmt.Sprintf("move %s, %s", RegName(in.Rd), RegName(in.Rs))
+	case ADD, SUB, MUL, DIV, REM, AND, OR, XOR, SLLV, SRAV,
+		SEQ, SNE, SLT, SLE, SGT, SGE:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, RegName(in.Rd), RegName(in.Rs), RegName(in.Rt))
+	case NEG, NOT:
+		return fmt.Sprintf("%s %s, %s", in.Op, RegName(in.Rd), RegName(in.Rs))
+	case ADDI:
+		return fmt.Sprintf("addi %s, %s, %d", RegName(in.Rd), RegName(in.Rs), in.Imm)
+	case LW, SW:
+		suffix := ".am"
+		if in.Bypass {
+			suffix = ".um"
+			if in.Last {
+				suffix = ".uml"
+			}
+		} else if in.Last {
+			suffix = ".aml"
+		}
+		if in.Op == LW {
+			return fmt.Sprintf("lw%s %s, %d(%s)", suffix, RegName(in.Rd), in.Imm, RegName(in.Rs))
+		}
+		return fmt.Sprintf("sw%s %s, %d(%s)", suffix, RegName(in.Rt), in.Imm, RegName(in.Rs))
+	case BEQZ, BNEZ:
+		return fmt.Sprintf("%s %s, %s", in.Op, RegName(in.Rs), in.label())
+	case J, JAL:
+		return fmt.Sprintf("%s %s", in.Op, in.label())
+	case JR:
+		return fmt.Sprintf("jr %s", RegName(in.Rs))
+	case PRINT:
+		if in.Imm == 1 {
+			return fmt.Sprintf("printchar %s", RegName(in.Rs))
+		}
+		return fmt.Sprintf("print %s", RegName(in.Rs))
+	}
+	return in.Op.String()
+}
+
+func (in *Instr) label() string {
+	if in.Sym != "" {
+		return in.Sym
+	}
+	return fmt.Sprintf("@%d", in.Target)
+}
+
+// Program is a fully linked UM executable.
+type Program struct {
+	Instrs []Instr
+	Entry  int // starting PC
+
+	Labels map[string]int // label -> PC (functions and blocks)
+
+	GlobalBase  int64           // first address of the global data segment
+	GlobalWords int64           // size of the global data segment
+	GlobalInit  map[int64]int64 // initialized words (address -> value)
+
+	// Symbols maps global variable names to addresses, for debuggers and
+	// tests.
+	Symbols map[string]int64
+}
+
+// Listing renders the whole program as annotated assembly.
+func (p *Program) Listing() string {
+	byPC := make(map[int][]string)
+	for name, pc := range p.Labels {
+		byPC[pc] = append(byPC[pc], name)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "; entry @%d, globals [%d, %d)\n", p.Entry, p.GlobalBase, p.GlobalBase+p.GlobalWords)
+	for pc := range p.Instrs {
+		labels := byPC[pc]
+		// Function labels (no dot) print before block labels.
+		for _, l := range labels {
+			if !strings.Contains(l, ".") {
+				fmt.Fprintf(&sb, "%s:\n", l)
+			}
+		}
+		for _, l := range labels {
+			if strings.Contains(l, ".") {
+				fmt.Fprintf(&sb, "%s:\n", l)
+			}
+		}
+		fmt.Fprintf(&sb, "%5d    %s\n", pc, p.Instrs[pc].String())
+	}
+	return sb.String()
+}
+
+// Validate checks structural invariants: branch targets in range, register
+// numbers valid, entry in range.
+func (p *Program) Validate() error {
+	if p.Entry < 0 || p.Entry >= len(p.Instrs) {
+		return fmt.Errorf("isa: entry %d out of range", p.Entry)
+	}
+	checkReg := func(pc, r int) error {
+		if r < 0 || r >= NumRegs {
+			return fmt.Errorf("isa: pc %d: bad register %d", pc, r)
+		}
+		return nil
+	}
+	for pc := range p.Instrs {
+		in := &p.Instrs[pc]
+		switch in.Op {
+		case BEQZ, BNEZ, J, JAL:
+			if in.Target < 0 || in.Target >= len(p.Instrs) {
+				return fmt.Errorf("isa: pc %d: target %d out of range", pc, in.Target)
+			}
+		}
+		for _, r := range []int{in.Rd, in.Rs, in.Rt} {
+			if err := checkReg(pc, r); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Stats over the static program text.
+type StaticMix struct {
+	Instructions int
+	Loads        int
+	Stores       int
+	BypassLoads  int
+	BypassStores int
+	LastMarked   int
+}
+
+// Mix tallies the static instruction mix.
+func (p *Program) Mix() StaticMix {
+	var m StaticMix
+	m.Instructions = len(p.Instrs)
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		switch in.Op {
+		case LW:
+			m.Loads++
+			if in.Bypass {
+				m.BypassLoads++
+			}
+		case SW:
+			m.Stores++
+			if in.Bypass {
+				m.BypassStores++
+			}
+		}
+		if in.IsMem() && in.Last {
+			m.LastMarked++
+		}
+	}
+	return m
+}

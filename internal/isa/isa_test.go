@@ -1,0 +1,140 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestRegisterNames(t *testing.T) {
+	cases := map[int]string{
+		Zero: "$zero", V0: "$v0", A0: "$a0", T0: "$t0", S7: "$s7",
+		SP: "$sp", RA: "$ra", GP: "$gp",
+	}
+	for r, want := range cases {
+		if got := RegName(r); got != want {
+			t.Errorf("RegName(%d) = %s, want %s", r, got, want)
+		}
+	}
+	if got := RegName(99); got != "$r99" {
+		t.Errorf("RegName(99) = %s", got)
+	}
+}
+
+// The allocator's default palette (defined in internal/core to avoid an
+// import cycle) must match the ISA's allocatable registers exactly.
+func TestDefaultTargetMatchesISA(t *testing.T) {
+	wantCaller := AllocatableCallerSaved()
+	wantCallee := AllocatableCalleeSaved()
+	gotCaller := core.DefaultTarget.CallerSaved
+	gotCallee := core.DefaultTarget.CalleeSaved
+	if len(gotCaller) != len(wantCaller) || len(gotCallee) != len(wantCallee) {
+		t.Fatalf("palette sizes differ: %v/%v vs %v/%v",
+			gotCaller, gotCallee, wantCaller, wantCallee)
+	}
+	for i := range wantCaller {
+		if gotCaller[i] != wantCaller[i] {
+			t.Errorf("caller-saved %d: %d != %d", i, gotCaller[i], wantCaller[i])
+		}
+	}
+	for i := range wantCallee {
+		if gotCallee[i] != wantCallee[i] {
+			t.Errorf("callee-saved %d: %d != %d", i, gotCallee[i], wantCallee[i])
+		}
+	}
+}
+
+func TestInstrStrings(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: LI, Rd: T0, Imm: -42}, "li $t0, -42"},
+		{Instr{Op: MOVE, Rd: A0, Rs: T1}, "move $a0, $t1"},
+		{Instr{Op: ADD, Rd: T0, Rs: T1, Rt: T2}, "add $t0, $t1, $t2"},
+		{Instr{Op: NEG, Rd: T0, Rs: T1}, "neg $t0, $t1"},
+		{Instr{Op: ADDI, Rd: SP, Rs: SP, Imm: -8}, "addi $sp, $sp, -8"},
+		{Instr{Op: LW, Rd: T0, Rs: SP, Imm: 3}, "lw.am $t0, 3($sp)"},
+		{Instr{Op: LW, Rd: T0, Rs: SP, Imm: 3, Bypass: true}, "lw.um $t0, 3($sp)"},
+		{Instr{Op: LW, Rd: T0, Rs: SP, Imm: 3, Bypass: true, Last: true}, "lw.uml $t0, 3($sp)"},
+		{Instr{Op: SW, Rt: T1, Rs: SP, Imm: 0}, "sw.am $t1, 0($sp)"},
+		{Instr{Op: SW, Rt: T1, Rs: SP, Bypass: true}, "sw.um $t1, 0($sp)"},
+		{Instr{Op: BEQZ, Rs: T0, Sym: "main.b2"}, "beqz $t0, main.b2"},
+		{Instr{Op: J, Target: 17}, "j @17"},
+		{Instr{Op: JAL, Sym: "fib"}, "jal fib"},
+		{Instr{Op: JR, Rs: RA}, "jr $ra"},
+		{Instr{Op: PRINT, Rs: A0}, "print $a0"},
+		{Instr{Op: PRINT, Rs: A0, Imm: 1}, "printchar $a0"},
+		{Instr{Op: HALT}, "halt"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := &Program{
+		Instrs: []Instr{{Op: JAL, Target: 1}, {Op: HALT}},
+	}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid program rejected: %v", err)
+	}
+	bad := []*Program{
+		{Instrs: []Instr{{Op: HALT}}, Entry: 5},
+		{Instrs: []Instr{{Op: J, Target: 9}}},
+		{Instrs: []Instr{{Op: ADD, Rd: 40}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad program %d accepted", i)
+		}
+	}
+}
+
+func TestMix(t *testing.T) {
+	p := &Program{Instrs: []Instr{
+		{Op: LW, Bypass: true, Last: true},
+		{Op: LW},
+		{Op: SW, Bypass: true},
+		{Op: SW},
+		{Op: ADD},
+	}}
+	m := p.Mix()
+	if m.Instructions != 5 || m.Loads != 2 || m.Stores != 2 ||
+		m.BypassLoads != 1 || m.BypassStores != 1 || m.LastMarked != 1 {
+		t.Errorf("mix = %+v", m)
+	}
+}
+
+func TestListing(t *testing.T) {
+	p := &Program{
+		Instrs: []Instr{
+			{Op: JAL, Sym: "main", Target: 2},
+			{Op: HALT},
+			{Op: JR, Rs: RA},
+		},
+		Labels:      map[string]int{"main": 2, "main.b0": 2},
+		GlobalBase:  64,
+		GlobalWords: 4,
+	}
+	l := p.Listing()
+	if !strings.Contains(l, "main:") || !strings.Contains(l, "main.b0:") {
+		t.Errorf("listing missing labels:\n%s", l)
+	}
+	// Function label must precede the block label at the same PC.
+	if strings.Index(l, "main:") > strings.Index(l, "main.b0:") {
+		t.Error("function label should print before block label")
+	}
+}
+
+func TestIsMem(t *testing.T) {
+	if !(&Instr{Op: LW}).IsMem() || !(&Instr{Op: SW}).IsMem() {
+		t.Error("LW/SW are memory ops")
+	}
+	if (&Instr{Op: ADD}).IsMem() {
+		t.Error("ADD is not a memory op")
+	}
+}

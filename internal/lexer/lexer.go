@@ -1,0 +1,206 @@
+// Package lexer implements a hand-written scanner for the MC language.
+//
+// The scanner is byte-oriented (MC source is ASCII), tracks line/column
+// positions, skips // and /* */ comments, and never fails hard: unknown
+// bytes are returned as ILLEGAL tokens so the parser can report them with
+// positions and continue.
+package lexer
+
+import (
+	"repro/internal/token"
+)
+
+// Lexer scans an MC source buffer into tokens.
+type Lexer struct {
+	src  string
+	off  int // current byte offset
+	line int
+	col  int
+}
+
+// New returns a Lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) pos() token.Pos { return token.Pos{Line: l.line, Col: l.col} }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isLetter(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+// skipSpace consumes whitespace and comments. It returns false if a comment
+// was left unterminated at EOF.
+func (l *Lexer) skipSpace() bool {
+	for l.off < len(l.src) {
+		switch c := l.peek(); {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return false
+			}
+		default:
+			return true
+		}
+	}
+	return true
+}
+
+// Next returns the next token. At end of input it returns EOF tokens
+// indefinitely.
+func (l *Lexer) Next() token.Token {
+	if ok := l.skipSpace(); !ok {
+		return token.Token{Kind: token.ILLEGAL, Text: "unterminated comment", Pos: l.pos()}
+	}
+	start := l.pos()
+	if l.off >= len(l.src) {
+		return token.Token{Kind: token.EOF, Pos: start}
+	}
+
+	c := l.peek()
+	switch {
+	case isDigit(c):
+		begin := l.off
+		for l.off < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+		return token.Token{Kind: token.INT, Text: l.src[begin:l.off], Pos: start}
+	case isLetter(c):
+		begin := l.off
+		for l.off < len(l.src) && (isLetter(l.peek()) || isDigit(l.peek())) {
+			l.advance()
+		}
+		text := l.src[begin:l.off]
+		if kw, ok := token.Keywords[text]; ok {
+			return token.Token{Kind: kw, Text: text, Pos: start}
+		}
+		return token.Token{Kind: token.IDENT, Text: text, Pos: start}
+	}
+
+	l.advance()
+	two := func(next byte, long, short token.Kind) token.Token {
+		if l.peek() == next {
+			l.advance()
+			return token.Token{Kind: long, Pos: start}
+		}
+		return token.Token{Kind: short, Pos: start}
+	}
+
+	switch c {
+	case '+':
+		if l.peek() == '+' {
+			l.advance()
+			return token.Token{Kind: token.INC, Pos: start}
+		}
+		return two('=', token.PLUSEQ, token.PLUS)
+	case '-':
+		if l.peek() == '-' {
+			l.advance()
+			return token.Token{Kind: token.DEC, Pos: start}
+		}
+		return two('=', token.MINUSEQ, token.MINUS)
+	case '*':
+		return two('=', token.STAREQ, token.STAR)
+	case '/':
+		return two('=', token.SLASHEQ, token.SLASH)
+	case '%':
+		return two('=', token.PERCENTEQ, token.PERCENT)
+	case '&':
+		return two('&', token.LAND, token.AMP)
+	case '|':
+		return two('|', token.LOR, token.PIPE)
+	case '^':
+		return token.Token{Kind: token.CARET, Pos: start}
+	case '!':
+		return two('=', token.NEQ, token.NOT)
+	case '=':
+		return two('=', token.EQ, token.ASSIGN)
+	case '<':
+		if l.peek() == '<' {
+			l.advance()
+			return token.Token{Kind: token.SHL, Pos: start}
+		}
+		return two('=', token.LEQ, token.LT)
+	case '>':
+		if l.peek() == '>' {
+			l.advance()
+			return token.Token{Kind: token.SHR, Pos: start}
+		}
+		return two('=', token.GEQ, token.GT)
+	case '(':
+		return token.Token{Kind: token.LPAREN, Pos: start}
+	case ')':
+		return token.Token{Kind: token.RPAREN, Pos: start}
+	case '[':
+		return token.Token{Kind: token.LBRACKET, Pos: start}
+	case ']':
+		return token.Token{Kind: token.RBRACKET, Pos: start}
+	case '{':
+		return token.Token{Kind: token.LBRACE, Pos: start}
+	case '}':
+		return token.Token{Kind: token.RBRACE, Pos: start}
+	case ',':
+		return token.Token{Kind: token.COMMA, Pos: start}
+	case ';':
+		return token.Token{Kind: token.SEMICOLON, Pos: start}
+	}
+	return token.Token{Kind: token.ILLEGAL, Text: string(c), Pos: start}
+}
+
+// All scans the remaining input and returns every token up to and including
+// the first EOF or ILLEGAL token.
+func (l *Lexer) All() []token.Token {
+	var out []token.Token
+	for {
+		t := l.Next()
+		out = append(out, t)
+		if t.Kind == token.EOF || t.Kind == token.ILLEGAL {
+			return out
+		}
+	}
+}

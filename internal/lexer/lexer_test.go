@@ -1,0 +1,149 @@
+package lexer
+
+import (
+	"testing"
+
+	"repro/internal/token"
+)
+
+func kinds(src string) []token.Kind {
+	l := New(src)
+	var out []token.Kind
+	for {
+		t := l.Next()
+		out = append(out, t.Kind)
+		if t.Kind == token.EOF || t.Kind == token.ILLEGAL {
+			return out
+		}
+	}
+}
+
+func TestScanOperators(t *testing.T) {
+	cases := []struct {
+		src  string
+		want []token.Kind
+	}{
+		{"+ - * / %", []token.Kind{token.PLUS, token.MINUS, token.STAR, token.SLASH, token.PERCENT, token.EOF}},
+		{"== != <= >= < >", []token.Kind{token.EQ, token.NEQ, token.LEQ, token.GEQ, token.LT, token.GT, token.EOF}},
+		{"&& || & | ^ !", []token.Kind{token.LAND, token.LOR, token.AMP, token.PIPE, token.CARET, token.NOT, token.EOF}},
+		{"<< >>", []token.Kind{token.SHL, token.SHR, token.EOF}},
+		{"= += -= *= /= %=", []token.Kind{token.ASSIGN, token.PLUSEQ, token.MINUSEQ, token.STAREQ, token.SLASHEQ, token.PERCENTEQ, token.EOF}},
+		{"++ --", []token.Kind{token.INC, token.DEC, token.EOF}},
+		{"( ) [ ] { } , ;", []token.Kind{token.LPAREN, token.RPAREN, token.LBRACKET, token.RBRACKET, token.LBRACE, token.RBRACE, token.COMMA, token.SEMICOLON, token.EOF}},
+	}
+	for _, tc := range cases {
+		got := kinds(tc.src)
+		if len(got) != len(tc.want) {
+			t.Fatalf("%q: got %v, want %v", tc.src, got, tc.want)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("%q token %d: got %s, want %s", tc.src, i, got[i], tc.want[i])
+			}
+		}
+	}
+}
+
+func TestScanKeywordsAndIdents(t *testing.T) {
+	l := New("int void if else while for return break continue foo _bar x9")
+	wantKinds := []token.Kind{
+		token.KWINT, token.KWVOID, token.KWIF, token.KWELSE, token.KWWHILE,
+		token.KWFOR, token.KWRETURN, token.KWBREAK, token.KWCONTINUE,
+		token.IDENT, token.IDENT, token.IDENT,
+	}
+	wantText := []string{"int", "void", "if", "else", "while", "for", "return",
+		"break", "continue", "foo", "_bar", "x9"}
+	for i, wk := range wantKinds {
+		tok := l.Next()
+		if tok.Kind != wk {
+			t.Fatalf("token %d: got %s, want %s", i, tok.Kind, wk)
+		}
+		if tok.Text != wantText[i] {
+			t.Fatalf("token %d: got text %q, want %q", i, tok.Text, wantText[i])
+		}
+	}
+	if tok := l.Next(); tok.Kind != token.EOF {
+		t.Fatalf("expected EOF, got %s", tok)
+	}
+}
+
+func TestScanNumbers(t *testing.T) {
+	l := New("0 42 8190")
+	for _, want := range []string{"0", "42", "8190"} {
+		tok := l.Next()
+		if tok.Kind != token.INT || tok.Text != want {
+			t.Fatalf("got %s, want INT %q", tok, want)
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	src := `
+// line comment
+int /* inline */ x; /* multi
+line */ int y;
+`
+	got := kinds(src)
+	want := []token.Kind{token.KWINT, token.IDENT, token.SEMICOLON,
+		token.KWINT, token.IDENT, token.SEMICOLON, token.EOF}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestUnterminatedComment(t *testing.T) {
+	l := New("int x; /* oops")
+	var last token.Token
+	for i := 0; i < 10; i++ {
+		last = l.Next()
+		if last.Kind == token.ILLEGAL || last.Kind == token.EOF {
+			break
+		}
+	}
+	if last.Kind != token.ILLEGAL {
+		t.Fatalf("expected ILLEGAL for unterminated comment, got %s", last)
+	}
+}
+
+func TestPositions(t *testing.T) {
+	l := New("int\n  x;")
+	tok := l.Next()
+	if tok.Pos.Line != 1 || tok.Pos.Col != 1 {
+		t.Errorf("int at %s, want 1:1", tok.Pos)
+	}
+	tok = l.Next()
+	if tok.Pos.Line != 2 || tok.Pos.Col != 3 {
+		t.Errorf("x at %s, want 2:3", tok.Pos)
+	}
+}
+
+func TestIllegalByte(t *testing.T) {
+	got := kinds("int x @")
+	if got[len(got)-1] != token.ILLEGAL {
+		t.Fatalf("expected trailing ILLEGAL, got %v", got)
+	}
+}
+
+func TestEOFIsSticky(t *testing.T) {
+	l := New("")
+	for i := 0; i < 3; i++ {
+		if tok := l.Next(); tok.Kind != token.EOF {
+			t.Fatalf("call %d: got %s, want EOF", i, tok)
+		}
+	}
+}
+
+func TestAll(t *testing.T) {
+	toks := New("a = b + 1;").All()
+	if len(toks) != 7 {
+		t.Fatalf("got %d tokens, want 7: %v", len(toks), toks)
+	}
+	if toks[len(toks)-1].Kind != token.EOF {
+		t.Fatalf("last token %s, want EOF", toks[len(toks)-1])
+	}
+}

@@ -1,0 +1,380 @@
+// Package mcgen generates random, deterministic, always-terminating MC
+// programs for differential testing: every generated program is valid,
+// free of undefined behavior (no division by zero, no out-of-bounds
+// indexing, no uninitialized reads, no unbounded loops), and prints enough
+// values that any compiler or simulator bug shows up as an output
+// difference against the reference IR interpreter.
+package mcgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Program returns a random MC program for the seed. The same seed always
+// produces the same program.
+func Program(seed int64) string {
+	g := &gen{rng: rand.New(rand.NewSource(seed))}
+	return g.program()
+}
+
+type variable struct {
+	name    string
+	isArray bool
+	size    int // array length
+	isPtr   bool
+}
+
+type function struct {
+	name    string
+	params  []variable
+	returns bool
+}
+
+type gen struct {
+	rng       *rand.Rand
+	sb        strings.Builder
+	indent    int
+	globals   []variable
+	funcs     []function
+	nextVar   int
+	loopDepth int
+}
+
+func (g *gen) w(format string, args ...any) {
+	for i := 0; i < g.indent; i++ {
+		g.sb.WriteString("    ")
+	}
+	fmt.Fprintf(&g.sb, format, args...)
+	g.sb.WriteByte('\n')
+}
+
+func (g *gen) fresh(prefix string) string {
+	g.nextVar++
+	return fmt.Sprintf("%s%d", prefix, g.nextVar)
+}
+
+func (g *gen) program() string {
+	// Globals: scalars and arrays.
+	nScalars := 1 + g.rng.Intn(3)
+	for i := 0; i < nScalars; i++ {
+		v := variable{name: g.fresh("g")}
+		g.globals = append(g.globals, v)
+		if g.rng.Intn(2) == 0 {
+			g.w("int %s = %d;", v.name, g.rng.Intn(41)-20)
+		} else {
+			g.w("int %s;", v.name)
+		}
+	}
+	nArrays := 1 + g.rng.Intn(2)
+	for i := 0; i < nArrays; i++ {
+		v := variable{name: g.fresh("arr"), isArray: true, size: 4 + g.rng.Intn(13)}
+		g.globals = append(g.globals, v)
+		g.w("int %s[%d];", v.name, v.size)
+	}
+	g.sb.WriteByte('\n')
+
+	// Helper functions (non-recursive: each only calls earlier ones).
+	nFuncs := g.rng.Intn(3)
+	for i := 0; i < nFuncs; i++ {
+		g.genFunc()
+	}
+
+	// main.
+	g.w("void main() {")
+	g.indent++
+	locals := g.genLocals(2 + g.rng.Intn(3))
+	scope := append(append([]variable(nil), g.globals...), locals...)
+	nStmts := 3 + g.rng.Intn(6)
+	for i := 0; i < nStmts; i++ {
+		g.stmt(scope, 0)
+	}
+	// Print every scalar and a few array cells so all state is observable.
+	for _, v := range scope {
+		switch {
+		case v.isArray:
+			g.w("print(%s[0]);", v.name)
+			g.w("print(%s[%d]);", v.name, v.size-1)
+		case v.isPtr:
+			g.w("print(*%s);", v.name)
+		default:
+			g.w("print(%s);", v.name)
+		}
+	}
+	g.indent--
+	g.w("}")
+	return g.sb.String()
+}
+
+// genLocals declares and initializes n scalar locals (plus possibly one
+// pointer) and returns them.
+func (g *gen) genLocals(n int) []variable {
+	var out []variable
+	for i := 0; i < n; i++ {
+		v := variable{name: g.fresh("l")}
+		g.w("int %s = %d;", v.name, g.rng.Intn(21)-10)
+		out = append(out, v)
+	}
+	// Maybe a pointer local aimed at a global scalar or array cell.
+	if g.rng.Intn(2) == 0 {
+		if target := g.pickScalarGlobal(); target != "" {
+			v := variable{name: g.fresh("p"), isPtr: true}
+			g.w("int *%s = &%s;", v.name, target)
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func (g *gen) pickScalarGlobal() string {
+	var cands []string
+	for _, v := range g.globals {
+		if !v.isArray && !v.isPtr {
+			cands = append(cands, v.name)
+		}
+	}
+	if len(cands) == 0 {
+		return ""
+	}
+	return cands[g.rng.Intn(len(cands))]
+}
+
+func (g *gen) genFunc() {
+	fn := function{name: g.fresh("f"), returns: g.rng.Intn(2) == 0}
+	nParams := g.rng.Intn(3)
+	var paramDecls []string
+	for i := 0; i < nParams; i++ {
+		p := variable{name: g.fresh("a")}
+		fn.params = append(fn.params, p)
+		paramDecls = append(paramDecls, "int "+p.name)
+	}
+	ret := "void"
+	if fn.returns {
+		ret = "int"
+	}
+	g.w("%s %s(%s) {", ret, fn.name, strings.Join(paramDecls, ", "))
+	g.indent++
+	locals := g.genLocals(1 + g.rng.Intn(2))
+	scope := append(append(append([]variable(nil), g.globals...), fn.params...), locals...)
+	nStmts := 1 + g.rng.Intn(4)
+	for i := 0; i < nStmts; i++ {
+		g.stmt(scope, 0)
+	}
+	if fn.returns {
+		g.w("return %s;", g.expr(scope, 0))
+	}
+	g.indent--
+	g.w("}")
+	g.sb.WriteByte('\n')
+	g.funcs = append(g.funcs, fn)
+}
+
+// lvalue returns a random assignable location. Loop counters (li...) are
+// never picked so loops always terminate.
+func (g *gen) lvalue(scope []variable) string {
+	for tries := 0; tries < 10; tries++ {
+		v := scope[g.rng.Intn(len(scope))]
+		switch {
+		case strings.HasPrefix(v.name, "li"):
+			continue // never write a live loop counter
+		case v.isArray:
+			return fmt.Sprintf("%s[%s]", v.name, g.index(scope, v.size))
+		case v.isPtr:
+			return "*" + v.name
+		default:
+			return v.name
+		}
+	}
+	return scope[0].name
+}
+
+// index produces a provably in-bounds, non-negative index expression.
+func (g *gen) index(scope []variable, size int) string {
+	switch g.rng.Intn(3) {
+	case 0:
+		return fmt.Sprintf("%d", g.rng.Intn(size))
+	default:
+		// ((e % size) + size) % size is always in [0, size).
+		e := g.scalarAtom(scope)
+		return fmt.Sprintf("((%s %% %d) + %d) %% %d", e, size, size, size)
+	}
+}
+
+// scalarAtom is a simple int-valued term.
+func (g *gen) scalarAtom(scope []variable) string {
+	for tries := 0; tries < 10; tries++ {
+		switch g.rng.Intn(4) {
+		case 0:
+			return fmt.Sprintf("%d", g.rng.Intn(31)-15)
+		case 1:
+			v := scope[g.rng.Intn(len(scope))]
+			if v.isArray || v.isPtr {
+				continue
+			}
+			return v.name
+		case 2:
+			v := scope[g.rng.Intn(len(scope))]
+			if !v.isArray {
+				continue
+			}
+			return fmt.Sprintf("%s[%s]", v.name, g.index(scope, v.size))
+		default:
+			v := scope[g.rng.Intn(len(scope))]
+			if !v.isPtr {
+				continue
+			}
+			return "*" + v.name
+		}
+	}
+	return "1"
+}
+
+// expr generates an int-valued expression of bounded depth with no UB.
+func (g *gen) expr(scope []variable, depth int) string {
+	if depth >= 3 || g.rng.Intn(3) == 0 {
+		return g.scalarAtom(scope)
+	}
+	a := g.expr(scope, depth+1)
+	b := g.expr(scope, depth+1)
+	switch g.rng.Intn(12) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", a, b)
+	case 1:
+		return fmt.Sprintf("(%s - %s)", a, b)
+	case 2:
+		return fmt.Sprintf("(%s * %s)", a, b)
+	case 3:
+		// Divide by a nonzero constant only.
+		return fmt.Sprintf("(%s / %d)", a, 1+g.rng.Intn(9))
+	case 4:
+		return fmt.Sprintf("(%s %% %d)", a, 1+g.rng.Intn(9))
+	case 5:
+		return fmt.Sprintf("(%s & %s)", a, b)
+	case 6:
+		return fmt.Sprintf("(%s | %s)", a, b)
+	case 7:
+		return fmt.Sprintf("(%s ^ %s)", a, b)
+	case 8:
+		return fmt.Sprintf("(%s << %d)", a, g.rng.Intn(5))
+	case 9:
+		return fmt.Sprintf("(%s >> %d)", a, g.rng.Intn(5))
+	case 10:
+		return fmt.Sprintf("-(%s)", a)
+	default:
+		if len(g.funcs) > 0 {
+			if call := g.call(scope, true); call != "" {
+				return call
+			}
+		}
+		return fmt.Sprintf("(%s + %s)", a, b)
+	}
+}
+
+// cond generates a boolean-ish expression.
+func (g *gen) cond(scope []variable, depth int) string {
+	a := g.expr(scope, depth+1)
+	b := g.expr(scope, depth+1)
+	ops := []string{"<", "<=", ">", ">=", "==", "!="}
+	c := fmt.Sprintf("%s %s %s", a, ops[g.rng.Intn(len(ops))], b)
+	switch g.rng.Intn(4) {
+	case 0:
+		d := fmt.Sprintf("%s %s %s", g.expr(scope, depth+1), ops[g.rng.Intn(len(ops))], g.expr(scope, depth+1))
+		if g.rng.Intn(2) == 0 {
+			return fmt.Sprintf("%s && %s", c, d)
+		}
+		return fmt.Sprintf("%s || %s", c, d)
+	case 1:
+		return "!(" + c + ")"
+	}
+	return c
+}
+
+// call emits a call to a previously defined helper; wantValue selects
+// int-returning helpers.
+func (g *gen) call(scope []variable, wantValue bool) string {
+	var cands []function
+	for _, f := range g.funcs {
+		if f.returns == wantValue || !wantValue {
+			if wantValue && !f.returns {
+				continue
+			}
+			cands = append(cands, f)
+		}
+	}
+	if len(cands) == 0 {
+		return ""
+	}
+	f := cands[g.rng.Intn(len(cands))]
+	var args []string
+	for range f.params {
+		args = append(args, g.scalarAtom(scope))
+	}
+	return fmt.Sprintf("%s(%s)", f.name, strings.Join(args, ", "))
+}
+
+func (g *gen) stmt(scope []variable, depth int) {
+	choice := g.rng.Intn(10)
+	switch {
+	case choice < 4: // plain assignment
+		g.w("%s = %s;", g.lvalue(scope), g.expr(scope, 0))
+	case choice < 5: // compound assignment
+		ops := []string{"+=", "-=", "*="}
+		g.w("%s %s %s;", g.lvalue(scope), ops[g.rng.Intn(len(ops))], g.expr(scope, 1))
+	case choice < 6: // inc/dec
+		if g.rng.Intn(2) == 0 {
+			g.w("%s++;", g.lvalue(scope))
+		} else {
+			g.w("%s--;", g.lvalue(scope))
+		}
+	case choice < 7 && depth < 2: // if/else
+		g.w("if (%s) {", g.cond(scope, 0))
+		g.indent++
+		g.stmt(scope, depth+1)
+		g.indent--
+		if g.rng.Intn(2) == 0 {
+			g.w("} else {")
+			g.indent++
+			g.stmt(scope, depth+1)
+			g.indent--
+		}
+		g.w("}")
+	case choice < 8 && depth < 2 && g.loopDepth < 2 && g.rng.Intn(3) == 0: // bounded while loop
+		w := g.fresh("li") // the li prefix protects the counter from writes
+		g.w("int %s = %d;", w, 2+g.rng.Intn(7))
+		g.w("while (%s > 0) {", w)
+		g.indent++
+		g.loopDepth++
+		inner := append(append([]variable(nil), scope...), variable{name: w})
+		n := 1 + g.rng.Intn(2)
+		for k := 0; k < n; k++ {
+			g.stmt(inner, depth+1)
+		}
+		g.w("%s--;", w)
+		g.loopDepth--
+		g.indent--
+		g.w("}")
+	case choice < 8 && depth < 2 && g.loopDepth < 2: // bounded for loop
+		i := g.fresh("li")
+		bound := 2 + g.rng.Intn(8)
+		g.w("for (int %s = 0; %s < %d; %s++) {", i, i, bound, i)
+		g.indent++
+		g.loopDepth++
+		inner := append(append([]variable(nil), scope...), variable{name: i})
+		n := 1 + g.rng.Intn(2)
+		for k := 0; k < n; k++ {
+			g.stmt(inner, depth+1)
+		}
+		g.loopDepth--
+		g.indent--
+		g.w("}")
+	case choice < 9: // call for effect
+		if call := g.call(scope, false); call != "" {
+			g.w("%s;", call)
+			return
+		}
+		g.w("%s = %s;", g.lvalue(scope), g.expr(scope, 0))
+	default: // print
+		g.w("print(%s);", g.expr(scope, 0))
+	}
+}

@@ -1,0 +1,106 @@
+package opt
+
+import "repro/internal/ir"
+
+// NumberValues performs block-local value numbering: pure instructions
+// that recompute an already-available value (identical opcode and
+// value-numbered operands) are replaced by copies of the earlier result.
+// Address materializations (OpAddr) and repeated constants are the big
+// winners — array address arithmetic recomputes them constantly.
+//
+// Returns the number of instructions rewritten into copies. Run copy
+// propagation and DCE afterwards to collapse the copies away (the
+// Optimize driver does).
+func NumberValues(f *ir.Func) int {
+	rewritten := 0
+	for _, b := range f.Blocks {
+		rewritten += numberBlock(f, b)
+	}
+	return rewritten
+}
+
+// exprKey identifies a pure computation by opcode and the value numbers of
+// its inputs.
+type exprKey struct {
+	op  ir.Op
+	bin ir.BinKind
+	avn int
+	bvn int
+	imm int64
+	obj int // object ID for OpAddr, -1 otherwise
+}
+
+type availEntry struct {
+	holder ir.Reg // register that held the value when recorded
+	vn     int    // holder's value number at record time
+}
+
+func numberBlock(f *ir.Func, b *ir.Block) int {
+	rewritten := 0
+	nextVN := 1
+	regVN := make(map[ir.Reg]int)
+	vnOf := func(r ir.Reg) int {
+		if v, ok := regVN[r]; ok {
+			return v
+		}
+		nextVN++
+		regVN[r] = nextVN
+		return nextVN
+	}
+	avail := make(map[exprKey]availEntry)
+
+	for i := range b.Instrs {
+		in := &b.Instrs[i]
+		// Copies transfer the source's value number to the destination.
+		if in.Op == ir.OpCopy {
+			regVN[in.Dst] = vnOf(in.A)
+			continue
+		}
+		var key exprKey
+		ok := true
+		switch in.Op {
+		case ir.OpConst:
+			key = exprKey{op: ir.OpConst, imm: in.Imm, obj: -1}
+		case ir.OpBin:
+			a, bb := vnOf(in.A), vnOf(in.B)
+			// Canonicalize commutative operators.
+			switch in.Bin {
+			case ir.Add, ir.Mul, ir.And, ir.Or, ir.Xor, ir.CmpEQ, ir.CmpNE:
+				if bb < a {
+					a, bb = bb, a
+				}
+			}
+			key = exprKey{op: ir.OpBin, bin: in.Bin, avn: a, bvn: bb, obj: -1}
+		case ir.OpNeg, ir.OpNot:
+			key = exprKey{op: in.Op, avn: vnOf(in.A), obj: -1}
+		case ir.OpAddr:
+			key = exprKey{op: ir.OpAddr, imm: in.Imm, obj: in.Obj.ID}
+		default:
+			ok = false
+		}
+
+		d := in.Def()
+		if !ok {
+			// Not a numbered computation: just invalidate the defined reg.
+			if d != ir.NoReg {
+				nextVN++
+				regVN[d] = nextVN
+			}
+			continue
+		}
+
+		if e, hit := avail[key]; hit && regVN[e.holder] == e.vn && e.holder != d {
+			// Same value is already live in e.holder: reuse it.
+			*in = ir.Instr{Op: ir.OpCopy, Dst: d, A: e.holder, Pos: in.Pos}
+			regVN[d] = e.vn
+			rewritten++
+			continue
+		}
+
+		// New value: give the destination a fresh number and record it.
+		nextVN++
+		regVN[d] = nextVN
+		avail[key] = availEntry{holder: d, vn: nextVN}
+	}
+	return rewritten
+}

@@ -1,0 +1,555 @@
+// Package parser implements a recursive-descent parser for MC.
+//
+// The grammar (EBNF, tokens capitalized):
+//
+//	file        = { decl } .
+//	decl        = type-spec declarator ( func-rest | var-rest ) .
+//	type-spec   = "int" | "void" .
+//	declarator  = { "*" } IDENT .
+//	var-rest    = { "[" INT "]" } [ "=" expr ] ";" .
+//	func-rest   = "(" [ param { "," param } ] ")" block .
+//	param       = type-spec { "*" } IDENT [ "[" [ INT ] "]" { "[" INT "]" } ] .
+//	block       = "{" { stmt } "}" .
+//	stmt        = block | if | while | for | return | break ";" |
+//	              continue ";" | decl-stmt ";" | simple ";" .
+//	simple      = lvalue asgn-op expr | lvalue ("++"|"--") | call .
+//	expr        = binary expression with C precedence, short-circuit && || .
+//
+// Array parameters decay to pointers at parse time. Errors are accumulated
+// with positions; the parser recovers at statement boundaries.
+package parser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/lexer"
+	"repro/internal/token"
+	"repro/internal/types"
+)
+
+// Error is a parse diagnostic with a source position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// ErrorList is a collection of parse errors that satisfies error.
+type ErrorList []Error
+
+func (l ErrorList) Error() string {
+	if len(l) == 0 {
+		return "no errors"
+	}
+	var b strings.Builder
+	for i, e := range l {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(e.Error())
+	}
+	return b.String()
+}
+
+// Parse parses src and returns the file. If any syntax errors were found,
+// the partial tree is returned along with an ErrorList.
+func Parse(src string) (*ast.File, error) {
+	p := &parser{lex: lexer.New(src)}
+	p.next()
+	f := p.file()
+	if len(p.errs) > 0 {
+		return f, p.errs
+	}
+	return f, nil
+}
+
+type parser struct {
+	lex  *lexer.Lexer
+	tok  token.Token
+	errs ErrorList
+}
+
+const maxErrors = 20
+
+func (p *parser) next() { p.tok = p.lex.Next() }
+
+func (p *parser) errorf(pos token.Pos, format string, args ...any) {
+	if len(p.errs) < maxErrors {
+		p.errs = append(p.errs, Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+	}
+}
+
+// expect consumes a token of kind k or reports an error without consuming.
+func (p *parser) expect(k token.Kind) token.Pos {
+	pos := p.tok.Pos
+	if p.tok.Kind != k {
+		p.errorf(pos, "expected %s, found %s", k, p.tok)
+		return pos
+	}
+	p.next()
+	return pos
+}
+
+func (p *parser) at(k token.Kind) bool { return p.tok.Kind == k }
+
+// eat consumes the current token if it has kind k.
+func (p *parser) eat(k token.Kind) bool {
+	if p.at(k) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+// sync skips tokens until a likely statement/declaration boundary.
+func (p *parser) sync() {
+	for !p.at(token.EOF) {
+		switch p.tok.Kind {
+		case token.SEMICOLON:
+			p.next()
+			return
+		case token.RBRACE, token.KWINT, token.KWVOID, token.KWIF, token.KWWHILE,
+			token.KWFOR, token.KWRETURN, token.KWBREAK, token.KWCONTINUE:
+			return
+		}
+		p.next()
+	}
+}
+
+func (p *parser) file() *ast.File {
+	f := &ast.File{}
+	for !p.at(token.EOF) {
+		if p.at(token.ILLEGAL) {
+			p.errorf(p.tok.Pos, "illegal token %q", p.tok.Text)
+			p.next()
+			continue
+		}
+		d := p.decl()
+		if d != nil {
+			f.Decls = append(f.Decls, d)
+		} else {
+			p.sync()
+		}
+	}
+	return f
+}
+
+// typeSpec parses "int" or "void" and returns the base type.
+func (p *parser) typeSpec() *types.Type {
+	switch p.tok.Kind {
+	case token.KWINT:
+		p.next()
+		return types.Int
+	case token.KWVOID:
+		p.next()
+		return types.Void
+	}
+	p.errorf(p.tok.Pos, "expected type, found %s", p.tok)
+	return nil
+}
+
+// decl parses a top-level declaration (global variable or function).
+func (p *parser) decl() ast.Decl {
+	base := p.typeSpec()
+	if base == nil {
+		return nil
+	}
+	t := base
+	for p.eat(token.STAR) {
+		t = types.PointerTo(t)
+	}
+	namePos := p.tok.Pos
+	if !p.at(token.IDENT) {
+		p.errorf(p.tok.Pos, "expected name, found %s", p.tok)
+		return nil
+	}
+	name := p.tok.Text
+	p.next()
+
+	if p.at(token.LPAREN) {
+		return p.funcRest(name, t, namePos)
+	}
+	if t.IsVoid() {
+		p.errorf(namePos, "variable %s has void type", name)
+		return nil
+	}
+	vd := p.varRest(name, t, namePos)
+	p.expect(token.SEMICOLON)
+	return vd
+}
+
+// varRest parses array dimensions and an optional initializer.
+func (p *parser) varRest(name string, t *types.Type, pos token.Pos) *ast.VarDecl {
+	var dims []int
+	for p.eat(token.LBRACKET) {
+		if !p.at(token.INT) {
+			p.errorf(p.tok.Pos, "array dimension must be an integer literal")
+			dims = append(dims, 1)
+		} else {
+			n, err := strconv.Atoi(p.tok.Text)
+			if err != nil || n <= 0 {
+				p.errorf(p.tok.Pos, "invalid array dimension %q", p.tok.Text)
+				n = 1
+			}
+			dims = append(dims, n)
+			p.next()
+		}
+		p.expect(token.RBRACKET)
+	}
+	for i := len(dims) - 1; i >= 0; i-- {
+		t = types.ArrayOf(dims[i], t)
+	}
+	vd := &ast.VarDecl{Name: name, Type: t, NamePos: pos}
+	if p.eat(token.ASSIGN) {
+		vd.Init = p.expr()
+	}
+	return vd
+}
+
+// funcRest parses the parameter list and body.
+func (p *parser) funcRest(name string, result *types.Type, pos token.Pos) *ast.FuncDecl {
+	fd := &ast.FuncDecl{Name: name, Result: result, NamePos: pos}
+	p.expect(token.LPAREN)
+	if !p.at(token.RPAREN) {
+		for {
+			prm, ok := p.param()
+			if ok {
+				fd.Params = append(fd.Params, prm)
+			}
+			if !p.eat(token.COMMA) {
+				break
+			}
+		}
+	}
+	p.expect(token.RPAREN)
+	fd.Body = p.blockStmt()
+	return fd
+}
+
+func (p *parser) param() (ast.Param, bool) {
+	base := p.typeSpec()
+	if base == nil {
+		return ast.Param{}, false
+	}
+	if base.IsVoid() {
+		p.errorf(p.tok.Pos, "parameter cannot be void")
+		base = types.Int
+	}
+	t := base
+	for p.eat(token.STAR) {
+		t = types.PointerTo(t)
+	}
+	pos := p.tok.Pos
+	if !p.at(token.IDENT) {
+		p.errorf(p.tok.Pos, "expected parameter name, found %s", p.tok)
+		return ast.Param{}, false
+	}
+	name := p.tok.Text
+	p.next()
+	// Array parameter: first dimension may be empty; all decay to pointer.
+	if p.eat(token.LBRACKET) {
+		if p.at(token.INT) {
+			p.next()
+		}
+		p.expect(token.RBRACKET)
+		inner := base
+		var dims []int
+		for p.eat(token.LBRACKET) {
+			if p.at(token.INT) {
+				n, _ := strconv.Atoi(p.tok.Text)
+				if n <= 0 {
+					n = 1
+				}
+				dims = append(dims, n)
+				p.next()
+			} else {
+				p.errorf(p.tok.Pos, "inner array dimension required")
+				dims = append(dims, 1)
+			}
+			p.expect(token.RBRACKET)
+		}
+		for i := len(dims) - 1; i >= 0; i-- {
+			inner = types.ArrayOf(dims[i], inner)
+		}
+		t = types.PointerTo(inner)
+	}
+	return ast.Param{Name: name, Type: t, NamePos: pos}, true
+}
+
+func (p *parser) blockStmt() *ast.BlockStmt {
+	b := &ast.BlockStmt{LBrace: p.tok.Pos}
+	p.expect(token.LBRACE)
+	for !p.at(token.RBRACE) && !p.at(token.EOF) {
+		s := p.stmt()
+		if s != nil {
+			b.List = append(b.List, s)
+		} else {
+			p.sync()
+		}
+	}
+	p.expect(token.RBRACE)
+	return b
+}
+
+func (p *parser) stmt() ast.Stmt {
+	switch p.tok.Kind {
+	case token.LBRACE:
+		return p.blockStmt()
+	case token.KWIF:
+		return p.ifStmt()
+	case token.KWWHILE:
+		return p.whileStmt()
+	case token.KWFOR:
+		return p.forStmt()
+	case token.KWRETURN:
+		pos := p.tok.Pos
+		p.next()
+		var res ast.Expr
+		if !p.at(token.SEMICOLON) {
+			res = p.expr()
+		}
+		p.expect(token.SEMICOLON)
+		return &ast.ReturnStmt{RetPos: pos, Result: res}
+	case token.KWBREAK:
+		pos := p.tok.Pos
+		p.next()
+		p.expect(token.SEMICOLON)
+		return &ast.BreakStmt{KwPos: pos}
+	case token.KWCONTINUE:
+		pos := p.tok.Pos
+		p.next()
+		p.expect(token.SEMICOLON)
+		return &ast.ContinueStmt{KwPos: pos}
+	case token.SEMICOLON:
+		// Empty statement: represent as an empty block.
+		pos := p.tok.Pos
+		p.next()
+		return &ast.BlockStmt{LBrace: pos}
+	}
+	s := p.simpleStmt()
+	if s == nil {
+		p.errorf(p.tok.Pos, "expected statement, found %s", p.tok)
+		return nil
+	}
+	p.expect(token.SEMICOLON)
+	return s
+}
+
+// simpleStmt parses a declaration, assignment, inc/dec, or call statement
+// without the trailing semicolon (shared between stmt and for-headers).
+func (p *parser) simpleStmt() ast.Stmt {
+	if p.at(token.KWINT) {
+		base := p.typeSpec()
+		t := base
+		for p.eat(token.STAR) {
+			t = types.PointerTo(t)
+		}
+		pos := p.tok.Pos
+		if !p.at(token.IDENT) {
+			p.errorf(p.tok.Pos, "expected name in declaration, found %s", p.tok)
+			return nil
+		}
+		name := p.tok.Text
+		p.next()
+		return &ast.DeclStmt{Decl: p.varRest(name, t, pos)}
+	}
+
+	if !p.atExprStart() {
+		return nil
+	}
+	lhs := p.expr()
+	switch p.tok.Kind {
+	case token.ASSIGN, token.PLUSEQ, token.MINUSEQ, token.STAREQ, token.SLASHEQ, token.PERCENTEQ:
+		op := p.tok.Kind
+		p.next()
+		rhs := p.expr()
+		return &ast.AssignStmt{Op: op, LHS: lhs, RHS: rhs}
+	case token.INC, token.DEC:
+		op := p.tok.Kind
+		p.next()
+		return &ast.IncDecStmt{Op: op, LHS: lhs}
+	}
+	if _, ok := lhs.(*ast.Call); !ok {
+		p.errorf(lhs.Pos(), "expression statement must be a call")
+	}
+	return &ast.ExprStmt{X: lhs}
+}
+
+func (p *parser) atExprStart() bool {
+	switch p.tok.Kind {
+	case token.IDENT, token.INT, token.LPAREN, token.MINUS, token.NOT, token.STAR, token.AMP:
+		return true
+	}
+	return false
+}
+
+func (p *parser) ifStmt() ast.Stmt {
+	pos := p.tok.Pos
+	p.next()
+	p.expect(token.LPAREN)
+	cond := p.expr()
+	p.expect(token.RPAREN)
+	then := p.stmt()
+	var els ast.Stmt
+	if p.eat(token.KWELSE) {
+		els = p.stmt()
+	}
+	if then == nil {
+		then = &ast.BlockStmt{LBrace: pos}
+	}
+	return &ast.IfStmt{IfPos: pos, Cond: cond, Then: then, Else: els}
+}
+
+func (p *parser) whileStmt() ast.Stmt {
+	pos := p.tok.Pos
+	p.next()
+	p.expect(token.LPAREN)
+	cond := p.expr()
+	p.expect(token.RPAREN)
+	body := p.stmt()
+	if body == nil {
+		body = &ast.BlockStmt{LBrace: pos}
+	}
+	return &ast.WhileStmt{WhilePos: pos, Cond: cond, Body: body}
+}
+
+func (p *parser) forStmt() ast.Stmt {
+	pos := p.tok.Pos
+	p.next()
+	p.expect(token.LPAREN)
+	var init, post ast.Stmt
+	var cond ast.Expr
+	if !p.at(token.SEMICOLON) {
+		init = p.simpleStmt()
+	}
+	p.expect(token.SEMICOLON)
+	if !p.at(token.SEMICOLON) {
+		cond = p.expr()
+	}
+	p.expect(token.SEMICOLON)
+	if !p.at(token.RPAREN) {
+		post = p.simpleStmt()
+	}
+	p.expect(token.RPAREN)
+	body := p.stmt()
+	if body == nil {
+		body = &ast.BlockStmt{LBrace: pos}
+	}
+	return &ast.ForStmt{ForPos: pos, Init: init, Cond: cond, Post: post, Body: body}
+}
+
+// ---- Expressions (precedence climbing) ----
+
+func binPrec(k token.Kind) int {
+	switch k {
+	case token.LOR:
+		return 1
+	case token.LAND:
+		return 2
+	case token.PIPE:
+		return 3
+	case token.CARET:
+		return 4
+	case token.AMP:
+		return 5
+	case token.EQ, token.NEQ:
+		return 6
+	case token.LT, token.GT, token.LEQ, token.GEQ:
+		return 7
+	case token.SHL, token.SHR:
+		return 8
+	case token.PLUS, token.MINUS:
+		return 9
+	case token.STAR, token.SLASH, token.PERCENT:
+		return 10
+	}
+	return 0
+}
+
+func (p *parser) expr() ast.Expr { return p.binary(1) }
+
+func (p *parser) binary(min int) ast.Expr {
+	x := p.unary()
+	for {
+		prec := binPrec(p.tok.Kind)
+		if prec < min {
+			return x
+		}
+		op := p.tok.Kind
+		opPos := p.tok.Pos
+		p.next()
+		y := p.binary(prec + 1)
+		x = &ast.Binary{Op: op, X: x, Y: y, OpPos: opPos}
+	}
+}
+
+func (p *parser) unary() ast.Expr {
+	switch p.tok.Kind {
+	case token.MINUS, token.NOT, token.STAR, token.AMP:
+		op := p.tok.Kind
+		pos := p.tok.Pos
+		p.next()
+		return &ast.Unary{Op: op, X: p.unary(), OpPos: pos}
+	}
+	return p.postfix()
+}
+
+func (p *parser) postfix() ast.Expr {
+	x := p.primary()
+	for p.at(token.LBRACKET) {
+		lb := p.tok.Pos
+		p.next()
+		idx := p.expr()
+		p.expect(token.RBRACKET)
+		x = &ast.Index{X: x, Idx: idx, LBrak: lb}
+	}
+	return x
+}
+
+func (p *parser) primary() ast.Expr {
+	switch p.tok.Kind {
+	case token.INT:
+		v, err := strconv.ParseInt(p.tok.Text, 10, 64)
+		if err != nil {
+			p.errorf(p.tok.Pos, "integer literal out of range: %s", p.tok.Text)
+		}
+		e := &ast.IntLit{Value: v, LitPos: p.tok.Pos}
+		p.next()
+		return e
+	case token.IDENT:
+		id := &ast.Ident{Name: p.tok.Text, NamePos: p.tok.Pos}
+		p.next()
+		if p.at(token.LPAREN) {
+			return p.callRest(id)
+		}
+		return id
+	case token.LPAREN:
+		p.next()
+		e := p.expr()
+		p.expect(token.RPAREN)
+		return e
+	}
+	p.errorf(p.tok.Pos, "expected expression, found %s", p.tok)
+	e := &ast.IntLit{Value: 0, LitPos: p.tok.Pos}
+	p.next()
+	return e
+}
+
+func (p *parser) callRest(fun *ast.Ident) ast.Expr {
+	call := &ast.Call{Fun: fun}
+	p.expect(token.LPAREN)
+	if !p.at(token.RPAREN) {
+		for {
+			call.Args = append(call.Args, p.expr())
+			if !p.eat(token.COMMA) {
+				break
+			}
+		}
+	}
+	p.expect(token.RPAREN)
+	return call
+}

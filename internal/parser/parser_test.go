@@ -1,0 +1,286 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/token"
+)
+
+func mustParse(t *testing.T, src string) *ast.File {
+	t.Helper()
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse error: %v", err)
+	}
+	return f
+}
+
+func TestParseGlobals(t *testing.T) {
+	f := mustParse(t, `
+int x;
+int y = 42;
+int a[500];
+int m[40][40];
+int *p;
+int **pp;
+`)
+	globals := f.Globals()
+	if len(globals) != 6 {
+		t.Fatalf("got %d globals, want 6", len(globals))
+	}
+	wantTypes := []string{"int", "int", "int[500]", "int[40][40]", "int*", "int**"}
+	for i, g := range globals {
+		if g.Type.String() != wantTypes[i] {
+			t.Errorf("global %s: type %s, want %s", g.Name, g.Type, wantTypes[i])
+		}
+	}
+	if lit, ok := globals[1].Init.(*ast.IntLit); !ok || lit.Value != 42 {
+		t.Errorf("y init = %v, want 42", globals[1].Init)
+	}
+}
+
+func TestParseFunc(t *testing.T) {
+	f := mustParse(t, `
+int add(int a, int b) {
+    return a + b;
+}
+void run(int *buf, int n) {
+    int i;
+    for (i = 0; i < n; i++) {
+        buf[i] = i * 2;
+    }
+}
+`)
+	funcs := f.Funcs()
+	if len(funcs) != 2 {
+		t.Fatalf("got %d funcs, want 2", len(funcs))
+	}
+	if funcs[0].Name != "add" || !funcs[0].Result.IsInt() || len(funcs[0].Params) != 2 {
+		t.Errorf("bad add signature: %v", funcs[0])
+	}
+	if funcs[1].Name != "run" || !funcs[1].Result.IsVoid() {
+		t.Errorf("bad run signature: %v", funcs[1])
+	}
+	if got := funcs[1].Params[0].Type.String(); got != "int*" {
+		t.Errorf("run param 0 type = %s, want int*", got)
+	}
+}
+
+func TestArrayParamDecay(t *testing.T) {
+	f := mustParse(t, `void f(int a[], int b[10], int m[][40]) { return; }`)
+	fn := f.Funcs()[0]
+	want := []string{"int*", "int*", "int[40]*"}
+	for i, p := range fn.Params {
+		if got := p.Type.String(); got != want[i] {
+			t.Errorf("param %d type = %s, want %s", i, got, want[i])
+		}
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	f := mustParse(t, `void f() { int x; x = 1 + 2 * 3 - 4 / 2; }`)
+	body := f.Funcs()[0].Body
+	as := body.List[1].(*ast.AssignStmt)
+	// Expect (1 + (2*3)) - (4/2).
+	if got := ast.ExprString(as.RHS); got != "1 + 2 * 3 - 4 / 2" {
+		t.Errorf("printed %q", got)
+	}
+	top, ok := as.RHS.(*ast.Binary)
+	if !ok || top.Op != token.MINUS {
+		t.Fatalf("top op = %v, want -", as.RHS)
+	}
+	left, ok := top.X.(*ast.Binary)
+	if !ok || left.Op != token.PLUS {
+		t.Fatalf("left op wrong: %v", top.X)
+	}
+	if mul, ok := left.Y.(*ast.Binary); !ok || mul.Op != token.STAR {
+		t.Fatalf("mul missing: %v", left.Y)
+	}
+}
+
+func TestShortCircuitPrecedence(t *testing.T) {
+	f := mustParse(t, `void f() { int x; x = 1 < 2 && 3 == 4 || 5; }`)
+	as := f.Funcs()[0].Body.List[1].(*ast.AssignStmt)
+	top := as.RHS.(*ast.Binary)
+	if top.Op != token.LOR {
+		t.Fatalf("top = %s, want ||", top.Op)
+	}
+	land := top.X.(*ast.Binary)
+	if land.Op != token.LAND {
+		t.Fatalf("left = %s, want &&", land.Op)
+	}
+}
+
+func TestUnaryAndPointers(t *testing.T) {
+	f := mustParse(t, `void f(int *p, int *q) { *p = -*q + 1; p = &*q; }`)
+	list := f.Funcs()[0].Body.List
+	s0 := list[0].(*ast.AssignStmt)
+	if _, ok := s0.LHS.(*ast.Unary); !ok {
+		t.Errorf("lhs not deref: %T", s0.LHS)
+	}
+	s1 := list[1].(*ast.AssignStmt)
+	amp := s1.RHS.(*ast.Unary)
+	if amp.Op != token.AMP {
+		t.Errorf("rhs op = %s, want &", amp.Op)
+	}
+}
+
+func TestNestedIndex(t *testing.T) {
+	f := mustParse(t, `int m[40][40]; void f() { m[1][2] = m[2][1] + 1; }`)
+	as := f.Funcs()[0].Body.List[0].(*ast.AssignStmt)
+	outer, ok := as.LHS.(*ast.Index)
+	if !ok {
+		t.Fatalf("lhs %T, want Index", as.LHS)
+	}
+	if _, ok := outer.X.(*ast.Index); !ok {
+		t.Fatalf("lhs.X %T, want Index", outer.X)
+	}
+}
+
+func TestControlFlowForms(t *testing.T) {
+	f := mustParse(t, `
+void f(int n) {
+    int i;
+    if (n > 0) { n = 1; } else n = 2;
+    while (n) n--;
+    for (i = 0; i < 10; i++) {
+        if (i == 5) break;
+        if (i == 3) continue;
+    }
+    for (;;) { break; }
+    return;
+}
+`)
+	list := f.Funcs()[0].Body.List
+	if _, ok := list[1].(*ast.IfStmt); !ok {
+		t.Errorf("stmt 1 is %T, want IfStmt", list[1])
+	}
+	if _, ok := list[2].(*ast.WhileStmt); !ok {
+		t.Errorf("stmt 2 is %T, want WhileStmt", list[2])
+	}
+	fs, ok := list[3].(*ast.ForStmt)
+	if !ok {
+		t.Fatalf("stmt 3 is %T, want ForStmt", list[3])
+	}
+	if fs.Init == nil || fs.Cond == nil || fs.Post == nil {
+		t.Error("for parts missing")
+	}
+	empty := list[4].(*ast.ForStmt)
+	if empty.Init != nil || empty.Cond != nil || empty.Post != nil {
+		t.Error("for(;;) should have no header parts")
+	}
+}
+
+func TestForWithDecl(t *testing.T) {
+	f := mustParse(t, `void f() { for (int i = 0; i < 4; i++) print(i); }`)
+	fs := f.Funcs()[0].Body.List[0].(*ast.ForStmt)
+	ds, ok := fs.Init.(*ast.DeclStmt)
+	if !ok {
+		t.Fatalf("for init is %T, want DeclStmt", fs.Init)
+	}
+	if ds.Decl.Name != "i" {
+		t.Errorf("decl name %q", ds.Decl.Name)
+	}
+}
+
+func TestCompoundAssignAndIncDec(t *testing.T) {
+	f := mustParse(t, `void f() { int x; x += 2; x -= 1; x *= 3; x /= 2; x %= 5; x++; x--; }`)
+	list := f.Funcs()[0].Body.List
+	wantOps := []token.Kind{token.PLUSEQ, token.MINUSEQ, token.STAREQ, token.SLASHEQ, token.PERCENTEQ}
+	for i, op := range wantOps {
+		as, ok := list[i+1].(*ast.AssignStmt)
+		if !ok || as.Op != op {
+			t.Errorf("stmt %d: got %v, want %s", i+1, list[i+1], op)
+		}
+	}
+	if inc, ok := list[6].(*ast.IncDecStmt); !ok || inc.Op != token.INC {
+		t.Errorf("stmt 6 not x++")
+	}
+	if dec, ok := list[7].(*ast.IncDecStmt); !ok || dec.Op != token.DEC {
+		t.Errorf("stmt 7 not x--")
+	}
+}
+
+func TestCallStatement(t *testing.T) {
+	f := mustParse(t, `void g(int x) { print(x); } void f() { g(1 + 2); }`)
+	es, ok := f.Funcs()[1].Body.List[0].(*ast.ExprStmt)
+	if !ok {
+		t.Fatal("not expr stmt")
+	}
+	call := es.X.(*ast.Call)
+	if call.Fun.Name != "g" || len(call.Args) != 1 {
+		t.Errorf("bad call %v", call)
+	}
+}
+
+func TestErrorRecovery(t *testing.T) {
+	_, err := Parse(`
+void f() {
+    int x = ;
+    x = 1;
+}
+void g() { return; }
+`)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	list, ok := err.(ErrorList)
+	if !ok || len(list) == 0 {
+		t.Fatalf("expected ErrorList, got %v", err)
+	}
+}
+
+func TestMultipleErrorsCollected(t *testing.T) {
+	_, err := Parse(`int f( { } int g( { }`)
+	if err == nil {
+		t.Fatal("expected errors")
+	}
+	if !strings.Contains(err.Error(), "expected") {
+		t.Errorf("unhelpful error: %v", err)
+	}
+}
+
+func TestExprStatementMustBeCall(t *testing.T) {
+	_, err := Parse(`void f() { int x; x + 1; }`)
+	if err == nil {
+		t.Fatal("expected error for non-call expression statement")
+	}
+}
+
+// Round trip: print then reparse then print again must be a fixed point.
+func TestPrintRoundTrip(t *testing.T) {
+	srcs := []string{
+		`int a[10];
+void f(int n) {
+    int i;
+    for (i = 0; i < n; i++) {
+        a[i] = a[i] * 2 + (i - 1);
+    }
+    if (n > 3 && a[0] == 0 || !n) {
+        print(a[n - 1]);
+    } else {
+        while (n > 0) n--;
+    }
+}
+`,
+		`int *p;
+int deref() {
+    return *p + p[3] - -p[0];
+}
+`,
+	}
+	for _, src := range srcs {
+		f1 := mustParse(t, src)
+		p1 := ast.Print(f1)
+		f2, err := Parse(p1)
+		if err != nil {
+			t.Fatalf("reparse failed: %v\nprinted:\n%s", err, p1)
+		}
+		p2 := ast.Print(f2)
+		if p1 != p2 {
+			t.Errorf("print not a fixed point:\n--- first ---\n%s\n--- second ---\n%s", p1, p2)
+		}
+	}
+}

@@ -1,0 +1,231 @@
+// Package promote implements register promotion of unambiguous scalar
+// globals, the optimization the paper's unified model presumes when it
+// says unambiguous values are "loaded into a register for a series of
+// operations" with the load and store bypassing the cache (§4.2 [1]).
+//
+// Without promotion, a memory-resident unambiguous value pays a bypass
+// memory access on *every* reference; with promotion it pays one
+// UmAm_LOAD per function entry and one UmAm_STORE per exit, and all
+// interior references become register moves. EXPERIMENTS.md quantifies
+// the difference (experiment E6).
+//
+// Safety: a global g may be promoted across the body of function f iff
+//   - g is a scalar and the alias analysis proved it unambiguous (no
+//     pointer can reach it), and
+//   - no call executed by f (transitively, via the call graph) references
+//     g — otherwise the callee would observe a stale memory copy.
+//
+// Recursive functions that touch g exclude themselves automatically: the
+// recursive call is a call that references g.
+package promote
+
+import (
+	"repro/internal/alias"
+	"repro/internal/cfg"
+	"repro/internal/ir"
+	"repro/internal/opt"
+	"repro/internal/sem"
+)
+
+// Stats reports what the pass did.
+type Stats struct {
+	PromotedGlobals int // (function, global) pairs promoted
+	RewrittenRefs   int // loads/stores turned into register moves
+}
+
+// Run promotes unambiguous globals in every function of the program.
+// Alias annotation must already have run (MemRef.Ambiguous meaningful).
+func Run(prog *ir.Program, an *alias.Analysis) Stats {
+	var st Stats
+	mr := computeModRef(prog)
+	for _, f := range prog.Funcs {
+		st.add(promoteFunc(prog, f, an, mr))
+	}
+	return st
+}
+
+func (s *Stats) add(o Stats) {
+	s.PromotedGlobals += o.PromotedGlobals
+	s.RewrittenRefs += o.RewrittenRefs
+}
+
+// modref maps each function name to the set of global objects any
+// execution of it may load or store (transitively through calls).
+type modref map[string]map[*sem.Object]bool
+
+func computeModRef(prog *ir.Program) modref {
+	mr := make(modref, len(prog.Funcs))
+	callees := make(map[string][]string)
+	for _, f := range prog.Funcs {
+		set := make(map[*sem.Object]bool)
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				switch in.Op {
+				case ir.OpLoad, ir.OpStore:
+					if obj := in.Ref.Obj; obj != nil && obj.Kind == sem.GlobalVar {
+						set[obj] = true
+					}
+					// A deref that may reach globals: pessimize with its
+					// whole candidate set via the Ptr object at alias
+					// level; unresolved pointers were already forced
+					// ambiguous, and ambiguous globals are never promoted,
+					// so they cannot be affected by this summary.
+				case ir.OpCall:
+					callees[f.Name] = append(callees[f.Name], in.Callee.Name)
+				}
+			}
+		}
+		mr[f.Name] = set
+	}
+	// Transitive closure (small graphs; iterate to fixpoint).
+	for changed := true; changed; {
+		changed = false
+		for fname, cs := range callees {
+			for _, c := range cs {
+				for obj := range mr[c] {
+					if !mr[fname][obj] {
+						mr[fname][obj] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return mr
+}
+
+func promoteFunc(prog *ir.Program, f *ir.Func, an *alias.Analysis, mr modref) Stats {
+	var st Stats
+
+	// Candidate globals: unambiguous scalars referenced by f directly,
+	// untouched by f's calls.
+	touchedByCalls := make(map[*sem.Object]bool)
+	weight := make(map[*sem.Object]float64) // loop-depth-weighted ref count
+	stores := make(map[*sem.Object]bool)
+	depth := cfg.LoopDepth(f)
+	exits := 0
+	for _, b := range f.Blocks {
+		if t := b.Term(); t != nil && t.Op == ir.OpRet {
+			exits++
+		}
+		w := 1.0
+		for i := 0; i < depth[b.ID]; i++ {
+			w *= 10
+		}
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			switch in.Op {
+			case ir.OpLoad, ir.OpStore:
+				if obj := in.Ref.Obj; obj != nil && obj.Kind == sem.GlobalVar &&
+					obj.Type.IsScalar() && !in.Ref.Ambiguous && in.Ref.Kind != ir.RefSpill {
+					weight[obj] += w
+					if in.Op == ir.OpStore {
+						stores[obj] = true
+					}
+				}
+			case ir.OpCall:
+				for obj := range mr[in.Callee.Name] {
+					touchedByCalls[obj] = true
+				}
+			}
+		}
+	}
+	var cands []*sem.Object
+	for obj, w := range weight {
+		if touchedByCalls[obj] || an.ObjectAmbiguous(obj) {
+			continue
+		}
+		// Profitability: promotion costs one entry load plus, for modified
+		// globals, one store per exit; it pays off only when the expected
+		// interior reference count exceeds that. Loop-resident references
+		// are weighted 10x per nesting level, so any reference inside a
+		// loop qualifies while a straight-line single use does not.
+		cost := 1.0
+		if stores[obj] {
+			cost += float64(exits)
+		}
+		if w <= cost {
+			continue
+		}
+		cands = append(cands, obj)
+	}
+	if len(cands) == 0 {
+		return st
+	}
+	// Deterministic order.
+	for i := 0; i < len(cands); i++ {
+		for j := i + 1; j < len(cands); j++ {
+			if cands[j].ID < cands[i].ID {
+				cands[i], cands[j] = cands[j], cands[i]
+			}
+		}
+	}
+
+	homeReg := make(map[*sem.Object]ir.Reg, len(cands))
+	for _, obj := range cands {
+		homeReg[obj] = f.NewReg()
+		st.PromotedGlobals++
+	}
+
+	// Rewrite interior references to register moves.
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op != ir.OpLoad && in.Op != ir.OpStore {
+				continue
+			}
+			obj := in.Ref.Obj
+			home, ok := homeReg[obj]
+			if !ok || in.Ref.Kind == ir.RefSpill {
+				continue
+			}
+			if in.Op == ir.OpLoad {
+				*in = ir.Instr{Op: ir.OpCopy, Dst: in.Dst, A: home, Pos: in.Pos}
+			} else {
+				*in = ir.Instr{Op: ir.OpCopy, Dst: home, A: in.B, Pos: in.Pos}
+			}
+			st.RewrittenRefs++
+		}
+	}
+
+	// Entry: load each candidate once (UmAm_LOAD after classification).
+	var entry []ir.Instr
+	for _, obj := range cands {
+		addr := f.NewReg()
+		entry = append(entry,
+			ir.Instr{Op: ir.OpAddr, Dst: addr, Obj: obj},
+			ir.Instr{Op: ir.OpLoad, Dst: homeReg[obj], A: addr,
+				Ref: &ir.MemRef{Kind: ir.RefScalar, Obj: obj, AliasSet: an.SetID(obj)}})
+	}
+	eb := f.Entry()
+	eb.Instrs = append(entry, eb.Instrs...)
+
+	// Exits: write modified candidates back before each return.
+	for _, b := range f.Blocks {
+		t := b.Term()
+		if t == nil || t.Op != ir.OpRet {
+			continue
+		}
+		var writeback []ir.Instr
+		for _, obj := range cands {
+			if !stores[obj] {
+				continue
+			}
+			addr := f.NewReg()
+			writeback = append(writeback,
+				ir.Instr{Op: ir.OpAddr, Dst: addr, Obj: obj},
+				ir.Instr{Op: ir.OpStore, A: addr, B: homeReg[obj],
+					Ref: &ir.MemRef{Kind: ir.RefScalar, Obj: obj, AliasSet: an.SetID(obj)}})
+		}
+		if len(writeback) == 0 {
+			continue
+		}
+		ret := b.Instrs[len(b.Instrs)-1]
+		b.Instrs = append(b.Instrs[:len(b.Instrs)-1], append(writeback, ret)...)
+	}
+
+	opt.EliminateDeadCode(f)
+	f.Renumber()
+	return st
+}

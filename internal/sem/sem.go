@@ -1,0 +1,674 @@
+// Package sem implements name resolution and type checking for MC.
+//
+// The checker attaches no fields to the AST; resolved objects and expression
+// types live in side tables on Info. It also records the facts the later
+// alias analysis needs: which objects have their address taken and the
+// program-wide object inventory.
+package sem
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/token"
+	"repro/internal/types"
+)
+
+// ObjKind classifies a declared object.
+type ObjKind int
+
+// Object kinds.
+const (
+	GlobalVar ObjKind = iota
+	LocalVar
+	ParamVar
+	FuncObj
+	BuiltinObj
+)
+
+func (k ObjKind) String() string {
+	switch k {
+	case GlobalVar:
+		return "global"
+	case LocalVar:
+		return "local"
+	case ParamVar:
+		return "param"
+	case FuncObj:
+		return "func"
+	case BuiltinObj:
+		return "builtin"
+	}
+	return "?"
+}
+
+// Object is a declared entity: a variable, parameter, function, or builtin.
+type Object struct {
+	ID        int // unique across the program
+	Name      string
+	Kind      ObjKind
+	Type      *types.Type
+	Pos       token.Pos
+	AddrTaken bool  // address escapes into a pointer (via &, decay, or array param passing)
+	InitVal   int64 // constant initializer for global scalars
+
+	// Func is set for FuncObj objects.
+	Func *Func
+}
+
+func (o *Object) String() string { return fmt.Sprintf("%s %s %s", o.Kind, o.Type, o.Name) }
+
+// IsVar reports whether the object is a variable or parameter.
+func (o *Object) IsVar() bool {
+	return o.Kind == GlobalVar || o.Kind == LocalVar || o.Kind == ParamVar
+}
+
+// Func is the semantic view of a function definition.
+type Func struct {
+	Obj    *Object
+	Decl   *ast.FuncDecl
+	Params []*Object
+	Locals []*Object // declared locals, in declaration order (excludes params)
+}
+
+// Name returns the function's source name.
+func (f *Func) Name() string { return f.Obj.Name }
+
+// Info is the result of type checking a file.
+type Info struct {
+	File    *ast.File
+	Funcs   []*Func
+	Globals []*Object
+	Objects []*Object // every object, indexed by ID
+
+	Uses  map[*ast.Ident]*Object   // identifier resolution
+	Decls map[*ast.VarDecl]*Object // declaration objects (globals and locals)
+	Types map[ast.Expr]*types.Type // expression types (pre-decay)
+}
+
+// ObjectOf returns the object an identifier resolves to, or nil.
+func (in *Info) ObjectOf(id *ast.Ident) *Object { return in.Uses[id] }
+
+// TypeOf returns the checked type of an expression, or nil.
+func (in *Info) TypeOf(e ast.Expr) *types.Type { return in.Types[e] }
+
+// LookupFunc finds a function by name.
+func (in *Info) LookupFunc(name string) *Func {
+	for _, f := range in.Funcs {
+		if f.Name() == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// Error is a semantic diagnostic.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// ErrorList collects semantic errors.
+type ErrorList []Error
+
+func (l ErrorList) Error() string {
+	var b strings.Builder
+	for i, e := range l {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(e.Error())
+	}
+	return b.String()
+}
+
+// BuiltinNames lists the predeclared functions: print emits an integer and a
+// newline; printchar emits a single character code.
+var BuiltinNames = []string{"print", "printchar"}
+
+// Check resolves and type-checks the file.
+func Check(f *ast.File) (*Info, error) {
+	c := &checker{
+		info: &Info{
+			File:  f,
+			Uses:  make(map[*ast.Ident]*Object),
+			Decls: make(map[*ast.VarDecl]*Object),
+			Types: make(map[ast.Expr]*types.Type),
+		},
+		scopes: []map[string]*Object{make(map[string]*Object)},
+	}
+	for _, name := range BuiltinNames {
+		obj := c.newObject(name, BuiltinObj, types.NewFunc([]*types.Type{types.Int}, types.Void), token.Pos{})
+		c.scopes[0][name] = obj
+	}
+
+	// Pass 1: declare all globals and function signatures so forward calls work.
+	for _, d := range f.Decls {
+		switch d := d.(type) {
+		case *ast.VarDecl:
+			c.declareGlobal(d)
+		case *ast.FuncDecl:
+			c.declareFunc(d)
+		}
+	}
+	// Pass 2: check function bodies.
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			c.checkFuncBody(fd)
+		}
+	}
+	if len(c.errs) > 0 {
+		return c.info, c.errs
+	}
+	return c.info, nil
+}
+
+type checker struct {
+	info   *Info
+	scopes []map[string]*Object
+	errs   ErrorList
+
+	curFunc   *Func
+	loopDepth int
+}
+
+const maxErrors = 20
+
+func (c *checker) errorf(pos token.Pos, format string, args ...any) {
+	if len(c.errs) < maxErrors {
+		c.errs = append(c.errs, Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+	}
+}
+
+func (c *checker) newObject(name string, kind ObjKind, t *types.Type, pos token.Pos) *Object {
+	obj := &Object{ID: len(c.info.Objects), Name: name, Kind: kind, Type: t, Pos: pos}
+	c.info.Objects = append(c.info.Objects, obj)
+	return obj
+}
+
+func (c *checker) push() { c.scopes = append(c.scopes, make(map[string]*Object)) }
+func (c *checker) pop()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) declare(obj *Object) {
+	top := c.scopes[len(c.scopes)-1]
+	if prev, ok := top[obj.Name]; ok {
+		c.errorf(obj.Pos, "%s redeclared (previous declaration at %s)", obj.Name, prev.Pos)
+		return
+	}
+	top[obj.Name] = obj
+}
+
+func (c *checker) lookup(name string) *Object {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if obj, ok := c.scopes[i][name]; ok {
+			return obj
+		}
+	}
+	return nil
+}
+
+func (c *checker) declareGlobal(d *ast.VarDecl) {
+	obj := c.newObject(d.Name, GlobalVar, d.Type, d.NamePos)
+	c.declare(obj)
+	c.info.Decls[d] = obj
+	c.info.Globals = append(c.info.Globals, obj)
+	if d.Init != nil {
+		if !d.Type.IsInt() {
+			c.errorf(d.NamePos, "only int globals may have initializers")
+			return
+		}
+		v, ok := constEval(d.Init)
+		if !ok {
+			c.errorf(d.Init.Pos(), "global initializer must be a constant expression")
+			return
+		}
+		obj.InitVal = v
+	}
+}
+
+// constEval evaluates constant integer expressions for global initializers.
+func constEval(e ast.Expr) (int64, bool) {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return e.Value, true
+	case *ast.Unary:
+		v, ok := constEval(e.X)
+		if !ok {
+			return 0, false
+		}
+		switch e.Op {
+		case token.MINUS:
+			return -v, true
+		case token.NOT:
+			if v == 0 {
+				return 1, true
+			}
+			return 0, true
+		}
+		return 0, false
+	case *ast.Binary:
+		a, ok1 := constEval(e.X)
+		b, ok2 := constEval(e.Y)
+		if !ok1 || !ok2 {
+			return 0, false
+		}
+		switch e.Op {
+		case token.PLUS:
+			return a + b, true
+		case token.MINUS:
+			return a - b, true
+		case token.STAR:
+			return a * b, true
+		case token.SLASH:
+			if b == 0 {
+				return 0, false
+			}
+			return a / b, true
+		case token.PERCENT:
+			if b == 0 {
+				return 0, false
+			}
+			return a % b, true
+		case token.SHL:
+			if b < 0 || b > 62 {
+				return 0, false
+			}
+			return a << uint(b), true
+		case token.SHR:
+			if b < 0 || b > 62 {
+				return 0, false
+			}
+			return a >> uint(b), true
+		case token.AMP:
+			return a & b, true
+		case token.PIPE:
+			return a | b, true
+		case token.CARET:
+			return a ^ b, true
+		}
+	}
+	return 0, false
+}
+
+func (c *checker) declareFunc(d *ast.FuncDecl) {
+	var params []*types.Type
+	for _, prm := range d.Params {
+		params = append(params, prm.Type)
+	}
+	ft := types.NewFunc(params, d.Result)
+	obj := c.newObject(d.Name, FuncObj, ft, d.NamePos)
+	fn := &Func{Obj: obj, Decl: d}
+	obj.Func = fn
+	c.declare(obj)
+	c.info.Funcs = append(c.info.Funcs, fn)
+}
+
+func (c *checker) checkFuncBody(d *ast.FuncDecl) {
+	obj := c.lookup(d.Name)
+	if obj == nil || obj.Func == nil || obj.Func.Decl != d {
+		return // redeclaration error already reported
+	}
+	fn := obj.Func
+	c.curFunc = fn
+	c.push()
+	for _, prm := range d.Params {
+		p := c.newObject(prm.Name, ParamVar, prm.Type, prm.NamePos)
+		c.declare(p)
+		fn.Params = append(fn.Params, p)
+	}
+	c.checkBlock(d.Body, false)
+	c.pop()
+	c.curFunc = nil
+}
+
+// checkBlock checks a block; ownScope is false when the caller already
+// pushed a scope (function bodies share the parameter scope).
+func (c *checker) checkBlock(b *ast.BlockStmt, ownScope bool) {
+	if ownScope {
+		c.push()
+		defer c.pop()
+	}
+	for _, s := range b.List {
+		c.checkStmt(s)
+	}
+}
+
+func (c *checker) checkStmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.DeclStmt:
+		c.checkLocalDecl(s.Decl)
+	case *ast.AssignStmt:
+		c.checkAssign(s)
+	case *ast.IncDecStmt:
+		t := c.checkLvalue(s.LHS)
+		if t != nil && !t.IsInt() && !t.IsPointer() {
+			c.errorf(s.LHS.Pos(), "%s requires an int or pointer operand, have %s", s.Op, t)
+		}
+	case *ast.ExprStmt:
+		c.checkExpr(s.X)
+	case *ast.BlockStmt:
+		c.checkBlock(s, true)
+	case *ast.IfStmt:
+		c.checkCond(s.Cond)
+		c.checkStmt(s.Then)
+		if s.Else != nil {
+			c.checkStmt(s.Else)
+		}
+	case *ast.WhileStmt:
+		c.checkCond(s.Cond)
+		c.loopDepth++
+		c.checkStmt(s.Body)
+		c.loopDepth--
+	case *ast.ForStmt:
+		c.push()
+		if s.Init != nil {
+			c.checkStmt(s.Init)
+		}
+		if s.Cond != nil {
+			c.checkCond(s.Cond)
+		}
+		c.loopDepth++
+		c.checkStmt(s.Body)
+		if s.Post != nil {
+			c.checkStmt(s.Post)
+		}
+		c.loopDepth--
+		c.pop()
+	case *ast.ReturnStmt:
+		c.checkReturn(s)
+	case *ast.BreakStmt:
+		if c.loopDepth == 0 {
+			c.errorf(s.Pos(), "break outside loop")
+		}
+	case *ast.ContinueStmt:
+		if c.loopDepth == 0 {
+			c.errorf(s.Pos(), "continue outside loop")
+		}
+	}
+}
+
+func (c *checker) checkLocalDecl(d *ast.VarDecl) {
+	obj := c.newObject(d.Name, LocalVar, d.Type, d.NamePos)
+	c.declare(obj)
+	c.info.Decls[d] = obj
+	if c.curFunc != nil {
+		c.curFunc.Locals = append(c.curFunc.Locals, obj)
+	}
+	if d.Init != nil {
+		if !d.Type.IsScalar() {
+			c.errorf(d.NamePos, "array %s cannot have an initializer", d.Name)
+			return
+		}
+		t := c.checkExpr(d.Init)
+		c.assignable(d.NamePos, d.Type, t)
+	}
+}
+
+func (c *checker) checkAssign(s *ast.AssignStmt) {
+	lt := c.checkLvalue(s.LHS)
+	rt := c.checkExpr(s.RHS)
+	if lt == nil || rt == nil {
+		return
+	}
+	if s.Op == token.ASSIGN {
+		c.assignable(s.LHS.Pos(), lt, rt)
+		return
+	}
+	// Compound assignment: int op= int, or pointer += / -= int.
+	if lt.IsPointer() && (s.Op == token.PLUSEQ || s.Op == token.MINUSEQ) {
+		if !rt.IsInt() {
+			c.errorf(s.RHS.Pos(), "pointer %s requires an int operand, have %s", s.Op, rt)
+		}
+		return
+	}
+	if !lt.IsInt() || !rt.Decay().IsInt() {
+		c.errorf(s.LHS.Pos(), "invalid operands for %s: %s and %s", s.Op, lt, rt)
+	}
+}
+
+// assignable reports an error unless a value of type rt may be assigned to
+// storage of type lt (with array decay on the right).
+func (c *checker) assignable(pos token.Pos, lt, rt *types.Type) {
+	rt = rt.Decay()
+	if types.Equal(lt, rt) {
+		return
+	}
+	c.errorf(pos, "cannot assign %s to %s", rt, lt)
+}
+
+func (c *checker) checkCond(e ast.Expr) {
+	t := c.checkExpr(e)
+	if t != nil && !t.Decay().IsScalar() {
+		c.errorf(e.Pos(), "condition must be scalar, have %s", t)
+	}
+}
+
+func (c *checker) checkReturn(s *ast.ReturnStmt) {
+	if c.curFunc == nil {
+		return
+	}
+	want := c.curFunc.Obj.Type.Result
+	if s.Result == nil {
+		if !want.IsVoid() {
+			c.errorf(s.Pos(), "missing return value in %s (want %s)", c.curFunc.Name(), want)
+		}
+		return
+	}
+	if want.IsVoid() {
+		c.errorf(s.Pos(), "void function %s returns a value", c.curFunc.Name())
+		return
+	}
+	t := c.checkExpr(s.Result)
+	if t != nil {
+		c.assignable(s.Result.Pos(), want, t)
+	}
+}
+
+// checkLvalue checks e as an assignment target and returns its type.
+func (c *checker) checkLvalue(e ast.Expr) *types.Type {
+	t := c.checkExpr(e)
+	if t == nil {
+		return nil
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := c.info.Uses[e]
+		if obj != nil && !obj.IsVar() {
+			c.errorf(e.Pos(), "%s is not a variable", e.Name)
+			return nil
+		}
+		if t.IsArray() {
+			c.errorf(e.Pos(), "cannot assign to array %s", e.Name)
+			return nil
+		}
+		return t
+	case *ast.Index:
+		if t.IsArray() {
+			c.errorf(e.Pos(), "cannot assign to array element of array type")
+			return nil
+		}
+		return t
+	case *ast.Unary:
+		if e.Op == token.STAR {
+			return t
+		}
+	}
+	c.errorf(e.Pos(), "invalid assignment target")
+	return nil
+}
+
+// checkExpr type-checks e and records its (pre-decay) type.
+func (c *checker) checkExpr(e ast.Expr) *types.Type {
+	t := c.exprType(e)
+	if t != nil {
+		c.info.Types[e] = t
+	}
+	return t
+}
+
+func (c *checker) exprType(e ast.Expr) *types.Type {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return types.Int
+
+	case *ast.Ident:
+		obj := c.lookup(e.Name)
+		if obj == nil {
+			c.errorf(e.Pos(), "undefined: %s", e.Name)
+			return nil
+		}
+		c.info.Uses[e] = obj
+		if obj.Kind == FuncObj || obj.Kind == BuiltinObj {
+			c.errorf(e.Pos(), "%s is a function, not a value", e.Name)
+			return nil
+		}
+		return obj.Type
+
+	case *ast.Unary:
+		xt := c.checkExpr(e.X)
+		if xt == nil {
+			return nil
+		}
+		switch e.Op {
+		case token.MINUS, token.NOT:
+			if !xt.Decay().IsInt() {
+				c.errorf(e.Pos(), "operator %s requires int, have %s", e.Op, xt)
+				return nil
+			}
+			return types.Int
+		case token.STAR:
+			dt := xt.Decay()
+			if !dt.IsPointer() {
+				c.errorf(e.Pos(), "cannot dereference %s", xt)
+				return nil
+			}
+			return dt.Elem
+		case token.AMP:
+			return c.addressOf(e.X, xt)
+		}
+		c.errorf(e.Pos(), "invalid unary operator %s", e.Op)
+		return nil
+
+	case *ast.Binary:
+		return c.binaryType(e)
+
+	case *ast.Index:
+		xt := c.checkExpr(e.X)
+		it := c.checkExpr(e.Idx)
+		if it != nil && !it.IsInt() {
+			c.errorf(e.Idx.Pos(), "array index must be int, have %s", it)
+		}
+		if xt == nil {
+			return nil
+		}
+		switch {
+		case xt.IsArray():
+			return xt.Elem
+		case xt.IsPointer():
+			// Indexing through a pointer marks nothing here; aliasing is
+			// resolved by the points-to analysis.
+			return xt.Elem
+		}
+		c.errorf(e.Pos(), "cannot index %s", xt)
+		return nil
+
+	case *ast.Call:
+		return c.callType(e)
+	}
+	return nil
+}
+
+// addressOf types &x and records address-taken facts.
+func (c *checker) addressOf(x ast.Expr, xt *types.Type) *types.Type {
+	switch x := x.(type) {
+	case *ast.Ident:
+		if obj := c.info.Uses[x]; obj != nil && obj.IsVar() {
+			obj.AddrTaken = true
+		}
+		return types.PointerTo(xt)
+	case *ast.Index:
+		return types.PointerTo(xt)
+	case *ast.Unary:
+		if x.Op == token.STAR {
+			return types.PointerTo(xt) // &*p == p
+		}
+	}
+	c.errorf(x.Pos(), "cannot take address of this expression")
+	return nil
+}
+
+func (c *checker) binaryType(e *ast.Binary) *types.Type {
+	xt := c.checkExpr(e.X)
+	yt := c.checkExpr(e.Y)
+	if xt == nil || yt == nil {
+		return nil
+	}
+	xd, yd := xt.Decay(), yt.Decay()
+	switch e.Op {
+	case token.PLUS, token.MINUS:
+		switch {
+		case xd.IsInt() && yd.IsInt():
+			return types.Int
+		case xd.IsPointer() && yd.IsInt():
+			return xd
+		case e.Op == token.PLUS && xd.IsInt() && yd.IsPointer():
+			return yd
+		case e.Op == token.MINUS && xd.IsPointer() && types.Equal(xd, yd):
+			return types.Int // pointer difference in elements
+		}
+	case token.STAR, token.SLASH, token.PERCENT, token.SHL, token.SHR,
+		token.AMP, token.PIPE, token.CARET:
+		if xd.IsInt() && yd.IsInt() {
+			return types.Int
+		}
+	case token.EQ, token.NEQ, token.LT, token.GT, token.LEQ, token.GEQ:
+		if (xd.IsInt() && yd.IsInt()) || (xd.IsPointer() && types.Equal(xd, yd)) {
+			return types.Int
+		}
+	case token.LAND, token.LOR:
+		if xd.IsScalar() && yd.IsScalar() {
+			return types.Int
+		}
+	}
+	c.errorf(e.OpPos, "invalid operands for %s: %s and %s", e.Op, xt, yt)
+	return nil
+}
+
+func (c *checker) callType(e *ast.Call) *types.Type {
+	obj := c.lookup(e.Fun.Name)
+	if obj == nil {
+		c.errorf(e.Fun.Pos(), "undefined function: %s", e.Fun.Name)
+		// Still check the arguments for secondary errors.
+		for _, a := range e.Args {
+			c.checkExpr(a)
+		}
+		return nil
+	}
+	c.info.Uses[e.Fun] = obj
+	if obj.Kind != FuncObj && obj.Kind != BuiltinObj {
+		c.errorf(e.Fun.Pos(), "%s is not a function", e.Fun.Name)
+		return nil
+	}
+	ft := obj.Type
+	if len(e.Args) != len(ft.Params) {
+		c.errorf(e.Fun.Pos(), "%s expects %d arguments, got %d", e.Fun.Name, len(ft.Params), len(e.Args))
+	}
+	for i, a := range e.Args {
+		at := c.checkExpr(a)
+		if i < len(ft.Params) && at != nil {
+			// Passing an array decays it to a pointer: its address escapes.
+			if at.IsArray() {
+				if id, ok := a.(*ast.Ident); ok {
+					if o := c.info.Uses[id]; o != nil {
+						o.AddrTaken = true
+					}
+				}
+			}
+			c.assignable(a.Pos(), ft.Params[i], at)
+		}
+	}
+	return ft.Result
+}

@@ -1,0 +1,267 @@
+package sem
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+)
+
+func check(t *testing.T, src string) (*Info, error) {
+	t.Helper()
+	f, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Check(f)
+}
+
+func mustCheck(t *testing.T, src string) *Info {
+	t.Helper()
+	info, err := check(t, src)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return info
+}
+
+func wantErr(t *testing.T, src, frag string) {
+	t.Helper()
+	_, err := check(t, src)
+	if err == nil {
+		t.Fatalf("expected error containing %q, got none", frag)
+	}
+	if !strings.Contains(err.Error(), frag) {
+		t.Fatalf("error %q does not contain %q", err, frag)
+	}
+}
+
+func TestGlobalsAndFuncs(t *testing.T) {
+	info := mustCheck(t, `
+int g = 7;
+int a[10];
+int add(int x, int y) { return x + y; }
+void main() { print(add(g, a[0])); }
+`)
+	if len(info.Globals) != 2 {
+		t.Fatalf("globals = %d, want 2", len(info.Globals))
+	}
+	if info.Globals[0].InitVal != 7 {
+		t.Errorf("g init = %d, want 7", info.Globals[0].InitVal)
+	}
+	if len(info.Funcs) != 2 {
+		t.Fatalf("funcs = %d, want 2", len(info.Funcs))
+	}
+	if f := info.LookupFunc("add"); f == nil || len(f.Params) != 2 {
+		t.Fatalf("add lookup failed: %v", f)
+	}
+}
+
+func TestConstInitializers(t *testing.T) {
+	info := mustCheck(t, `
+int a = 2 + 3 * 4;
+int b = -(1 << 4);
+int c = 100 / 7 % 5;
+void main() {}
+`)
+	wants := []int64{14, -16, 4}
+	for i, w := range wants {
+		if got := info.Globals[i].InitVal; got != w {
+			t.Errorf("global %d init = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestNonConstGlobalInit(t *testing.T) {
+	wantErr(t, `int g; int h = g + 1; void main() {}`, "constant")
+}
+
+func TestUndefined(t *testing.T) {
+	wantErr(t, `void main() { x = 1; }`, "undefined")
+	wantErr(t, `void main() { foo(); }`, "undefined function")
+}
+
+func TestRedeclaration(t *testing.T) {
+	wantErr(t, `int x; int x; void main() {}`, "redeclared")
+	wantErr(t, `void main() { int y; int y; }`, "redeclared")
+}
+
+func TestShadowingAllowed(t *testing.T) {
+	info := mustCheck(t, `
+int x;
+void main() {
+    int x;
+    x = 1;
+    {
+        int x;
+        x = 2;
+    }
+}
+`)
+	fn := info.LookupFunc("main")
+	if len(fn.Locals) != 2 {
+		t.Fatalf("locals = %d, want 2", len(fn.Locals))
+	}
+	if fn.Locals[0].ID == fn.Locals[1].ID {
+		t.Error("shadowed locals share an ID")
+	}
+}
+
+func TestTypeErrors(t *testing.T) {
+	wantErr(t, `int a[5]; void main() { a = 1; }`, "cannot assign")
+	wantErr(t, `void main() { int x; int *p; x = p; }`, "cannot assign")
+	wantErr(t, `void main() { int x; x = *x; }`, "dereference")
+	wantErr(t, `int f() { return 1; } void main() { f = 2; }`, "not a value")
+	wantErr(t, `void main() { int a[3]; a[0][1] = 2; }`, "cannot index")
+	wantErr(t, `int f(int x) { return x; } void main() { f(1, 2); }`, "expects 1 arguments")
+	wantErr(t, `void main() { return 3; }`, "void function")
+	wantErr(t, `int f() { return; } void main() {}`, "missing return value")
+	wantErr(t, `void main() { break; }`, "break outside loop")
+	wantErr(t, `void main() { continue; }`, "continue outside loop")
+}
+
+func TestPointerArithmeticTypes(t *testing.T) {
+	info := mustCheck(t, `
+int a[10];
+void main() {
+    int *p;
+    int d;
+    p = a;
+    p = p + 3;
+    p = 1 + p;
+    p += 2;
+    d = p - a;
+    if (p == a) { d = 0; }
+    if (p < a) { d = 1; }
+}
+`)
+	_ = info
+}
+
+func TestAddrTaken(t *testing.T) {
+	info := mustCheck(t, `
+int g;
+int h;
+int a[4];
+void use(int *p) { *p = 1; }
+void main() {
+    int x;
+    int y;
+    int *p;
+    p = &x;
+    use(&g);
+    use(a);
+    y = x + h;
+}
+`)
+	byName := map[string]*Object{}
+	for _, o := range info.Objects {
+		if o.IsVar() {
+			byName[o.Name] = o
+		}
+	}
+	if !byName["g"].AddrTaken {
+		t.Error("g should be address-taken")
+	}
+	if byName["h"].AddrTaken {
+		t.Error("h should not be address-taken")
+	}
+	if !byName["a"].AddrTaken {
+		t.Error("a passed to pointer param should be address-taken")
+	}
+	if !byName["x"].AddrTaken {
+		t.Error("x should be address-taken")
+	}
+	if byName["y"].AddrTaken {
+		t.Error("y should not be address-taken")
+	}
+}
+
+func TestUsesResolution(t *testing.T) {
+	info := mustCheck(t, `
+int g;
+void main() {
+    int l;
+    l = g;
+    g = l;
+}
+`)
+	// Every identifier use must resolve.
+	count := 0
+	for id, obj := range info.Uses {
+		if obj == nil {
+			t.Errorf("nil object for %s", id.Name)
+		}
+		count++
+	}
+	if count < 4 {
+		t.Errorf("uses = %d, want >= 4", count)
+	}
+}
+
+func TestTwoDimensionalArrays(t *testing.T) {
+	mustCheck(t, `
+int m[4][5];
+void main() {
+    int i;
+    int j;
+    for (i = 0; i < 4; i++)
+        for (j = 0; j < 5; j++)
+            m[i][j] = i * j;
+    print(m[3][4]);
+}
+`)
+}
+
+func TestBuiltinsAreDeclared(t *testing.T) {
+	mustCheck(t, `void main() { print(1); printchar(65); }`)
+	wantErr(t, `void main() { print(1, 2); }`, "expects 1 arguments")
+}
+
+func TestForScopeIsolation(t *testing.T) {
+	// i declared in a for header must not leak past the loop.
+	wantErr(t, `
+void main() {
+    for (int i = 0; i < 3; i++) print(i);
+    print(i);
+}
+`, "undefined")
+}
+
+func TestExprTypesRecorded(t *testing.T) {
+	info := mustCheck(t, `
+int a[6];
+void main() {
+    int *p;
+    p = &a[2];
+}
+`)
+	found := false
+	for e, ty := range info.Types {
+		if _, ok := e.(*ast.Unary); ok && ty.IsPointer() {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no pointer-typed unary expression recorded")
+	}
+}
+
+func TestRecursionAllowed(t *testing.T) {
+	mustCheck(t, `
+int fib(int n) {
+    if (n < 2) return n;
+    return fib(n - 1) + fib(n - 2);
+}
+void main() { print(fib(10)); }
+`)
+}
+
+func TestMutualRecursionForwardRef(t *testing.T) {
+	mustCheck(t, `
+int even(int n) { if (n == 0) return 1; return odd(n - 1); }
+int odd(int n) { if (n == 0) return 0; return even(n - 1); }
+void main() { print(even(10)); }
+`)
+}

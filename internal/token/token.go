@@ -1,0 +1,173 @@
+// Package token defines the lexical tokens of the MC language and source
+// positions used across the compiler frontend.
+package token
+
+import "fmt"
+
+// Kind identifies the lexical class of a token.
+type Kind int
+
+// Token kinds. Literal and identifier kinds carry text; operator and
+// keyword kinds are fully identified by the kind alone.
+const (
+	EOF Kind = iota
+	ILLEGAL
+
+	// Literals and names.
+	IDENT // foo
+	INT   // 12345
+
+	// Operators and delimiters.
+	PLUS    // +
+	MINUS   // -
+	STAR    // *
+	SLASH   // /
+	PERCENT // %
+
+	AMP   // &
+	PIPE  // |
+	CARET // ^
+	SHL   // <<
+	SHR   // >>
+
+	LAND // &&
+	LOR  // ||
+	NOT  // !
+
+	EQ  // ==
+	NEQ // !=
+	LT  // <
+	GT  // >
+	LEQ // <=
+	GEQ // >=
+
+	ASSIGN    // =
+	PLUSEQ    // +=
+	MINUSEQ   // -=
+	STAREQ    // *=
+	SLASHEQ   // /=
+	PERCENTEQ // %=
+	INC       // ++
+	DEC       // --
+	LPAREN    // (
+	RPAREN    // )
+	LBRACKET  // [
+	RBRACKET  // ]
+	LBRACE    // {
+	RBRACE    // }
+	COMMA     // ,
+	SEMICOLON // ;
+
+	// Keywords.
+	KWINT
+	KWVOID
+	KWIF
+	KWELSE
+	KWWHILE
+	KWFOR
+	KWRETURN
+	KWBREAK
+	KWCONTINUE
+)
+
+var kindNames = map[Kind]string{
+	EOF:        "EOF",
+	ILLEGAL:    "ILLEGAL",
+	IDENT:      "identifier",
+	INT:        "integer literal",
+	PLUS:       "+",
+	MINUS:      "-",
+	STAR:       "*",
+	SLASH:      "/",
+	PERCENT:    "%",
+	AMP:        "&",
+	PIPE:       "|",
+	CARET:      "^",
+	SHL:        "<<",
+	SHR:        ">>",
+	LAND:       "&&",
+	LOR:        "||",
+	NOT:        "!",
+	EQ:         "==",
+	NEQ:        "!=",
+	LT:         "<",
+	GT:         ">",
+	LEQ:        "<=",
+	GEQ:        ">=",
+	ASSIGN:     "=",
+	PLUSEQ:     "+=",
+	MINUSEQ:    "-=",
+	STAREQ:     "*=",
+	SLASHEQ:    "/=",
+	PERCENTEQ:  "%=",
+	INC:        "++",
+	DEC:        "--",
+	LPAREN:     "(",
+	RPAREN:     ")",
+	LBRACKET:   "[",
+	RBRACKET:   "]",
+	LBRACE:     "{",
+	RBRACE:     "}",
+	COMMA:      ",",
+	SEMICOLON:  ";",
+	KWINT:      "int",
+	KWVOID:     "void",
+	KWIF:       "if",
+	KWELSE:     "else",
+	KWWHILE:    "while",
+	KWFOR:      "for",
+	KWRETURN:   "return",
+	KWBREAK:    "break",
+	KWCONTINUE: "continue",
+}
+
+// String returns a human-readable name for the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Keywords maps keyword spellings to their kinds.
+var Keywords = map[string]Kind{
+	"int":      KWINT,
+	"void":     KWVOID,
+	"if":       KWIF,
+	"else":     KWELSE,
+	"while":    KWWHILE,
+	"for":      KWFOR,
+	"return":   KWRETURN,
+	"break":    KWBREAK,
+	"continue": KWCONTINUE,
+}
+
+// Pos is a source position: 1-based line and column.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String formats the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// IsValid reports whether the position has been set.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// Token is a single lexical token with its source position and, for
+// identifiers and literals, its text.
+type Token struct {
+	Kind Kind
+	Text string
+	Pos  Pos
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, INT, ILLEGAL:
+		return fmt.Sprintf("%s %q", t.Kind, t.Text)
+	default:
+		return t.Kind.String()
+	}
+}

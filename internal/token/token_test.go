@@ -1,0 +1,59 @@
+package token
+
+import "testing"
+
+func TestKindStrings(t *testing.T) {
+	cases := map[Kind]string{
+		EOF:       "EOF",
+		IDENT:     "identifier",
+		PLUS:      "+",
+		LAND:      "&&",
+		SHR:       ">>",
+		PERCENTEQ: "%=",
+		KWWHILE:   "while",
+		SEMICOLON: ";",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+	if got := Kind(9999).String(); got != "Kind(9999)" {
+		t.Errorf("unknown kind prints %q", got)
+	}
+}
+
+func TestKeywordsTable(t *testing.T) {
+	for spelling, kind := range Keywords {
+		if kind.String() != spelling {
+			t.Errorf("keyword %q maps to kind with string %q", spelling, kind)
+		}
+	}
+	if len(Keywords) != 9 {
+		t.Errorf("keyword count = %d, want 9", len(Keywords))
+	}
+}
+
+func TestPos(t *testing.T) {
+	p := Pos{Line: 3, Col: 7}
+	if p.String() != "3:7" {
+		t.Errorf("Pos.String = %q", p.String())
+	}
+	if !p.IsValid() {
+		t.Error("valid position reported invalid")
+	}
+	if (Pos{}).IsValid() {
+		t.Error("zero position reported valid")
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	tok := Token{Kind: IDENT, Text: "foo"}
+	if got := tok.String(); got != `identifier "foo"` {
+		t.Errorf("Token.String = %q", got)
+	}
+	op := Token{Kind: PLUS}
+	if got := op.String(); got != "+" {
+		t.Errorf("op token string = %q", got)
+	}
+}

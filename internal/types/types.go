@@ -1,0 +1,153 @@
+// Package types implements the MC type system: machine integers, n-D
+// arrays, pointers, and function signatures. All scalar data is one machine
+// word; array and aggregate sizes are measured in words, matching the
+// word-addressed UM32 machine model.
+package types
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind discriminates the type structure.
+type Kind int
+
+// Type kinds.
+const (
+	Invalid Kind = iota
+	IntKind
+	VoidKind
+	PointerKind
+	ArrayKind
+	FuncKind
+)
+
+// Type describes an MC type. Types are immutable after construction; the
+// shared singletons Int and Void may be compared by pointer but Equal should
+// be used for structural comparison.
+type Type struct {
+	Kind   Kind
+	Elem   *Type   // Pointer and Array element type
+	Len    int     // Array length (elements)
+	Params []*Type // Func parameter types
+	Result *Type   // Func result type (Void for procedures)
+}
+
+// Shared scalar singletons.
+var (
+	Int  = &Type{Kind: IntKind}
+	Void = &Type{Kind: VoidKind}
+)
+
+// PointerTo returns the type *elem.
+func PointerTo(elem *Type) *Type { return &Type{Kind: PointerKind, Elem: elem} }
+
+// ArrayOf returns the type elem[n].
+func ArrayOf(n int, elem *Type) *Type { return &Type{Kind: ArrayKind, Len: n, Elem: elem} }
+
+// NewFunc returns a function signature type.
+func NewFunc(params []*Type, result *Type) *Type {
+	return &Type{Kind: FuncKind, Params: params, Result: result}
+}
+
+// IsInt reports whether t is the machine integer type.
+func (t *Type) IsInt() bool { return t != nil && t.Kind == IntKind }
+
+// IsVoid reports whether t is void.
+func (t *Type) IsVoid() bool { return t != nil && t.Kind == VoidKind }
+
+// IsPointer reports whether t is a pointer type.
+func (t *Type) IsPointer() bool { return t != nil && t.Kind == PointerKind }
+
+// IsArray reports whether t is an array type.
+func (t *Type) IsArray() bool { return t != nil && t.Kind == ArrayKind }
+
+// IsFunc reports whether t is a function type.
+func (t *Type) IsFunc() bool { return t != nil && t.Kind == FuncKind }
+
+// IsScalar reports whether t occupies a single word (int or pointer) and is
+// therefore a register candidate.
+func (t *Type) IsScalar() bool { return t.IsInt() || t.IsPointer() }
+
+// Words returns the storage size of t in machine words. Functions and void
+// have no storage and report 0.
+func (t *Type) Words() int {
+	switch t.Kind {
+	case IntKind, PointerKind:
+		return 1
+	case ArrayKind:
+		return t.Len * t.Elem.Words()
+	default:
+		return 0
+	}
+}
+
+// Decay converts an array type to a pointer to its element type, modeling
+// C-style array-to-pointer decay in expression contexts. Non-array types are
+// returned unchanged.
+func (t *Type) Decay() *Type {
+	if t.IsArray() {
+		return PointerTo(t.Elem)
+	}
+	return t
+}
+
+// Equal reports structural type equality.
+func Equal(a, b *Type) bool {
+	if a == b {
+		return true
+	}
+	if a == nil || b == nil || a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case IntKind, VoidKind:
+		return true
+	case PointerKind:
+		return Equal(a.Elem, b.Elem)
+	case ArrayKind:
+		return a.Len == b.Len && Equal(a.Elem, b.Elem)
+	case FuncKind:
+		if len(a.Params) != len(b.Params) || !Equal(a.Result, b.Result) {
+			return false
+		}
+		for i := range a.Params {
+			if !Equal(a.Params[i], b.Params[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// String renders the type in C-like syntax.
+func (t *Type) String() string {
+	if t == nil {
+		return "<nil>"
+	}
+	switch t.Kind {
+	case IntKind:
+		return "int"
+	case VoidKind:
+		return "void"
+	case PointerKind:
+		return t.Elem.String() + "*"
+	case ArrayKind:
+		// Collect dimensions outermost-first: int[3][4].
+		dims := ""
+		base := t
+		for base.IsArray() {
+			dims += fmt.Sprintf("[%d]", base.Len)
+			base = base.Elem
+		}
+		return base.String() + dims
+	case FuncKind:
+		var parts []string
+		for _, p := range t.Params {
+			parts = append(parts, p.String())
+		}
+		return fmt.Sprintf("%s(%s)", t.Result, strings.Join(parts, ", "))
+	}
+	return "invalid"
+}

@@ -1,0 +1,140 @@
+package types
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWords(t *testing.T) {
+	cases := []struct {
+		t    *Type
+		want int
+	}{
+		{Int, 1},
+		{PointerTo(Int), 1},
+		{ArrayOf(40, Int), 40},
+		{ArrayOf(40, ArrayOf(40, Int)), 1600},
+		{Void, 0},
+		{NewFunc(nil, Void), 0},
+	}
+	for _, tc := range cases {
+		if got := tc.t.Words(); got != tc.want {
+			t.Errorf("%s.Words() = %d, want %d", tc.t, got, tc.want)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		t    *Type
+		want string
+	}{
+		{Int, "int"},
+		{Void, "void"},
+		{PointerTo(Int), "int*"},
+		{ArrayOf(3, ArrayOf(4, Int)), "int[3][4]"},
+		{PointerTo(ArrayOf(4, Int)), "int[4]*"},
+		{NewFunc([]*Type{Int, PointerTo(Int)}, Int), "int(int, int*)"},
+	}
+	for _, tc := range cases {
+		if got := tc.t.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !Equal(ArrayOf(3, Int), ArrayOf(3, Int)) {
+		t.Error("equal arrays not Equal")
+	}
+	if Equal(ArrayOf(3, Int), ArrayOf(4, Int)) {
+		t.Error("different lengths Equal")
+	}
+	if !Equal(PointerTo(Int), PointerTo(Int)) {
+		t.Error("equal pointers not Equal")
+	}
+	if Equal(PointerTo(Int), Int) {
+		t.Error("pointer Equal to int")
+	}
+	if !Equal(NewFunc([]*Type{Int}, Void), NewFunc([]*Type{Int}, Void)) {
+		t.Error("equal funcs not Equal")
+	}
+	if Equal(NewFunc([]*Type{Int}, Void), NewFunc([]*Type{Int, Int}, Void)) {
+		t.Error("different arity Equal")
+	}
+	if Equal(nil, Int) || !Equal(nil, nil) {
+		t.Error("nil handling wrong")
+	}
+}
+
+func TestDecay(t *testing.T) {
+	a := ArrayOf(8, Int)
+	d := a.Decay()
+	if !d.IsPointer() || !d.Elem.IsInt() {
+		t.Errorf("decay of %s = %s, want int*", a, d)
+	}
+	if Int.Decay() != Int {
+		t.Error("int decayed")
+	}
+	// 2-D array decays one level only.
+	m := ArrayOf(3, ArrayOf(4, Int))
+	if got := m.Decay().String(); got != "int[4]*" {
+		t.Errorf("2D decay = %s, want int[4]*", got)
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	if !Int.IsScalar() || !PointerTo(Int).IsScalar() {
+		t.Error("int/pointer should be scalar")
+	}
+	if ArrayOf(2, Int).IsScalar() || Void.IsScalar() {
+		t.Error("array/void should not be scalar")
+	}
+	if !NewFunc(nil, Int).IsFunc() {
+		t.Error("func type not IsFunc")
+	}
+}
+
+// Property test: Equal is reflexive and symmetric over random type trees.
+func TestEqualPropertiesQuick(t *testing.T) {
+	var gen func(r *rand.Rand, depth int) *Type
+	gen = func(r *rand.Rand, depth int) *Type {
+		if depth <= 0 {
+			return Int
+		}
+		switch r.Intn(4) {
+		case 0:
+			return Int
+		case 1:
+			return PointerTo(gen(r, depth-1))
+		case 2:
+			return ArrayOf(1+r.Intn(8), gen(r, depth-1))
+		default:
+			n := r.Intn(3)
+			params := make([]*Type, n)
+			for i := range params {
+				params[i] = gen(r, depth-1)
+			}
+			return NewFunc(params, gen(r, depth-1))
+		}
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := gen(r, 4)
+		b := gen(r, 4)
+		if !Equal(a, a) || !Equal(b, b) {
+			return false // reflexivity
+		}
+		if Equal(a, b) != Equal(b, a) {
+			return false // symmetry
+		}
+		// Structural copy must be Equal.
+		c := ArrayOf(5, a)
+		d := ArrayOf(5, a)
+		return Equal(c, d) && !Equal(c, ArrayOf(6, a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,225 @@
+// Package vm interprets UM programs against the cache-fronted memory
+// model. It is the measurement harness of the reproduction: it executes
+// the compiled benchmarks, feeds every data reference (with its bypass and
+// last-reference bits) through internal/cache, and can record reference
+// traces for the trace-driven policy studies.
+//
+// Instruction fetches go through an optional instruction-cache model
+// (Config.ICache); the paper's evaluation concerns the data cache (§5),
+// so the default leaves it off.
+package vm
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cache"
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// Config controls a run.
+type Config struct {
+	MemWords    int   // memory size in words (default 1<<22)
+	MaxSteps    int64 // instruction budget (default 2e9)
+	Cache       cache.Config
+	RecordTrace bool // capture the data-reference trace
+
+	// ICache, when non-nil, models an instruction cache: every fetch is a
+	// cached read of the PC (instructions are the paper's third reference
+	// class — always through the cache, §4.2). Statistics land in
+	// Result.ICacheStats.
+	ICache *cache.Config
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	Output       string
+	Instructions int64
+	Loads        int64
+	Stores       int64
+	CacheStats   cache.Stats
+	ICacheStats  *cache.Stats // set when Config.ICache was provided
+	Trace        trace.Trace
+}
+
+// DynamicBypassPercent is the runtime fraction of data references marked
+// unambiguous (the quantity of Figure 5's "runtime" series).
+func (r *Result) DynamicBypassPercent() float64 {
+	if r.CacheStats.Refs == 0 {
+		return 0
+	}
+	return 100 * float64(r.CacheStats.BypassRefs) / float64(r.CacheStats.Refs)
+}
+
+// Run executes the program until HALT.
+func Run(p *isa.Program, cfg Config) (*Result, error) {
+	if cfg.MemWords == 0 {
+		cfg.MemWords = 1 << 22
+	}
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = 2_000_000_000
+	}
+	if cfg.Cache.Sets == 0 {
+		cfg.Cache = cache.DefaultConfig()
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	mem, err := cache.NewMemory(cfg.MemWords, cfg.Cache)
+	if err != nil {
+		return nil, err
+	}
+	for addr, v := range p.GlobalInit {
+		mem.Poke(addr, v)
+	}
+	var imem *cache.Memory
+	if cfg.ICache != nil {
+		icfg := *cfg.ICache
+		icfg.HonorBypass = false // instructions always use the cache
+		// Round the instruction space up to a whole number of lines.
+		words := (len(p.Instrs) + icfg.LineWords - 1) / icfg.LineWords * icfg.LineWords
+		imem, err = cache.NewMemory(words, icfg)
+		if err != nil {
+			return nil, fmt.Errorf("vm: icache: %w", err)
+		}
+	}
+
+	var regs [isa.NumRegs]int64
+	regs[isa.SP] = int64(cfg.MemWords)
+
+	res := &Result{}
+	var out strings.Builder
+	pc := p.Entry
+	n := len(p.Instrs)
+
+	for steps := int64(0); ; steps++ {
+		if steps >= cfg.MaxSteps {
+			return nil, fmt.Errorf("vm: step limit (%d) exceeded at pc %d", cfg.MaxSteps, pc)
+		}
+		if pc < 0 || pc >= n {
+			return nil, fmt.Errorf("vm: pc %d out of range", pc)
+		}
+		in := &p.Instrs[pc]
+		res.Instructions++
+		if imem != nil {
+			imem.Load(int64(pc), false, false)
+		}
+		next := pc + 1
+
+		switch in.Op {
+		case isa.NOP:
+		case isa.HALT:
+			res.Output = out.String()
+			res.CacheStats = mem.Stats()
+			if imem != nil {
+				ist := imem.Stats()
+				res.ICacheStats = &ist
+			}
+			return res, nil
+		case isa.LI:
+			regs[in.Rd] = in.Imm
+		case isa.MOVE:
+			regs[in.Rd] = regs[in.Rs]
+		case isa.ADD:
+			regs[in.Rd] = regs[in.Rs] + regs[in.Rt]
+		case isa.SUB:
+			regs[in.Rd] = regs[in.Rs] - regs[in.Rt]
+		case isa.MUL:
+			regs[in.Rd] = regs[in.Rs] * regs[in.Rt]
+		case isa.DIV:
+			if regs[in.Rt] == 0 {
+				return nil, fmt.Errorf("vm: division by zero at pc %d", pc)
+			}
+			regs[in.Rd] = regs[in.Rs] / regs[in.Rt]
+		case isa.REM:
+			if regs[in.Rt] == 0 {
+				return nil, fmt.Errorf("vm: remainder by zero at pc %d", pc)
+			}
+			regs[in.Rd] = regs[in.Rs] % regs[in.Rt]
+		case isa.AND:
+			regs[in.Rd] = regs[in.Rs] & regs[in.Rt]
+		case isa.OR:
+			regs[in.Rd] = regs[in.Rs] | regs[in.Rt]
+		case isa.XOR:
+			regs[in.Rd] = regs[in.Rs] ^ regs[in.Rt]
+		case isa.SLLV:
+			regs[in.Rd] = regs[in.Rs] << uint64(regs[in.Rt]&63)
+		case isa.SRAV:
+			regs[in.Rd] = regs[in.Rs] >> uint64(regs[in.Rt]&63)
+		case isa.SEQ:
+			regs[in.Rd] = b2i(regs[in.Rs] == regs[in.Rt])
+		case isa.SNE:
+			regs[in.Rd] = b2i(regs[in.Rs] != regs[in.Rt])
+		case isa.SLT:
+			regs[in.Rd] = b2i(regs[in.Rs] < regs[in.Rt])
+		case isa.SLE:
+			regs[in.Rd] = b2i(regs[in.Rs] <= regs[in.Rt])
+		case isa.SGT:
+			regs[in.Rd] = b2i(regs[in.Rs] > regs[in.Rt])
+		case isa.SGE:
+			regs[in.Rd] = b2i(regs[in.Rs] >= regs[in.Rt])
+		case isa.NEG:
+			regs[in.Rd] = -regs[in.Rs]
+		case isa.NOT:
+			regs[in.Rd] = b2i(regs[in.Rs] == 0)
+		case isa.ADDI:
+			regs[in.Rd] = regs[in.Rs] + in.Imm
+		case isa.LW:
+			addr := regs[in.Rs] + in.Imm
+			if addr < 0 || addr >= int64(cfg.MemWords) {
+				return nil, fmt.Errorf("vm: load address %d out of range at pc %d (%s)", addr, pc, in)
+			}
+			regs[in.Rd] = mem.Load(addr, in.Bypass, in.Last)
+			res.Loads++
+			if cfg.RecordTrace {
+				res.Trace = append(res.Trace, trace.Rec{Addr: addr, Kind: trace.Load,
+					Bypass: in.Bypass, Last: in.Last})
+			}
+		case isa.SW:
+			addr := regs[in.Rs] + in.Imm
+			if addr < 0 || addr >= int64(cfg.MemWords) {
+				return nil, fmt.Errorf("vm: store address %d out of range at pc %d (%s)", addr, pc, in)
+			}
+			mem.Store(addr, regs[in.Rt], in.Bypass, in.Last)
+			res.Stores++
+			if cfg.RecordTrace {
+				res.Trace = append(res.Trace, trace.Rec{Addr: addr, Kind: trace.Store,
+					Bypass: in.Bypass, Last: in.Last})
+			}
+		case isa.BEQZ:
+			if regs[in.Rs] == 0 {
+				next = in.Target
+			}
+		case isa.BNEZ:
+			if regs[in.Rs] != 0 {
+				next = in.Target
+			}
+		case isa.J:
+			next = in.Target
+		case isa.JAL:
+			regs[isa.RA] = int64(pc + 1)
+			next = in.Target
+		case isa.JR:
+			next = int(regs[in.Rs])
+		case isa.PRINT:
+			if in.Imm == 1 {
+				out.WriteByte(byte(regs[in.Rs]))
+			} else {
+				fmt.Fprintf(&out, "%d\n", regs[in.Rs])
+			}
+		default:
+			return nil, fmt.Errorf("vm: unhandled opcode %s at pc %d", in.Op, pc)
+		}
+
+		regs[isa.Zero] = 0 // r0 is hardwired
+		pc = next
+	}
+}
+
+func b2i(c bool) int64 {
+	if c {
+		return 1
+	}
+	return 0
+}

@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"repro/internal/cache"
+	"repro/internal/check"
 	"repro/internal/codegen"
 	"repro/internal/core"
 	"repro/internal/irinterp"
@@ -81,6 +82,10 @@ type CompileOptions struct {
 	// one bypass store at exit) instead of bypassing to memory on every
 	// reference.
 	PromoteGlobals bool
+	// Check runs the internal/check static verifier over the finished IR
+	// and the generated machine code, failing compilation on any violation
+	// of the bypass/dead-marking discipline.
+	Check bool
 }
 
 // Program is a compiled MC program ready to run on the UM simulator.
@@ -108,6 +113,7 @@ func Compile(src string, opts *CompileOptions) (*Program, error) {
 		Optimize:       o.Optimize,
 		Inline:         o.Inline,
 		PromoteGlobals: o.PromoteGlobals,
+		Check:          o.Check,
 	}
 	comp, err := core.Compile(src, cfg)
 	if err != nil {
@@ -116,6 +122,12 @@ func Compile(src string, opts *CompileOptions) (*Program, error) {
 	machine, err := codegen.Generate(comp)
 	if err != nil {
 		return nil, err
+	}
+	if o.Check {
+		copt := check.Options{Unified: coreMode == core.Unified}
+		if err := check.Error(check.Machine(machine, copt)); err != nil {
+			return nil, err
+		}
 	}
 	return &Program{comp: comp, machine: machine, opts: o}, nil
 }

@@ -25,7 +25,7 @@ void main() {
 `
 
 func TestCompileAndRun(t *testing.T) {
-	p, err := Compile(demoSrc, nil)
+	p, err := Compile(demoSrc, &CompileOptions{Check: true})
 	if err != nil {
 		t.Fatalf("compile: %v", err)
 	}
@@ -52,7 +52,7 @@ func TestModesProduceSameOutput(t *testing.T) {
 	for _, mode := range []Mode{Conventional, Unified} {
 		for _, alloc := range []Allocator{Chaitin, UsageCount} {
 			for _, stack := range []bool{false, true} {
-				p, err := Compile(demoSrc, &CompileOptions{Mode: mode, Allocator: alloc, StackScalars: stack})
+				p, err := Compile(demoSrc, &CompileOptions{Mode: mode, Allocator: alloc, StackScalars: stack, Check: true})
 				if err != nil {
 					t.Fatalf("%v/%v/%v compile: %v", mode, alloc, stack, err)
 				}
@@ -69,7 +69,7 @@ func TestModesProduceSameOutput(t *testing.T) {
 }
 
 func TestStaticStats(t *testing.T) {
-	p, err := Compile(demoSrc, &CompileOptions{Mode: Unified})
+	p, err := Compile(demoSrc, &CompileOptions{Mode: Unified, Check: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +86,7 @@ func TestStaticStats(t *testing.T) {
 }
 
 func TestAssemblyAndIRDumps(t *testing.T) {
-	p, err := Compile(demoSrc, nil)
+	p, err := Compile(demoSrc, &CompileOptions{Check: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +106,7 @@ func TestAssemblyAndIRDumps(t *testing.T) {
 }
 
 func TestRunWithCustomCache(t *testing.T) {
-	p, err := Compile(demoSrc, nil)
+	p, err := Compile(demoSrc, &CompileOptions{Check: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +122,7 @@ func TestRunWithCustomCache(t *testing.T) {
 }
 
 func TestReplayIncludingMIN(t *testing.T) {
-	p, err := Compile(demoSrc, nil)
+	p, err := Compile(demoSrc, &CompileOptions{Check: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +144,7 @@ func TestReplayIncludingMIN(t *testing.T) {
 }
 
 func TestReplayWithoutTraceFails(t *testing.T) {
-	p, err := Compile(demoSrc, nil)
+	p, err := Compile(demoSrc, &CompileOptions{Check: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +158,7 @@ func TestReplayWithoutTraceFails(t *testing.T) {
 }
 
 func TestCompareTraffic(t *testing.T) {
-	cmp, err := CompareTraffic(demoSrc, &CompileOptions{StackScalars: true}, nil)
+	cmp, err := CompareTraffic(demoSrc, &CompileOptions{StackScalars: true, Check: true}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +178,7 @@ func TestBadInputs(t *testing.T) {
 	if _, err := Compile("void main( {", nil); err == nil {
 		t.Error("expected parse error")
 	}
-	p, err := Compile(demoSrc, nil)
+	p, err := Compile(demoSrc, &CompileOptions{Check: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +199,7 @@ func TestBenchmarkRegistry(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p, err := Compile(b.Source, nil)
+	p, err := Compile(b.Source, &CompileOptions{Check: true})
 	if err != nil {
 		t.Fatalf("compile sieve: %v", err)
 	}
@@ -216,7 +216,7 @@ func TestBenchmarkRegistry(t *testing.T) {
 }
 
 func TestSaveAndRunAssembly(t *testing.T) {
-	p, err := Compile(demoSrc, nil)
+	p, err := Compile(demoSrc, &CompileOptions{Check: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,9 +245,9 @@ func TestSaveAndRunAssembly(t *testing.T) {
 
 func TestOptimizeAndPromoteOptions(t *testing.T) {
 	for _, o := range []CompileOptions{
-		{Optimize: true},
-		{PromoteGlobals: true},
-		{Optimize: true, PromoteGlobals: true, StackScalars: true},
+		{Optimize: true, Check: true},
+		{PromoteGlobals: true, Check: true},
+		{Optimize: true, PromoteGlobals: true, StackScalars: true, Check: true},
 	} {
 		o := o
 		p, err := Compile(demoSrc, &o)
@@ -265,7 +265,7 @@ func TestOptimizeAndPromoteOptions(t *testing.T) {
 }
 
 func TestICacheOption(t *testing.T) {
-	p, err := Compile(demoSrc, nil)
+	p, err := Compile(demoSrc, &CompileOptions{Check: true})
 	if err != nil {
 		t.Fatal(err)
 	}

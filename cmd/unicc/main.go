@@ -9,17 +9,25 @@
 //	-mode unified|conventional   management model (default unified)
 //	-alloc chaitin|usage         register allocator (default chaitin)
 //	-stack                       keep scalars in frame memory (era baseline)
-//	-dump tokens|ast|ir|alias|stats|asm
+//	-dump tokens|ast|ir|cfg|alias|stats|asm|check
 //	                             artifact to print (default asm)
+//
+// -dump check runs the internal/check static verifier: structural and
+// dead-marking passes over the IR, the bit discipline over the machine
+// code, the must/may cache analysis, and the differential harness that
+// replays the program through the cache model.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/alias"
 	"repro/internal/ast"
+	"repro/internal/cache"
+	"repro/internal/check"
 	"repro/internal/codegen"
 	"repro/internal/core"
 	"repro/internal/lexer"
@@ -29,14 +37,28 @@ import (
 	"repro/internal/token"
 )
 
+// validDumps is the closed set of -dump artifact names, in help order.
+var validDumps = []string{"tokens", "ast", "ir", "cfg", "alias", "stats", "asm", "check"}
+
 func main() {
 	mode := flag.String("mode", "unified", "management model: unified or conventional")
 	alloc := flag.String("alloc", "chaitin", "register allocator: chaitin or usage")
 	stack := flag.Bool("stack", false, "keep scalars in frame memory (baseline compiler)")
 	optimize := flag.Bool("O", false, "run the IR optimizer (folding, copy propagation, DCE)")
 	promoteG := flag.Bool("promote", false, "register-promote unambiguous globals")
-	dump := flag.String("dump", "asm", "artifact: tokens, ast, ir, cfg, alias, stats, asm")
+	dump := flag.String("dump", "asm", "artifact: "+strings.Join(validDumps, ", "))
 	flag.Parse()
+
+	known := false
+	for _, d := range validDumps {
+		if *dump == d {
+			known = true
+			break
+		}
+	}
+	if !known {
+		fatal(fmt.Errorf("unknown dump %q (valid: %s)", *dump, strings.Join(validDumps, ", ")))
+	}
 
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: unicc [flags] file.mc")
@@ -124,8 +146,35 @@ func main() {
 			fatal(err)
 		}
 		fmt.Print(prog.Listing())
-	default:
-		fatal(fmt.Errorf("unknown dump %q", *dump))
+	case "check":
+		opt := check.Options{Unified: cfg.Mode == core.Unified}
+		vs := check.Structural(comp.Prog, opt)
+		vs = append(vs, check.DeadMarking(comp.Prog, opt)...)
+		machine, err := codegen.Generate(comp)
+		if err != nil {
+			fatal(err)
+		}
+		vs = append(vs, check.Machine(machine, opt)...)
+		for _, v := range vs {
+			fmt.Println(v)
+		}
+		ccfg := cache.DefaultConfig()
+		if cfg.Mode == core.Conventional {
+			ccfg = cache.ConventionalConfig()
+		}
+		diff, err := check.Differential(comp.Prog, ccfg, opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(diff.Report.Report(comp.Prog))
+		fmt.Printf("differential: %s\n", diff.Summary())
+		if err := diff.Err(); err != nil {
+			fatal(err)
+		}
+		if len(vs) > 0 {
+			fatal(fmt.Errorf("%d violation(s)", len(vs)))
+		}
+		fmt.Println("check: ok")
 	}
 }
 

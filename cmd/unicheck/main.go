@@ -1,0 +1,121 @@
+// Command unicheck is the standalone front end of the internal/check
+// static verifier. It compiles each MC program under both management
+// models (unified and conventional), runs every pass — structural rules,
+// the dead-marking soundness proof, the machine-code bit discipline, the
+// must/may LRU cache analysis — and cross-validates the definite cache
+// verdicts against the production cache model by replaying the program's
+// reference stream (the differential harness).
+//
+// Usage:
+//
+//	unicheck [flags] [file.mc ...]
+//
+// With no files, the built-in benchmark suite is checked. The exit status
+// is 1 if any program in any mode produced a violation or a contradiction.
+//
+//	-sets/-ways/-line   cache geometry for the analysis (default 32/2/1)
+//	-v                  print per-site verdicts for every program
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/bench"
+	"repro/internal/cache"
+	"repro/internal/check"
+	"repro/internal/codegen"
+	"repro/internal/core"
+)
+
+func main() {
+	sets := flag.Int("sets", 32, "cache sets for the analysis")
+	ways := flag.Int("ways", 2, "cache associativity for the analysis")
+	line := flag.Int("line", 1, "cache line size in words")
+	verbose := flag.Bool("v", false, "print per-site cache verdicts")
+	flag.Parse()
+
+	type program struct{ name, src string }
+	var progs []program
+	if flag.NArg() == 0 {
+		for _, b := range bench.All() {
+			progs = append(progs, program{b.Name, b.Source})
+		}
+	} else {
+		for _, path := range flag.Args() {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "unicheck:", err)
+				os.Exit(1)
+			}
+			name := filepath.Base(path)
+			progs = append(progs, program{name, string(src)})
+		}
+	}
+
+	failed := false
+	for _, p := range progs {
+		for _, mode := range []core.Mode{core.Unified, core.Conventional} {
+			if !checkOne(p.name, p.src, mode, *sets, *ways, *line, *verbose) {
+				failed = true
+			}
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// checkOne runs every pass over one program in one mode and reports
+// whether it is clean.
+func checkOne(name, src string, mode core.Mode, sets, ways, line int, verbose bool) bool {
+	label := fmt.Sprintf("%-12s %-12s", name, mode)
+	// Compile without Check so violations surface here with full detail
+	// instead of as a compile error.
+	comp, err := core.Compile(src, core.Config{Mode: mode})
+	if err != nil {
+		fmt.Printf("%s COMPILE FAIL: %v\n", label, err)
+		return false
+	}
+	opt := check.Options{Unified: mode == core.Unified}
+
+	vs := check.Structural(comp.Prog, opt)
+	vs = append(vs, check.DeadMarking(comp.Prog, opt)...)
+	machine, err := codegen.Generate(comp)
+	if err != nil {
+		fmt.Printf("%s CODEGEN FAIL: %v\n", label, err)
+		return false
+	}
+	vs = append(vs, check.Machine(machine, opt)...)
+
+	ccfg := cache.DefaultConfig()
+	if mode == core.Conventional {
+		ccfg = cache.ConventionalConfig()
+	}
+	ccfg.Sets, ccfg.Ways, ccfg.LineWords = sets, ways, line
+
+	diff, err := check.Differential(comp.Prog, ccfg, opt)
+	if err != nil {
+		fmt.Printf("%s DIFFERENTIAL FAIL: %v\n", label, err)
+		return false
+	}
+
+	ok := len(vs) == 0 && diff.ContradictionCount == 0
+	status := "ok"
+	if !ok {
+		status = "FAIL"
+	}
+	fmt.Printf("%s %-4s  %s; differential: %s\n", label, status, diff.Report.Summary(), diff.Summary())
+	for _, v := range vs {
+		fmt.Printf("  %s\n", v)
+	}
+	for _, c := range diff.Contradictions {
+		fmt.Printf("  contradiction: %s\n", c)
+	}
+	if verbose {
+		fmt.Print(diff.Report.Report(comp.Prog))
+	}
+	return ok
+}

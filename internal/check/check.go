@@ -1,0 +1,266 @@
+// Package check is the static verifier of the unified registers/cache
+// management pipeline. The paper's whole contribution rests on two
+// compiler-asserted facts the hardware then trusts blindly:
+//
+//  1. a reference marked unambiguous (Bypass, the UmAm_* flavors of §4.3)
+//     is provably never aliased, so skipping the cache cannot observe or
+//     create an incoherent copy, and
+//  2. a reference marked last (the dead-mark bit of §3.1) may kill the
+//     cached copy without losing a live value.
+//
+// Between internal/alias deriving those facts and internal/codegen baking
+// them into instruction bits, four passes (inline, opt, promote, regalloc)
+// rewrite the IR; a single stale bit silently corrupts simulated runs.
+// This package re-derives every verdict independently after the pipeline
+// has finished and reports violations instead of trusting the pipeline:
+//
+//   - Structural (this file): CFG well-formedness, defs-before-uses via
+//     liveness, and per-site MemRef consistency (Bypass implies an
+//     unambiguous alias set, spill stores are AmSp_STOREs, spill reloads
+//     are UmAm_LOADs, Last implies Bypass, conventional mode carries no
+//     bits at all). Machine applies the same bit discipline to the final
+//     machine code.
+//   - DeadMarking (deadmark.go): a path-reachability proof that no
+//     Last-tagged reference can lose a live value.
+//   - AnalyzeCache (cachean.go): a must/may LRU cache analysis in the
+//     style of Touzeau et al. classifying each through-cache site as
+//     always-hit / always-miss / unknown.
+//   - Differential (diff.go): replays an interpreter-recorded reference
+//     trace through the production cache model and asserts the simulator
+//     never contradicts a definite static verdict, turning the compiler
+//     and the simulator into mutual bug detectors.
+package check
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dataflow"
+	"repro/internal/ir"
+	"repro/internal/isa"
+)
+
+// Options selects mode-dependent rules.
+type Options struct {
+	// Unified is true when the program was compiled under the paper's
+	// unified management model; false means the conventional baseline,
+	// where no reference may carry a bypass or last bit.
+	Unified bool
+}
+
+// Violation is one rule the program breaks, located precisely enough to
+// act on: function, basic block, instruction index, and reference site.
+type Violation struct {
+	Pass  string // "structural", "deadmark", "machine"
+	Func  string // function name; empty for whole-program machine checks
+	Block int    // basic block ID, -1 when not block-specific
+	Instr int    // instruction index within the block (or PC), -1 when n/a
+	Msg   string
+}
+
+func (v Violation) String() string {
+	var loc strings.Builder
+	if v.Func != "" {
+		fmt.Fprintf(&loc, "func %s", v.Func)
+	}
+	if v.Block >= 0 {
+		fmt.Fprintf(&loc, " b%d", v.Block)
+	}
+	if v.Instr >= 0 {
+		fmt.Fprintf(&loc, " i%d", v.Instr)
+	}
+	if loc.Len() == 0 {
+		return fmt.Sprintf("[%s] %s", v.Pass, v.Msg)
+	}
+	return fmt.Sprintf("[%s] %s: %s", v.Pass, strings.TrimSpace(loc.String()), v.Msg)
+}
+
+// Error bundles violations into an error value (nil when the list is
+// empty). At most eight violations are rendered; the count is exact.
+func Error(vs []Violation) error {
+	if len(vs) == 0 {
+		return nil
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "check: %d violation(s)", len(vs))
+	for i, v := range vs {
+		if i == 8 {
+			fmt.Fprintf(&sb, "\n  ... and %d more", len(vs)-i)
+			break
+		}
+		sb.WriteString("\n  ")
+		sb.WriteString(v.String())
+	}
+	return fmt.Errorf("%s", sb.String())
+}
+
+// Program runs the structural and dead-marking passes over the whole
+// program and returns their violations as one error, or nil. It is the
+// entry point core.Compile uses when Config.Check is set.
+func Program(p *ir.Program, opt Options) error {
+	vs := Structural(p, opt)
+	vs = append(vs, DeadMarking(p, opt)...)
+	return Error(vs)
+}
+
+// Structural verifies CFG well-formedness, defs-before-uses, and the
+// internal consistency of every load/store MemRef against the mode's bit
+// discipline.
+func Structural(p *ir.Program, opt Options) []Violation {
+	var vs []Violation
+	for _, f := range p.Funcs {
+		vs = append(vs, structuralFunc(f, opt)...)
+	}
+	return vs
+}
+
+func structuralFunc(f *ir.Func, opt Options) []Violation {
+	var vs []Violation
+	report := func(b *ir.Block, i int, format string, args ...any) {
+		blk, ins := -1, -1
+		if b != nil {
+			blk = b.ID
+		}
+		if i >= 0 {
+			ins = i
+		}
+		vs = append(vs, Violation{Pass: "structural", Func: f.Name,
+			Block: blk, Instr: ins, Msg: fmt.Sprintf(format, args...)})
+	}
+
+	// CFG shape first; the remaining checks assume a well-formed graph.
+	if err := f.Verify(); err != nil {
+		report(nil, -1, "ir verify: %v", err)
+		return vs
+	}
+
+	// Defs before uses: a register live into the entry block is read on
+	// some path before any definition reaches it. Parameters are defined
+	// by the calling convention; everything else must be defined first.
+	lv := dataflow.ComputeLiveness(f)
+	params := make(map[ir.Reg]bool, len(f.Params))
+	for _, pr := range f.Params {
+		params[pr] = true
+	}
+	entryIn := lv.In[f.Entry().ID]
+	for r := 0; r < f.NReg; r++ {
+		if entryIn.Has(r) && !params[ir.Reg(r)] {
+			report(f.Entry(), -1, "register %s may be used before definition", ir.Reg(r))
+		}
+	}
+
+	// Per-site MemRef discipline.
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op != ir.OpLoad && in.Op != ir.OpStore {
+				continue
+			}
+			ref := in.Ref
+			if ref == nil {
+				continue // ir.Verify already rejected this
+			}
+			isSpill := ref.Kind == ir.RefSpill
+			if isSpill {
+				if ref.Slot < 0 || ref.Slot >= f.SpillSlots {
+					report(b, i, "%q: spill slot %d out of range [0,%d)",
+						in.String(), ref.Slot, f.SpillSlots)
+				}
+				if ref.Ambiguous {
+					report(b, i, "%q: spill reference marked ambiguous", in.String())
+				}
+			} else {
+				// After alias annotation an unambiguous reference must
+				// carry a resolved alias set; an unresolved set forces
+				// ambiguity (the safe assumption of §2.1.3).
+				if ref.AliasSet < 0 && !ref.Ambiguous {
+					report(b, i, "%q: unambiguous reference without an alias set", in.String())
+				}
+				if ref.Kind == ir.RefElement && !ref.Ambiguous {
+					report(b, i, "%q: array element reference not marked ambiguous", in.String())
+				}
+			}
+
+			if !opt.Unified {
+				// Conventional hardware: every reference through the
+				// cache, no dead marking (§5's baseline).
+				if ref.Bypass {
+					report(b, i, "%q: bypass bit set in conventional mode", in.String())
+				}
+				if ref.Last {
+					report(b, i, "%q: last bit set in conventional mode", in.String())
+				}
+				continue
+			}
+
+			// Unified mode: the four flavors of §4.3.
+			switch {
+			case isSpill && in.Op == ir.OpStore:
+				// Spills go to cache (AmSp_STORE, §4.2 rule [2]).
+				if ref.Bypass {
+					report(b, i, "%q: spill store must go through the cache (AmSp_STORE)", in.String())
+				}
+				if ref.Last {
+					report(b, i, "%q: spill store must not carry the last bit", in.String())
+				}
+			case isSpill && in.Op == ir.OpLoad:
+				// Reloads are UmAm_LOADs; whether Last is set correctly is
+				// the dead-marking pass's theorem, not a local property.
+				if !ref.Bypass {
+					report(b, i, "%q: spill reload must be a UmAm_LOAD (bypass)", in.String())
+				}
+			default:
+				if ref.Bypass && ref.Ambiguous {
+					report(b, i, "%q: bypass requires an unambiguous alias set", in.String())
+				}
+				if !ref.Bypass && !ref.Ambiguous {
+					report(b, i, "%q: unambiguous reference left on the cache path", in.String())
+				}
+				if ref.Last && !ref.Bypass {
+					report(b, i, "%q: last bit on a through-cache reference", in.String())
+				}
+				if ref.Last && in.Op != ir.OpLoad {
+					report(b, i, "%q: last bit on a store", in.String())
+				}
+			}
+		}
+	}
+	return vs
+}
+
+// Machine applies the bit discipline to final machine code: control bits
+// appear only on memory instructions, Last implies Bypass and a load, and
+// conventional compilations carry no bits at all.
+func Machine(mp *isa.Program, opt Options) []Violation {
+	var vs []Violation
+	report := func(pc int, format string, args ...any) {
+		vs = append(vs, Violation{Pass: "machine", Instr: pc, Block: -1,
+			Msg: fmt.Sprintf(format, args...)})
+	}
+	if err := mp.Validate(); err != nil {
+		report(-1, "isa validate: %v", err)
+		return vs
+	}
+	for pc := range mp.Instrs {
+		in := &mp.Instrs[pc]
+		if !in.IsMem() {
+			if in.Bypass || in.Last {
+				report(pc, "%s: control bits on a non-memory instruction", in.String())
+			}
+			continue
+		}
+		if !opt.Unified {
+			if in.Bypass || in.Last {
+				report(pc, "%s: control bits in a conventional compilation", in.String())
+			}
+			continue
+		}
+		if in.Last && !in.Bypass {
+			report(pc, "%s: last bit without bypass (no such flavor in §4.3)", in.String())
+		}
+		if in.Last && in.Op != isa.LW {
+			report(pc, "%s: last bit on a store", in.String())
+		}
+	}
+	return vs
+}

@@ -1,0 +1,172 @@
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// DeadMarking proves every Last-tagged reference sound: killing the cached
+// copy at that reference can never lose a live value (§3.1). Two cases:
+//
+//   - Spill reloads. The spill store went through the cache (AmSp_STORE),
+//     so the dirty line may be the only copy of the value; a Last-tagged
+//     reload is sound iff no path from it reaches another reload of the
+//     same slot without an intervening store to that slot — including
+//     paths around loop back-edges. The pass walks the CFG explicitly
+//     (an implementation independent of the bitset liveness the compiler
+//     used, so the two act as mutual bug detectors) and also reports the
+//     dual defect: a reload whose slot is provably dead but which was not
+//     marked, i.e. a missed dead-mark.
+//
+//   - Unambiguous (bypass-class) references. Here soundness is vacuous
+//     rather than path-based: because every reference to the alias set
+//     bypasses the cache, stores write through to memory and a cached
+//     line for the set can never be the only copy, so killing it loses
+//     nothing. The pass verifies the premise program-wide: a Last tag on
+//     alias set S is a violation if any through-cache store to S exists
+//     anywhere (such a store could leave a dirty line whose discard loses
+//     the value), or — for address-taken objects — if a store through an
+//     unresolved pointer could reach S.
+//
+// Conventional compilations carry no Last bits (enforced structurally),
+// so the pass is a no-op for them.
+func DeadMarking(p *ir.Program, opt Options) []Violation {
+	if !opt.Unified {
+		return nil
+	}
+	var vs []Violation
+
+	// Program-wide census of through-cache stores for the vacuity proof.
+	cachedStoreBySet := make(map[int]string) // alias set -> one witness location
+	unknownCachedStore := ""                 // store via unresolved pointer
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				if in.Op != ir.OpStore || in.Ref == nil || in.Ref.Bypass ||
+					in.Ref.Kind == ir.RefSpill {
+					continue
+				}
+				where := fmt.Sprintf("%s b%d i%d", f.Name, b.ID, i)
+				if in.Ref.AliasSet >= 0 {
+					if _, ok := cachedStoreBySet[in.Ref.AliasSet]; !ok {
+						cachedStoreBySet[in.Ref.AliasSet] = where
+					}
+				} else if unknownCachedStore == "" {
+					unknownCachedStore = where
+				}
+			}
+		}
+	}
+
+	for _, f := range p.Funcs {
+		vs = append(vs, deadMarkSpills(f)...)
+		vs = append(vs, deadMarkBypass(f, cachedStoreBySet, unknownCachedStore)...)
+	}
+	return vs
+}
+
+// deadMarkBypass checks the vacuity premise for every Last-tagged
+// non-spill reference of f.
+func deadMarkBypass(f *ir.Func, cachedStoreBySet map[int]string, unknownCachedStore string) []Violation {
+	var vs []Violation
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			ref := in.Ref
+			if ref == nil || !ref.Last || ref.Kind == ir.RefSpill {
+				continue
+			}
+			if w, ok := cachedStoreBySet[ref.AliasSet]; ok {
+				vs = append(vs, Violation{Pass: "deadmark", Func: f.Name, Block: b.ID, Instr: i,
+					Msg: fmt.Sprintf("%q: last bit may discard a live value: through-cache store to the same alias set at %s",
+						in.String(), w)})
+			}
+			if unknownCachedStore != "" && (ref.Obj == nil || ref.Obj.AddrTaken) {
+				vs = append(vs, Violation{Pass: "deadmark", Func: f.Name, Block: b.ID, Instr: i,
+					Msg: fmt.Sprintf("%q: last bit on an address-taken object while a store through an unresolved pointer exists at %s",
+						in.String(), unknownCachedStore)})
+			}
+		}
+	}
+	return vs
+}
+
+// deadMarkSpills proves, for every spill reload of f, that the Last bit
+// agrees with explicit path reachability: marked iff no path reaches a
+// reload of the same slot before a store to it.
+func deadMarkSpills(f *ir.Func) []Violation {
+	var vs []Violation
+	if f.SpillSlots == 0 {
+		return nil
+	}
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op != ir.OpLoad || in.Ref == nil || in.Ref.Kind != ir.RefSpill {
+				continue
+			}
+			hazard := reachesReload(f, b, i, in.Ref.Slot)
+			switch {
+			case in.Ref.Last && hazard != "":
+				vs = append(vs, Violation{Pass: "deadmark", Func: f.Name, Block: b.ID, Instr: i,
+					Msg: fmt.Sprintf("%q: killing reload reaches another reload of slot %d (%s) with no intervening store",
+						in.String(), in.Ref.Slot, hazard)})
+			case !in.Ref.Last && hazard == "":
+				vs = append(vs, Violation{Pass: "deadmark", Func: f.Name, Block: b.ID, Instr: i,
+					Msg: fmt.Sprintf("%q: slot %d is dead after this reload but the last bit is missing (line lingers in cache)",
+						in.String(), in.Ref.Slot)})
+			}
+		}
+	}
+	return vs
+}
+
+// reachesReload reports whether some path starting just after instruction
+// idx of block b reaches an OpLoad of slot before an OpStore to slot,
+// following CFG successors (and therefore loop back-edges — the start
+// block itself is re-entered if a cycle leads back to it). It returns a
+// short location string for the offending reload, or "" if none is
+// reachable.
+func reachesReload(f *ir.Func, b *ir.Block, idx, slot int) string {
+	// Remainder of the start block first.
+	if loc, stop := scanBlock(b, idx+1, slot); loc != "" || stop {
+		return loc
+	}
+	visited := make([]bool, len(f.Blocks))
+	work := append([]*ir.Block(nil), b.Succs...)
+	for len(work) > 0 {
+		nb := work[len(work)-1]
+		work = work[:len(work)-1]
+		if visited[nb.ID] {
+			continue
+		}
+		visited[nb.ID] = true
+		if loc, stop := scanBlock(nb, 0, slot); loc != "" {
+			return loc
+		} else if stop {
+			continue // a store to the slot redefines it on this path
+		}
+		work = append(work, nb.Succs...)
+	}
+	return ""
+}
+
+// scanBlock scans b from instruction index from for the first event on
+// slot: a reload returns its location, a store returns stop=true.
+func scanBlock(b *ir.Block, from, slot int) (loc string, stop bool) {
+	for i := from; i < len(b.Instrs); i++ {
+		in := &b.Instrs[i]
+		if in.Ref == nil || in.Ref.Kind != ir.RefSpill || in.Ref.Slot != slot {
+			continue
+		}
+		switch in.Op {
+		case ir.OpLoad:
+			return fmt.Sprintf("b%d i%d", b.ID, i), false
+		case ir.OpStore:
+			return "", true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,110 @@
+package check
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cache"
+	"repro/internal/ir"
+	"repro/internal/irinterp"
+)
+
+// DiffResult is the outcome of one differential run: static verdicts
+// cross-validated against the production cache model.
+type DiffResult struct {
+	Report *CacheReport
+	Output string // program output (for callers that also want to check it)
+
+	Refs            int64 // dynamic references observed
+	Checked         int64 // dynamic through-cache refs at sites with a definite verdict
+	HitsConfirmed   int64 // dynamic hits at always-hit sites
+	MissesConfirmed int64 // dynamic misses at always-miss sites
+
+	ContradictionCount int64
+	Contradictions     []string // first few, formatted
+}
+
+// Err returns nil when no simulator event contradicted a definite verdict.
+func (r *DiffResult) Err() error {
+	if r.ContradictionCount == 0 {
+		return nil
+	}
+	return fmt.Errorf("check: %d contradiction(s) between static verdicts and simulation:\n  %s",
+		r.ContradictionCount, strings.Join(r.Contradictions, "\n  "))
+}
+
+// Summary renders one line of differential statistics.
+func (r *DiffResult) Summary() string {
+	return fmt.Sprintf("%d refs, %d checked against definite verdicts (%d hits, %d misses confirmed), %d contradictions",
+		r.Refs, r.Checked, r.HitsConfirmed, r.MissesConfirmed, r.ContradictionCount)
+}
+
+// Differential runs AnalyzeCache, then executes the program under the IR
+// interpreter while replaying its exact reference stream (addresses plus
+// bypass/last bits) through the production cache model, and asserts the
+// simulator never contradicts a definite static verdict: no miss at an
+// always-hit site, no hit at an always-miss site. A contradiction means
+// either the analysis or the cache model is wrong — they are independent
+// implementations of the same semantics, so each checks the other.
+func Differential(p *ir.Program, ccfg cache.Config, opt Options) (*DiffResult, error) {
+	rep, err := AnalyzeCache(p, ccfg, opt)
+	if err != nil {
+		return nil, err
+	}
+	const memWords = 1 << 22 // the interpreter's layout; addresses must be in range
+	mem, err := cache.NewMemory(memWords, ccfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &DiffResult{Report: rep}
+
+	hook := func(f *ir.Func, ins *ir.Instr, addr int64) {
+		ref := ins.Ref
+		if ref == nil {
+			return
+		}
+		res.Refs++
+		before := mem.Stats()
+		// Values are irrelevant to hit/miss behavior; the model's backing
+		// store is private to the replay.
+		if ins.Op == ir.OpLoad {
+			mem.Load(addr, ref.Bypass, ref.Last)
+		} else {
+			mem.Store(addr, 0, ref.Bypass, ref.Last)
+		}
+		after := mem.Stats()
+		if after.CachedRefs == before.CachedRefs {
+			return // took the bypass path: hit/miss does not apply
+		}
+		v, ok := rep.Verdicts[ref]
+		if !ok || (v != AlwaysHit && v != AlwaysMiss) {
+			return
+		}
+		res.Checked++
+		hit := after.Hits > before.Hits
+		switch {
+		case v == AlwaysHit && hit:
+			res.HitsConfirmed++
+		case v == AlwaysMiss && !hit:
+			res.MissesConfirmed++
+		default:
+			res.ContradictionCount++
+			if len(res.Contradictions) < 16 {
+				dyn := "miss"
+				if hit {
+					dyn = "hit"
+				}
+				res.Contradictions = append(res.Contradictions,
+					fmt.Sprintf("func %s: %q at address %d: static %s, dynamic %s",
+						f.Name, ins.String(), addr, v, dyn))
+			}
+		}
+	}
+
+	run, err := irinterp.Run(p, irinterp.Config{OnRef: hook})
+	if err != nil {
+		return nil, fmt.Errorf("check: differential run: %w", err)
+	}
+	res.Output = run.Output
+	return res, nil
+}

@@ -10,6 +10,7 @@ import (
 
 func compile(t *testing.T, src string, cfg Config) *Compilation {
 	t.Helper()
+	cfg.Check = true // every test compilation also proves its bits sound
 	c, err := Compile(src, cfg)
 	if err != nil {
 		t.Fatalf("compile: %v", err)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/alias"
+	"repro/internal/check"
 	"repro/internal/dataflow"
 	"repro/internal/inline"
 	"repro/internal/ir"
@@ -49,6 +50,12 @@ type Config struct {
 	// UmAm_STORE per exit replace the per-reference bypass accesses the
 	// naive reading of §4.3 produces. Experiment E6 quantifies the effect.
 	PromoteGlobals bool
+
+	// Check runs the internal/check static verifier (structural rules plus
+	// the dead-marking soundness proof) over the finished IR and fails the
+	// compilation on any violation. The pipeline is supposed to be correct
+	// by construction; Check makes it correct by proof.
+	Check bool
 }
 
 func (c Config) target() regalloc.Target {
@@ -127,6 +134,11 @@ func Compile(src string, cfg Config) (*Compilation, error) {
 
 	if err := prog.Verify(); err != nil {
 		return nil, fmt.Errorf("internal error after pipeline: %w", err)
+	}
+	if cfg.Check {
+		if err := check.Program(prog, check.Options{Unified: cfg.Mode == Unified}); err != nil {
+			return nil, fmt.Errorf("internal error after pipeline: %w", err)
+		}
 	}
 	return &Compilation{
 		Source: src,

@@ -95,10 +95,10 @@ func BuildWorkload(b bench.Benchmark, geom CacheGeometry, cc Compiler) (*Workloa
 	w := &Workload{Bench: b, Compiler: cc}
 	stack := cc == Baseline
 	var err error
-	if w.Unified, err = core.Compile(b.Source, core.Config{Mode: core.Unified, StackScalars: stack}); err != nil {
+	if w.Unified, err = core.Compile(b.Source, core.Config{Mode: core.Unified, StackScalars: stack, Check: true}); err != nil {
 		return nil, fmt.Errorf("%s unified: %w", b.Name, err)
 	}
-	if w.Conventional, err = core.Compile(b.Source, core.Config{Mode: core.Conventional, StackScalars: stack}); err != nil {
+	if w.Conventional, err = core.Compile(b.Source, core.Config{Mode: core.Conventional, StackScalars: stack, Check: true}); err != nil {
 		return nil, fmt.Errorf("%s conventional: %w", b.Name, err)
 	}
 	if w.UnifiedProg, err = codegen.Generate(w.Unified); err != nil {
@@ -533,10 +533,10 @@ func Promotion(geom CacheGeometry) (PromotionTable, error) {
 		return res.CacheStats.MemTrafficWords(geom.LineWords), res.Output, nil
 	}
 	variants := []variant{
-		{core.Config{Mode: core.Conventional}, geom.conventional()},
-		{core.Config{Mode: core.Unified}, geom.unified()},
-		{core.Config{Mode: core.Unified, PromoteGlobals: true}, geom.unified()},
-		{core.Config{Mode: core.Unified, PromoteGlobals: true, Inline: true, Optimize: true}, geom.unified()},
+		{core.Config{Mode: core.Conventional, Check: true}, geom.conventional()},
+		{core.Config{Mode: core.Unified, Check: true}, geom.unified()},
+		{core.Config{Mode: core.Unified, PromoteGlobals: true, Check: true}, geom.unified()},
+		{core.Config{Mode: core.Unified, PromoteGlobals: true, Inline: true, Optimize: true, Check: true}, geom.unified()},
 	}
 	workloads := append([]bench.Benchmark{{Name: "hotloop", Source: hotLoopSrc}}, bench.All()...)
 	for _, b := range workloads {
@@ -687,7 +687,7 @@ func RegPressure(geom CacheGeometry) (RegPressureTable, error) {
 			row := RegPressureRow{Name: b.Name, Registers: tgt.Colors()}
 			var outs [2]string
 			for vi, mode := range []core.Mode{core.Conventional, core.Unified} {
-				comp, err := core.Compile(b.Source, core.Config{Mode: mode, Target: tgt})
+				comp, err := core.Compile(b.Source, core.Config{Mode: mode, Target: tgt, Check: true})
 				if err != nil {
 					return t, fmt.Errorf("%s/%d: %w", b.Name, tgt.Colors(), err)
 				}
@@ -826,7 +826,7 @@ type ICacheTable struct {
 func ICache(geom CacheGeometry) (ICacheTable, error) {
 	var t ICacheTable
 	for _, b := range bench.All() {
-		comp, err := core.Compile(b.Source, core.Config{Mode: core.Unified})
+		comp, err := core.Compile(b.Source, core.Config{Mode: core.Unified, Check: true})
 		if err != nil {
 			return t, err
 		}

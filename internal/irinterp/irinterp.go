@@ -18,6 +18,12 @@ type Config struct {
 	MemWords  int   // flat memory size (default 1 << 22)
 	MaxSteps  int64 // instruction budget (default 500M)
 	StackBase int   // first word of the downward-growing stack (default MemWords)
+
+	// OnRef, when non-nil, observes every executed OpLoad/OpStore with its
+	// resolved absolute address, before the access happens. It lets callers
+	// replay the reference stream through a cache model without perturbing
+	// execution.
+	OnRef func(f *ir.Func, ins *ir.Instr, addr int64)
 }
 
 // Result is the outcome of a run.
@@ -47,6 +53,7 @@ func Run(prog *ir.Program, cfg Config) (*Result, error) {
 		global: make(map[*sem.Object]int64),
 		sp:     int64(cfg.StackBase),
 		limit:  cfg.MaxSteps,
+		onRef:  cfg.OnRef,
 	}
 	// Lay out globals from address 64 upward (address 0 stays unused so
 	// stray zero-pointers fault into unused space rather than a variable).
@@ -72,6 +79,7 @@ type interp struct {
 	out    strings.Builder
 	steps  int64
 	limit  int64
+	onRef  func(f *ir.Func, ins *ir.Instr, addr int64)
 }
 
 func (in *interp) call(f *ir.Func, args []int64) (int64, error) {
@@ -161,6 +169,9 @@ func (in *interp) call(f *ir.Func, args []int64) (int64, error) {
 				if err := checkAddr(a); err != nil {
 					return 0, err
 				}
+				if in.onRef != nil {
+					in.onRef(f, ins, a)
+				}
 				regs[ins.Dst] = in.mem[a]
 			case ir.OpStore:
 				var a int64
@@ -171,6 +182,9 @@ func (in *interp) call(f *ir.Func, args []int64) (int64, error) {
 				}
 				if err := checkAddr(a); err != nil {
 					return 0, err
+				}
+				if in.onRef != nil {
+					in.onRef(f, ins, a)
 				}
 				in.mem[a] = regs[ins.B]
 			case ir.OpArg:

@@ -3,8 +3,6 @@ package isa
 import (
 	"strings"
 	"testing"
-
-	"repro/internal/core"
 )
 
 func TestRegisterNames(t *testing.T) {
@@ -19,29 +17,6 @@ func TestRegisterNames(t *testing.T) {
 	}
 	if got := RegName(99); got != "$r99" {
 		t.Errorf("RegName(99) = %s", got)
-	}
-}
-
-// The allocator's default palette (defined in internal/core to avoid an
-// import cycle) must match the ISA's allocatable registers exactly.
-func TestDefaultTargetMatchesISA(t *testing.T) {
-	wantCaller := AllocatableCallerSaved()
-	wantCallee := AllocatableCalleeSaved()
-	gotCaller := core.DefaultTarget.CallerSaved
-	gotCallee := core.DefaultTarget.CalleeSaved
-	if len(gotCaller) != len(wantCaller) || len(gotCallee) != len(wantCallee) {
-		t.Fatalf("palette sizes differ: %v/%v vs %v/%v",
-			gotCaller, gotCallee, wantCaller, wantCallee)
-	}
-	for i := range wantCaller {
-		if gotCaller[i] != wantCaller[i] {
-			t.Errorf("caller-saved %d: %d != %d", i, gotCaller[i], wantCaller[i])
-		}
-	}
-	for i := range wantCallee {
-		if gotCallee[i] != wantCallee[i] {
-			t.Errorf("callee-saved %d: %d != %d", i, gotCallee[i], wantCallee[i])
-		}
 	}
 }
 

@@ -1,0 +1,33 @@
+// External test package: importing internal/core from an in-package test
+// would create a cycle (core -> check -> isa).
+package isa_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+)
+
+// The allocator's default palette (defined in internal/core to avoid an
+// import cycle) must match the ISA's allocatable registers exactly.
+func TestDefaultTargetMatchesISA(t *testing.T) {
+	wantCaller := isa.AllocatableCallerSaved()
+	wantCallee := isa.AllocatableCalleeSaved()
+	gotCaller := core.DefaultTarget.CallerSaved
+	gotCallee := core.DefaultTarget.CalleeSaved
+	if len(gotCaller) != len(wantCaller) || len(gotCallee) != len(wantCallee) {
+		t.Fatalf("palette sizes differ: %v/%v vs %v/%v",
+			gotCaller, gotCallee, wantCaller, wantCallee)
+	}
+	for i := range wantCaller {
+		if gotCaller[i] != wantCaller[i] {
+			t.Errorf("caller-saved %d: %d != %d", i, gotCaller[i], wantCaller[i])
+		}
+	}
+	for i := range wantCallee {
+		if gotCallee[i] != wantCallee[i] {
+			t.Errorf("callee-saved %d: %d != %d", i, gotCallee[i], wantCallee[i])
+		}
+	}
+}

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# CI gate: formatting, vet, build, race-enabled tests, and the static
+# verifier over every example MC program (both management modes).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "== unicheck (benchmark suite) =="
+go run ./cmd/unicheck
+
+echo "== unicheck (examples/mc) =="
+go run ./cmd/unicheck examples/mc/*.mc
+
+echo "CI OK"

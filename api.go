@@ -24,6 +24,7 @@ import (
 	"repro/internal/check"
 	"repro/internal/codegen"
 	"repro/internal/core"
+	"repro/internal/ice"
 	"repro/internal/irinterp"
 	"repro/internal/isa"
 	"repro/internal/regalloc"
@@ -96,8 +97,11 @@ type Program struct {
 }
 
 // Compile compiles MC source under the given options (nil means unified
-// mode with the Chaitin allocator).
-func Compile(src string, opts *CompileOptions) (*Program, error) {
+// mode with the Chaitin allocator). Internal panics in any pass are
+// recovered into a structured *ice.Error — Compile never crashes the
+// process on malformed input.
+func Compile(src string, opts *CompileOptions) (_ *Program, err error) {
+	defer ice.Guard("compile", &err)
 	var o CompileOptions
 	if opts != nil {
 		o = *opts
@@ -119,7 +123,7 @@ func Compile(src string, opts *CompileOptions) (*Program, error) {
 	if err != nil {
 		return nil, err
 	}
-	machine, err := codegen.Generate(comp)
+	machine, err := generate(comp)
 	if err != nil {
 		return nil, err
 	}
@@ -130,6 +134,13 @@ func Compile(src string, opts *CompileOptions) (*Program, error) {
 		}
 	}
 	return &Program{comp: comp, machine: machine, opts: o}, nil
+}
+
+// generate wraps codegen.Generate with its own ICE guard so a back-end
+// panic is attributed to the codegen phase, not "compile".
+func generate(comp *core.Compilation) (_ *isa.Program, err error) {
+	defer ice.Guard("codegen", &err)
+	return codegen.Generate(comp)
 }
 
 // Assembly returns the annotated UM assembly listing; memory operations
@@ -277,7 +288,9 @@ type RunResult struct {
 }
 
 // Run executes the program on the UM simulator (nil options = defaults).
-func (p *Program) Run(opts *RunOptions) (*RunResult, error) {
+// Like Compile, it recovers internal panics into *ice.Error.
+func (p *Program) Run(opts *RunOptions) (_ *RunResult, err error) {
+	defer ice.Guard("simulate", &err)
 	var o RunOptions
 	if opts != nil {
 		o = *opts
@@ -342,7 +355,8 @@ func convertStats(s cache.Stats, lineWords int) CacheStats {
 // Interpret runs the program's IR on the reference interpreter (no machine
 // or cache model) and returns its output. Useful to validate a program
 // independent of the simulator.
-func (p *Program) Interpret() (string, error) {
+func (p *Program) Interpret() (_ string, err error) {
+	defer ice.Guard("interpret", &err)
 	res, err := irinterp.Run(p.comp.Prog, irinterp.Config{})
 	if err != nil {
 		return "", err
@@ -355,7 +369,8 @@ func (p *Program) Interpret() (string, error) {
 // the future knowledge only a trace provides). stripFlags clears the
 // compiler's control bits first, giving the conventional-hardware view of
 // the same address stream.
-func (r *RunResult) Replay(opts CacheOptions, stripFlags bool) (CacheStats, error) {
+func (r *RunResult) Replay(opts CacheOptions, stripFlags bool) (_ CacheStats, err error) {
+	defer ice.Guard("replay", &err)
 	if r.tr == nil {
 		return CacheStats{}, fmt.Errorf("unicache: run was not executed with RecordTrace")
 	}
@@ -483,7 +498,8 @@ func (p *Program) SaveAssembly() string { return p.machine.Save() }
 // RunAssembly assembles UM assembly text (as produced by SaveAssembly) and
 // executes it on the simulator. The management mode is encoded in the
 // instructions' bypass/last bits; cache defaults honor them.
-func RunAssembly(asmText string, opts *RunOptions) (*RunResult, error) {
+func RunAssembly(asmText string, opts *RunOptions) (_ *RunResult, err error) {
+	defer ice.Guard("assemble", &err)
 	prog, err := isa.Assemble(asmText)
 	if err != nil {
 		return nil, err

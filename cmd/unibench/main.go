@@ -5,26 +5,46 @@
 //
 // Usage:
 //
-//	unibench [-experiment all|fig5|fig5-opt|deadlru|policies|miller|singleuse]
-//	         [-sets N -ways N -line N]
+//	unibench [-experiment all|fig5|fig5-opt|deadlru|policies|miller|singleuse|resilience]
+//	         [-sets N -ways N -line N] [-bench a,b,...]
+//
+// The resilience experiment sweeps the fault-injection campaigns of
+// internal/experiments over the benchmark suite (optionally restricted
+// with -bench) and exits nonzero if any campaign violates the fault
+// model: a hint-loss campaign must leave output bit-identical, and a
+// data-corrupting campaign must be detected, never silent.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"repro/internal/bench"
 	"repro/internal/cache"
+	"repro/internal/cli"
 	"repro/internal/experiments"
 )
 
+const tool = "unibench"
+
 func main() {
+	defer cli.Trap(tool)
 	exp := flag.String("experiment", "all",
-		"experiment: all, fig5, fig5-opt, deadlru, policies, miller, singleuse, promotion, linesize, regs, deadmode, icache")
+		"experiment: all, fig5, fig5-opt, deadlru, policies, miller, singleuse, promotion, linesize, regs, deadmode, icache, resilience")
 	sets := flag.Int("sets", 32, "cache sets")
 	ways := flag.Int("ways", 2, "cache ways")
 	line := flag.Int("line", 1, "cache line words")
+	benchList := flag.String("bench", "", "comma-separated benchmark subset for -experiment resilience (default all)")
 	flag.Parse()
+
+	// Resilience is a pass/fail sweep, not a table over prebuilt
+	// workloads; handle it before the workload build below.
+	if *exp == "resilience" {
+		runResilience(*benchList)
+		return
+	}
 
 	geom := experiments.CacheGeometry{Sets: *sets, Ways: *ways, LineWords: *line, Policy: cache.LRU}
 
@@ -36,13 +56,13 @@ func main() {
 	if needBaseline {
 		fmt.Fprintln(os.Stderr, "building baseline-compiler workloads...")
 		if base, err = experiments.BuildAll(geom, experiments.Baseline); err != nil {
-			fatal(err)
+			cli.Fatal(tool, "build", err)
 		}
 	}
 	if needOpt {
 		fmt.Fprintln(os.Stderr, "building optimizing-compiler workloads...")
 		if opt, err = experiments.BuildAll(geom, experiments.Optimizing); err != nil {
-			fatal(err)
+			cli.Fatal(tool, "build", err)
 		}
 	}
 
@@ -57,14 +77,14 @@ func main() {
 	if show("deadlru") {
 		tab, err := experiments.DeadLRU(base, []int{16, 32, 64, 128, 256})
 		if err != nil {
-			fatal(err)
+			cli.Fatal(tool, "experiment", err)
 		}
 		fmt.Println(tab)
 	}
 	if show("policies") {
 		tab, err := experiments.Policies(base, geom)
 		if err != nil {
-			fatal(err)
+			cli.Fatal(tool, "experiment", err)
 		}
 		fmt.Println(tab)
 	}
@@ -77,41 +97,63 @@ func main() {
 	if show("promotion") {
 		tab, err := experiments.Promotion(geom)
 		if err != nil {
-			fatal(err)
+			cli.Fatal(tool, "experiment", err)
 		}
 		fmt.Println(tab)
 	}
 	if show("linesize") {
 		tab, err := experiments.LineSize(base, geom)
 		if err != nil {
-			fatal(err)
+			cli.Fatal(tool, "experiment", err)
 		}
 		fmt.Println(tab)
 	}
 	if show("regs") {
 		tab, err := experiments.RegPressure(geom)
 		if err != nil {
-			fatal(err)
+			cli.Fatal(tool, "experiment", err)
 		}
 		fmt.Println(tab)
 	}
 	if show("deadmode") {
 		tab, err := experiments.DeadMode(base, geom)
 		if err != nil {
-			fatal(err)
+			cli.Fatal(tool, "experiment", err)
 		}
 		fmt.Println(tab)
 	}
 	if show("icache") {
 		tab, err := experiments.ICache(geom)
 		if err != nil {
-			fatal(err)
+			cli.Fatal(tool, "experiment", err)
 		}
 		fmt.Println(tab)
 	}
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "unibench:", err)
-	os.Exit(1)
+// runResilience sweeps the default fault campaigns over the selected
+// benchmarks and exits nonzero on any fault-model violation.
+func runResilience(benchList string) {
+	var benches []bench.Benchmark
+	if benchList == "" {
+		benches = bench.All()
+	} else {
+		for _, name := range strings.Split(benchList, ",") {
+			name = strings.TrimSpace(name)
+			b := bench.Get(name)
+			if b == nil {
+				cli.Fatalf(tool, "flags", "unknown benchmark %q", name)
+			}
+			benches = append(benches, *b)
+		}
+	}
+	rep, err := experiments.Resilience(benches, nil)
+	if err != nil {
+		cli.Fatal(tool, "resilience", err)
+	}
+	fmt.Print(rep.Summary())
+	if vs := rep.Violations(); len(vs) > 0 {
+		cli.Fatalf(tool, "resilience", "%d campaign violation(s)", len(vs))
+	}
+	fmt.Printf("resilience: ok (%d campaign runs, 0 violations)\n", len(rep.Results))
 }

@@ -28,6 +28,7 @@ import (
 	"repro/internal/ast"
 	"repro/internal/cache"
 	"repro/internal/check"
+	"repro/internal/cli"
 	"repro/internal/codegen"
 	"repro/internal/core"
 	"repro/internal/lexer"
@@ -37,10 +38,13 @@ import (
 	"repro/internal/token"
 )
 
+const tool = "unicc"
+
 // validDumps is the closed set of -dump artifact names, in help order.
 var validDumps = []string{"tokens", "ast", "ir", "cfg", "alias", "stats", "asm", "check"}
 
 func main() {
+	defer cli.Trap(tool)
 	mode := flag.String("mode", "unified", "management model: unified or conventional")
 	alloc := flag.String("alloc", "chaitin", "register allocator: chaitin or usage")
 	stack := flag.Bool("stack", false, "keep scalars in frame memory (baseline compiler)")
@@ -57,17 +61,15 @@ func main() {
 		}
 	}
 	if !known {
-		fatal(fmt.Errorf("unknown dump %q (valid: %s)", *dump, strings.Join(validDumps, ", ")))
+		cli.Fatalf(tool, "flags", "unknown dump %q (valid: %s)", *dump, strings.Join(validDumps, ", "))
 	}
 
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: unicc [flags] file.mc")
-		flag.PrintDefaults()
-		os.Exit(2)
+		cli.Usage("unicc [flags] file.mc", flag.PrintDefaults)
 	}
 	srcBytes, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
-		fatal(err)
+		cli.Fatal(tool, "read", err)
 	}
 	src := string(srcBytes)
 
@@ -84,18 +86,18 @@ func main() {
 	case "ast":
 		file, err := parser.Parse(src)
 		if err != nil {
-			fatal(err)
+			cli.Fatal(tool, "parse", err)
 		}
 		fmt.Print(ast.Print(file))
 		return
 	case "alias":
 		file, err := parser.Parse(src)
 		if err != nil {
-			fatal(err)
+			cli.Fatal(tool, "parse", err)
 		}
 		info, err := sem.Check(file)
 		if err != nil {
-			fatal(err)
+			cli.Fatal(tool, "typecheck", err)
 		}
 		fmt.Print(alias.Analyze(info).Report())
 		return
@@ -108,7 +110,7 @@ func main() {
 	case "conventional":
 		cfg.Mode = core.Conventional
 	default:
-		fatal(fmt.Errorf("unknown mode %q", *mode))
+		cli.Fatalf(tool, "flags", "unknown mode %q", *mode)
 	}
 	switch *alloc {
 	case "chaitin":
@@ -116,12 +118,12 @@ func main() {
 	case "usage":
 		cfg.Strategy = regalloc.UsageCount
 	default:
-		fatal(fmt.Errorf("unknown allocator %q", *alloc))
+		cli.Fatalf(tool, "flags", "unknown allocator %q", *alloc)
 	}
 
 	comp, err := core.Compile(src, cfg)
 	if err != nil {
-		fatal(err)
+		cli.Fatal(tool, "compile", err)
 	}
 	switch *dump {
 	case "ir":
@@ -143,7 +145,7 @@ func main() {
 	case "asm":
 		prog, err := codegen.Generate(comp)
 		if err != nil {
-			fatal(err)
+			cli.Fatal(tool, "codegen", err)
 		}
 		fmt.Print(prog.Listing())
 	case "check":
@@ -152,7 +154,7 @@ func main() {
 		vs = append(vs, check.DeadMarking(comp.Prog, opt)...)
 		machine, err := codegen.Generate(comp)
 		if err != nil {
-			fatal(err)
+			cli.Fatal(tool, "codegen", err)
 		}
 		vs = append(vs, check.Machine(machine, opt)...)
 		for _, v := range vs {
@@ -164,21 +166,16 @@ func main() {
 		}
 		diff, err := check.Differential(comp.Prog, ccfg, opt)
 		if err != nil {
-			fatal(err)
+			cli.Fatal(tool, "check", err)
 		}
 		fmt.Print(diff.Report.Report(comp.Prog))
 		fmt.Printf("differential: %s\n", diff.Summary())
 		if err := diff.Err(); err != nil {
-			fatal(err)
+			cli.Fatal(tool, "check", err)
 		}
 		if len(vs) > 0 {
-			fatal(fmt.Errorf("%d violation(s)", len(vs)))
+			cli.Fatalf(tool, "check", "%d violation(s)", len(vs))
 		}
 		fmt.Println("check: ok")
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "unicc:", err)
-	os.Exit(1)
 }

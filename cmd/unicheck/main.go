@@ -14,6 +14,7 @@
 // is 1 if any program in any mode produced a violation or a contradiction.
 //
 //	-sets/-ways/-line   cache geometry for the analysis (default 32/2/1)
+//	-maxsteps N         differential-run budget (0 = interpreter default)
 //	-v                  print per-site verdicts for every program
 package main
 
@@ -26,14 +27,19 @@ import (
 	"repro/internal/bench"
 	"repro/internal/cache"
 	"repro/internal/check"
+	"repro/internal/cli"
 	"repro/internal/codegen"
 	"repro/internal/core"
 )
 
+const tool = "unicheck"
+
 func main() {
+	defer cli.Trap(tool)
 	sets := flag.Int("sets", 32, "cache sets for the analysis")
 	ways := flag.Int("ways", 2, "cache associativity for the analysis")
 	line := flag.Int("line", 1, "cache line size in words")
+	maxSteps := flag.Int64("maxsteps", 0, "differential-run instruction budget; 0 means the interpreter default")
 	verbose := flag.Bool("v", false, "print per-site cache verdicts")
 	flag.Parse()
 
@@ -47,8 +53,7 @@ func main() {
 		for _, path := range flag.Args() {
 			src, err := os.ReadFile(path)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "unicheck:", err)
-				os.Exit(1)
+				cli.Fatal(tool, "read", err)
 			}
 			name := filepath.Base(path)
 			progs = append(progs, program{name, string(src)})
@@ -58,19 +63,19 @@ func main() {
 	failed := false
 	for _, p := range progs {
 		for _, mode := range []core.Mode{core.Unified, core.Conventional} {
-			if !checkOne(p.name, p.src, mode, *sets, *ways, *line, *verbose) {
+			if !checkOne(p.name, p.src, mode, *sets, *ways, *line, *maxSteps, *verbose) {
 				failed = true
 			}
 		}
 	}
 	if failed {
-		os.Exit(1)
+		os.Exit(cli.ExitFail)
 	}
 }
 
 // checkOne runs every pass over one program in one mode and reports
 // whether it is clean.
-func checkOne(name, src string, mode core.Mode, sets, ways, line int, verbose bool) bool {
+func checkOne(name, src string, mode core.Mode, sets, ways, line int, maxSteps int64, verbose bool) bool {
 	label := fmt.Sprintf("%-12s %-12s", name, mode)
 	// Compile without Check so violations surface here with full detail
 	// instead of as a compile error.
@@ -79,7 +84,7 @@ func checkOne(name, src string, mode core.Mode, sets, ways, line int, verbose bo
 		fmt.Printf("%s COMPILE FAIL: %v\n", label, err)
 		return false
 	}
-	opt := check.Options{Unified: mode == core.Unified}
+	opt := check.Options{Unified: mode == core.Unified, MaxSteps: maxSteps}
 
 	vs := check.Structural(comp.Prog, opt)
 	vs = append(vs, check.DeadMarking(comp.Prog, opt)...)

@@ -14,6 +14,7 @@
 //	-sets/-ways/-line             cache geometry (default 32x2, 1-word lines)
 //	-policy lru|fifo|random       replacement policy
 //	-dead off|invalidate|demote   dead-marking mode
+//	-maxsteps N                   instruction budget (0 = default 2e9)
 //	-trace FILE                   write the data-reference trace
 package main
 
@@ -25,13 +26,17 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/cache"
+	"repro/internal/cli"
 	"repro/internal/codegen"
 	"repro/internal/core"
 	"repro/internal/isa"
 	"repro/internal/vm"
 )
 
+const tool = "unisim"
+
 func main() {
+	defer cli.Trap(tool)
 	mode := flag.String("mode", "unified", "management model: unified or conventional")
 	stack := flag.Bool("stack", false, "baseline compiler (scalars in memory)")
 	optimize := flag.Bool("O", false, "run the IR optimizer")
@@ -42,6 +47,7 @@ func main() {
 	line := flag.Int("line", 1, "cache line size in words")
 	policy := flag.String("policy", "lru", "replacement policy: lru, fifo, random")
 	dead := flag.String("dead", "", "dead marking: off, invalidate, demote (default by mode)")
+	maxSteps := flag.Int64("maxsteps", 0, "instruction budget; 0 means the simulator default")
 	traceFile := flag.String("trace", "", "write the data reference trace to FILE")
 	saveFile := flag.String("save", "", "write the compiled program as UM assembly to FILE")
 	flag.Parse()
@@ -52,20 +58,18 @@ func main() {
 	case *benchName != "":
 		b := bench.Get(*benchName)
 		if b == nil {
-			fatal(fmt.Errorf("unknown benchmark %q", *benchName))
+			cli.Fatalf(tool, "flags", "unknown benchmark %q", *benchName)
 		}
 		src = b.Source
 	case flag.NArg() == 1:
 		data, err := os.ReadFile(flag.Arg(0))
 		if err != nil {
-			fatal(err)
+			cli.Fatal(tool, "read", err)
 		}
 		src = string(data)
 		asmInput = strings.HasSuffix(flag.Arg(0), ".s")
 	default:
-		fmt.Fprintln(os.Stderr, "usage: unisim [flags] file.mc")
-		flag.PrintDefaults()
-		os.Exit(2)
+		cli.Usage("unisim [flags] file.mc", flag.PrintDefaults)
 	}
 
 	cfg := core.Config{StackScalars: *stack, Optimize: *optimize, PromoteGlobals: *promoteG}
@@ -80,7 +84,7 @@ func main() {
 		ccfg.HonorBypass = false
 		ccfg.Dead = cache.DeadOff
 	default:
-		fatal(fmt.Errorf("unknown mode %q", *mode))
+		cli.Fatalf(tool, "flags", "unknown mode %q", *mode)
 	}
 	switch *policy {
 	case "lru":
@@ -90,7 +94,7 @@ func main() {
 	case "random":
 		ccfg.Policy = cache.Random
 	default:
-		fatal(fmt.Errorf("unknown policy %q", *policy))
+		cli.Fatalf(tool, "flags", "unknown policy %q", *policy)
 	}
 	switch *dead {
 	case "":
@@ -101,7 +105,7 @@ func main() {
 	case "demote":
 		ccfg.Dead = cache.DeadDemote
 	default:
-		fatal(fmt.Errorf("unknown dead mode %q", *dead))
+		cli.Fatalf(tool, "flags", "unknown dead mode %q", *dead)
 	}
 
 	var prog *isa.Program
@@ -109,27 +113,27 @@ func main() {
 		var err error
 		prog, err = isa.Assemble(src)
 		if err != nil {
-			fatal(err)
+			cli.Fatal(tool, "assemble", err)
 		}
 	} else {
 		comp, err := core.Compile(src, cfg)
 		if err != nil {
-			fatal(err)
+			cli.Fatal(tool, "compile", err)
 		}
 		prog, err = codegen.Generate(comp)
 		if err != nil {
-			fatal(err)
+			cli.Fatal(tool, "codegen", err)
 		}
 	}
 	if *saveFile != "" {
 		if err := os.WriteFile(*saveFile, []byte(prog.Save()), 0o644); err != nil {
-			fatal(err)
+			cli.Fatal(tool, "save", err)
 		}
 		fmt.Fprintf(os.Stderr, "saved assembly -> %s\n", *saveFile)
 	}
-	res, err := vm.Run(prog, vm.Config{Cache: ccfg, RecordTrace: *traceFile != ""})
+	res, err := vm.Run(prog, vm.Config{Cache: ccfg, MaxSteps: *maxSteps, RecordTrace: *traceFile != ""})
 	if err != nil {
-		fatal(err)
+		cli.Fatal(tool, "simulate", err)
 	}
 
 	fmt.Print(res.Output)
@@ -150,11 +154,11 @@ func main() {
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)
 		if err != nil {
-			fatal(err)
+			cli.Fatal(tool, "trace", err)
 		}
 		defer f.Close()
 		if err := res.Trace.Write(f); err != nil {
-			fatal(err)
+			cli.Fatal(tool, "trace", err)
 		}
 		fmt.Printf("trace:           %d records -> %s\n", len(res.Trace), *traceFile)
 	}
@@ -165,9 +169,4 @@ func maxf(a, b float64) float64 {
 		return a
 	}
 	return b
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "unisim:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,48 @@
+package unicache
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// FuzzCompile throws arbitrary MC source at the full front door. The
+// contract under fuzzing is exactly the panic-free-API guarantee: Compile
+// either returns a program or an error — a panic escaping to the fuzzer
+// (which ice.Guard would have converted) fails the target. Accepted
+// programs are additionally executed under a small budget, so the whole
+// compile-run path is exercised.
+func FuzzCompile(f *testing.F) {
+	for _, b := range bench.All() {
+		f.Add(b.Source)
+	}
+	paths, _ := filepath.Glob("examples/mc/*.mc")
+	for _, p := range paths {
+		if src, err := os.ReadFile(p); err == nil {
+			f.Add(string(src))
+		}
+	}
+	f.Add("int main() { return 0; }")
+	f.Add("}")
+	f.Add("int f() { void }")
+	f.Add("int g[4]; int main() { g[9] = 1; return *g; }")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		for _, opts := range []CompileOptions{
+			{},
+			{Mode: Conventional},
+			{Optimize: true, Inline: true, PromoteGlobals: true},
+		} {
+			o := opts
+			p, err := Compile(src, &o)
+			if err != nil {
+				continue // rejection is fine; only a panic escape fails
+			}
+			// Accepted program: it must also run without panicking. Runtime
+			// errors (bad address, budget, division by zero) are ordinary.
+			_, _ = p.Run(&RunOptions{MemWords: 1 << 16, MaxSteps: 200_000})
+		}
+	})
+}

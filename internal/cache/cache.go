@@ -15,7 +15,10 @@
 // by the differential tests against the IR interpreter.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Policy selects the underlying hardware replacement policy.
 type Policy int
@@ -72,6 +75,102 @@ func (d DeadMode) String() string {
 	return "?"
 }
 
+// ECCMode selects the data-integrity detection layer. The paper treats
+// bypass and dead marking as pure performance hints, so the cache must
+// degrade gracefully under faults rather than corrupt results silently;
+// the ECC layer is what turns "corrupted" into "detected".
+type ECCMode int
+
+// ECC modes.
+const (
+	// ECCOff performs no integrity checking: injected bit flips are
+	// silent (the configuration the resilience harness exists to indict).
+	ECCOff ECCMode = iota
+	// ECCParity keeps one parity bit per cached word, checked on every
+	// read and writeback. Detects (odd-count) bit flips; cannot correct.
+	ECCParity
+	// ECCSECDED models single-error-correct/double-error-detect codes:
+	// a one-bit flip in a word is corrected in place and counted; multi-bit
+	// damage is detected-uncorrectable.
+	ECCSECDED
+)
+
+func (e ECCMode) String() string {
+	switch e {
+	case ECCOff:
+		return "off"
+	case ECCParity:
+		return "parity"
+	case ECCSECDED:
+		return "secded"
+	}
+	return "?"
+}
+
+// Injector is the cache model's view of a fault injector
+// (internal/faults implements it). All hooks must be deterministic for a
+// fixed injector state; the cache consults them at well-defined points so
+// campaigns are reproducible from a seed.
+type Injector interface {
+	// BeforeRef fires before every CPU data reference. The injector may
+	// fire scheduled faults through the Memory's fault port
+	// (InvalidateClean, FlipBit).
+	BeforeRef(m *Memory, addr int64, store bool)
+	// DropDeadMark reports whether the dead-mark (kill) signal for the
+	// line holding addr is lost. Losing a kill is a pure hint loss.
+	DropDeadMark(addr int64) bool
+	// DropWriteback reports whether the writeback of the dirty line at
+	// addr is lost (a data-corrupting fault: memory keeps stale words).
+	DropWriteback(addr int64) bool
+	// WayStuck reports whether (set, way) is stuck at power-on and can
+	// never hold a valid line.
+	WayStuck(set, way int) bool
+}
+
+// FaultKind classifies a detected data-integrity fault.
+type FaultKind int
+
+// Detected fault kinds.
+const (
+	// FaultECC is a detected-uncorrectable error in cached line data.
+	FaultECC FaultKind = iota
+	// FaultWritebackLost is a dirty writeback that the memory system
+	// reported lost (machine-check style bus error).
+	FaultWritebackLost
+)
+
+func (k FaultKind) String() string {
+	if k == FaultWritebackLost {
+		return "writeback-lost"
+	}
+	return "ecc-uncorrectable"
+}
+
+// FaultError is the structured, never-silent report of a detected
+// data-integrity fault. It is sticky on the Memory (FaultErr) so the
+// simulator can abort the run at the faulting reference.
+type FaultError struct {
+	Kind  FaultKind
+	Addr  int64 // word address of the damaged data
+	Dirty bool  // the damaged line was dirty (memory copy also unusable)
+}
+
+func (e *FaultError) Error() string {
+	return fmt.Sprintf("cache: detected fault: %s at address %d (dirty=%v)", e.Kind, e.Addr, e.Dirty)
+}
+
+// FaultStats counts detection-layer events of one run. They are kept
+// separate from Stats: they exist only under fault injection and are the
+// per-campaign counters of the resilience harness.
+type FaultStats struct {
+	EccChecks      int64 // words verified against their code
+	Detected       int64 // detected-uncorrectable events (run faulted)
+	Corrected      int64 // SECDED single-bit corrections
+	Retried        int64 // clean-line refetches that repaired a detected error
+	WritebacksLost int64 // injected writeback drops signaled as bus faults
+	StuckWayRefs   int64 // refs degraded to uncached access (all ways stuck)
+}
+
 // Config parameterizes the cache. The paper's evaluation assumes a small
 // on-chip data cache with line size one (§1); DefaultConfig matches that.
 type Config struct {
@@ -84,6 +183,17 @@ type Config struct {
 	// reference goes through the cache (conventional hardware).
 	HonorBypass bool
 	Seed        uint64 // PRNG seed for Random replacement
+
+	// ECC selects the data-integrity detection layer (default off).
+	ECC ECCMode
+	// ECCRetry repairs a detected error in a clean line by refetching it
+	// from memory (clean lines are coherent with memory by construction)
+	// instead of raising a fault.
+	ECCRetry bool
+	// Injector, when non-nil, receives the fault-injection hooks. The
+	// trace-driven simulator ignores it; only the execution-attached
+	// Memory injects faults.
+	Injector Injector
 }
 
 // DefaultConfig models the paper's small on-chip data cache: 64 one-word
@@ -167,18 +277,27 @@ type line struct {
 	seq   int64 // FIFO insertion order
 	refs  int64 // references since fill (single-use accounting)
 	dead  bool  // demoted by dead marking
+
+	// Detection-layer state (maintained only when Config.ECC != ECCOff).
+	// parity holds one bit per word; good holds the word as last written
+	// through the legitimate ports, modeling the SECDED codeword (the
+	// fault port's FlipBit corrupts data without touching either).
+	parity []uint8
+	good   []int64
 }
 
 // Memory is main memory fronted by the modeled data cache. All CPU data
 // references go through Load/Store; instruction fetches are not modeled
 // (the paper's evaluation concerns the data cache).
 type Memory struct {
-	cfg   Config
-	mem   []int64
-	sets  [][]line
-	stats Stats
-	tick  int64
-	rng   uint64
+	cfg      Config
+	mem      []int64
+	sets     [][]line
+	stats    Stats
+	fstats   FaultStats
+	faultErr error // first detected-unrecoverable fault (sticky)
+	tick     int64
+	rng      uint64
 }
 
 // NewMemory builds a memory of words size fronted by a cache with cfg.
@@ -192,6 +311,10 @@ func NewMemory(words int, cfg Config) (*Memory, error) {
 		ways := make([]line, cfg.Ways)
 		for w := range ways {
 			ways[w].data = make([]int64, cfg.LineWords)
+			if cfg.ECC != ECCOff {
+				ways[w].parity = make([]uint8, cfg.LineWords)
+				ways[w].good = make([]int64, cfg.LineWords)
+			}
 		}
 		m.sets[i] = ways
 	}
@@ -203,6 +326,132 @@ func (m *Memory) Words() int { return len(m.mem) }
 
 // Stats returns a copy of the accumulated statistics.
 func (m *Memory) Stats() Stats { return m.stats }
+
+// FaultStats returns a copy of the detection-layer counters.
+func (m *Memory) FaultStats() FaultStats { return m.fstats }
+
+// FaultErr returns the first detected-unrecoverable data fault, or nil.
+// Callers executing against the cache (the VM) must consult it after every
+// reference: a non-nil result means cached data was damaged in a way the
+// detection layer could not repair, and the run must not continue silently.
+func (m *Memory) FaultErr() error { return m.faultErr }
+
+func (m *Memory) setFault(kind FaultKind, addr int64, dirty bool) {
+	m.fstats.Detected++
+	if m.faultErr == nil {
+		m.faultErr = &FaultError{Kind: kind, Addr: addr, Dirty: dirty}
+	}
+}
+
+func parityOf(v int64) uint8 { return uint8(bits.OnesCount64(uint64(v)) & 1) }
+
+// protectWord (re)computes the detection code for word off of ln after a
+// legitimate write. Every store into line data must go through here.
+func (m *Memory) protectWord(ln *line, off int) {
+	switch m.cfg.ECC {
+	case ECCOff:
+	case ECCParity:
+		ln.parity[off] = parityOf(ln.data[off])
+	case ECCSECDED:
+		ln.parity[off] = parityOf(ln.data[off])
+		ln.good[off] = ln.data[off]
+	}
+}
+
+// checkWord verifies word off of ln against its code before the word is
+// consumed (read hit or writeback). It returns true when the word is usable
+// afterwards: intact, corrected (SECDED), or repaired by a clean-line
+// refetch (ECCRetry). On detected-uncorrectable damage it records the
+// sticky fault and returns false.
+func (m *Memory) checkWord(ln *line, off int) bool {
+	if m.cfg.ECC == ECCOff {
+		return true
+	}
+	m.fstats.EccChecks++
+	addr := ln.tag*int64(m.cfg.LineWords) + int64(off)
+	switch m.cfg.ECC {
+	case ECCSECDED:
+		diff := uint64(ln.data[off] ^ ln.good[off])
+		if diff == 0 {
+			return true
+		}
+		if bits.OnesCount64(diff) == 1 {
+			ln.data[off] = ln.good[off]
+			m.fstats.Corrected++
+			return true
+		}
+	case ECCParity:
+		if parityOf(ln.data[off]) == ln.parity[off] {
+			return true
+		}
+	}
+	if m.cfg.ECCRetry && !ln.dirty {
+		// A clean line is coherent with memory: repair by refetching.
+		base := ln.tag * int64(m.cfg.LineWords)
+		for i := 0; i < m.cfg.LineWords; i++ {
+			ln.data[i] = m.mem[base+int64(i)]
+			m.protectWord(ln, i)
+		}
+		m.fstats.Retried++
+		return true
+	}
+	m.setFault(FaultECC, addr, ln.dirty)
+	return false
+}
+
+// ---- Fault port (used by an attached Injector) ----
+
+// InvalidateClean invalidates one resident clean line, chosen by pick
+// modulo the clean-line population, modeling a spurious invalidation
+// fault. Clean lines are coherent with memory by construction, so this
+// costs a refetch but can never change program results. It reports whether
+// a line was invalidated (false when nothing clean is resident).
+func (m *Memory) InvalidateClean(pick uint64) bool {
+	var clean []*line
+	for s := range m.sets {
+		for w := range m.sets[s] {
+			ln := &m.sets[s][w]
+			if ln.valid && !ln.dirty {
+				clean = append(clean, ln)
+			}
+		}
+	}
+	if len(clean) == 0 {
+		return false
+	}
+	ln := clean[pick%uint64(len(clean))]
+	ln.valid = false
+	ln.dirty = false
+	ln.dead = false
+	return true
+}
+
+// FlipBit flips bit (bit mod 64) of one word of one resident line — the
+// line chosen by pick modulo the valid population, the word by word modulo
+// the line size — without updating the line's detection code, modeling an
+// SRAM soft error. It returns the damaged word's address, or ok=false when
+// no line is resident.
+func (m *Memory) FlipBit(pick uint64, word int, bit uint) (addr int64, ok bool) {
+	var valid []*line
+	for s := range m.sets {
+		for w := range m.sets[s] {
+			ln := &m.sets[s][w]
+			if ln.valid {
+				valid = append(valid, ln)
+			}
+		}
+	}
+	if len(valid) == 0 {
+		return 0, false
+	}
+	ln := valid[pick%uint64(len(valid))]
+	off := word % m.cfg.LineWords
+	if off < 0 {
+		off += m.cfg.LineWords
+	}
+	ln.data[off] ^= 1 << (bit % 64)
+	return ln.tag*int64(m.cfg.LineWords) + int64(off), true
+}
 
 // Poke writes a word directly to backing memory without touching the cache
 // or statistics (program loading).
@@ -246,44 +495,63 @@ func (m *Memory) nextRand() uint64 {
 	return x * 0x2545F4914F6CDD1D
 }
 
+// usableWay reports whether (set, w) can hold data (not a stuck-at way).
+func (m *Memory) usableWay(set, w int) bool {
+	return m.cfg.Injector == nil || !m.cfg.Injector.WayStuck(set, w)
+}
+
 // victim picks the way to replace in set. Empty (invalid) lines are always
 // preferred — the paper's "simple placement instead of line-replace"
 // benefit of dead marking — then dead-demoted lines, then the policy.
+// Stuck-at ways are never selected; when every way of the set is stuck,
+// victim returns nil and the caller degrades to an uncached access.
 func (m *Memory) victim(set int) *line {
 	ways := m.sets[set]
 	for w := range ways {
-		if !ways[w].valid {
+		if m.usableWay(set, w) && !ways[w].valid {
 			return &ways[w]
 		}
 	}
 	for w := range ways {
-		if ways[w].dead {
+		if m.usableWay(set, w) && ways[w].dead {
 			return &ways[w]
 		}
 	}
+	best := -1
 	switch m.cfg.Policy {
 	case FIFO:
-		best := 0
-		for w := 1; w < len(ways); w++ {
-			if ways[w].seq < ways[best].seq {
+		for w := range ways {
+			if m.usableWay(set, w) && (best < 0 || ways[w].seq < ways[best].seq) {
 				best = w
 			}
 		}
-		return &ways[best]
 	case Random:
-		return &ways[m.nextRand()%uint64(len(ways))]
+		// Draw among usable ways only, preserving determinism.
+		var usable []int
+		for w := range ways {
+			if m.usableWay(set, w) {
+				usable = append(usable, w)
+			}
+		}
+		if len(usable) > 0 {
+			best = usable[m.nextRand()%uint64(len(usable))]
+		}
 	default: // LRU
-		best := 0
-		for w := 1; w < len(ways); w++ {
-			if ways[w].last < ways[best].last {
+		for w := range ways {
+			if m.usableWay(set, w) && (best < 0 || ways[w].last < ways[best].last) {
 				best = w
 			}
 		}
-		return &ways[best]
 	}
+	if best < 0 {
+		return nil
+	}
+	return &ways[best]
 }
 
-// evict writes back a dirty victim and accounts for the eviction.
+// evict writes back a dirty victim and accounts for the eviction. An
+// injected writeback drop loses the line's data; with the detection layer
+// on, the loss surfaces as a machine-check style FaultWritebackLost.
 func (m *Memory) evict(ln *line) {
 	if !ln.valid {
 		return
@@ -293,8 +561,16 @@ func (m *Memory) evict(ln *line) {
 		m.stats.SingleUseFills++
 	}
 	if ln.dirty {
-		m.writebackLine(ln)
-		m.stats.Writebacks++
+		base := ln.tag * int64(m.cfg.LineWords)
+		if m.cfg.Injector != nil && m.cfg.Injector.DropWriteback(base) {
+			m.fstats.WritebacksLost++
+			if m.cfg.ECC != ECCOff {
+				m.setFault(FaultWritebackLost, base, true)
+			}
+		} else {
+			m.writebackLine(ln)
+			m.stats.Writebacks++
+		}
 	}
 	ln.valid = false
 	ln.dead = false
@@ -303,6 +579,7 @@ func (m *Memory) evict(ln *line) {
 func (m *Memory) writebackLine(ln *line) {
 	base := ln.tag * int64(m.cfg.LineWords)
 	for i := 0; i < m.cfg.LineWords; i++ {
+		m.checkWord(ln, i)
 		m.mem[base+int64(i)] = ln.data[i]
 	}
 }
@@ -317,13 +594,24 @@ func (m *Memory) fillLine(ln *line, tag int64) {
 	ln.tag = tag
 	ln.refs = 0
 	ln.dead = false
+	if m.cfg.ECC != ECCOff {
+		for i := 0; i < m.cfg.LineWords; i++ {
+			m.protectWord(ln, i)
+		}
+	}
 	m.tick++
 	ln.last = m.tick
 	ln.seq = m.tick
 }
 
-// deadMark applies the last-reference bit to a resident line.
+// deadMark applies the last-reference bit to a resident line. A lost kill
+// signal (injected) leaves the line untouched — by the paper's argument
+// this can only cost cycles, never correctness, a property the resilience
+// harness enforces.
 func (m *Memory) deadMark(ln *line) {
+	if m.cfg.Injector != nil && m.cfg.Injector.DropDeadMark(ln.tag*int64(m.cfg.LineWords)) {
+		return
+	}
 	switch m.cfg.Dead {
 	case DeadOff:
 		return
@@ -356,6 +644,9 @@ func (m *Memory) deadMark(ln *line) {
 // Load performs a data load with the instruction's control bits and
 // returns the loaded value.
 func (m *Memory) Load(addr int64, bypass, lastRef bool) int64 {
+	if m.cfg.Injector != nil {
+		m.cfg.Injector.BeforeRef(m, addr, false)
+	}
 	m.stats.Refs++
 	set, tag, off := m.split(addr)
 
@@ -367,6 +658,7 @@ func (m *Memory) Load(addr int64, bypass, lastRef bool) int64 {
 			m.tick++
 			ln.last = m.tick
 			ln.refs++
+			m.checkWord(ln, off)
 			v := ln.data[off]
 			if lastRef {
 				m.deadMark(ln)
@@ -386,6 +678,7 @@ func (m *Memory) Load(addr int64, bypass, lastRef bool) int64 {
 		ln.last = m.tick
 		ln.refs++
 		ln.dead = false // referenced again: alive after all
+		m.checkWord(ln, off)
 		v := ln.data[off]
 		if lastRef {
 			m.deadMark(ln)
@@ -394,6 +687,12 @@ func (m *Memory) Load(addr int64, bypass, lastRef bool) int64 {
 	}
 	m.stats.Misses++
 	ln := m.victim(set)
+	if ln == nil {
+		// Every way of the set is stuck: degrade to an uncached access.
+		m.fstats.StuckWayRefs++
+		m.stats.BypassReads++
+		return m.mem[addr]
+	}
 	m.evict(ln)
 	m.fillLine(ln, tag)
 	m.stats.Fetches++
@@ -407,6 +706,9 @@ func (m *Memory) Load(addr int64, bypass, lastRef bool) int64 {
 
 // Store performs a data store with the instruction's control bits.
 func (m *Memory) Store(addr int64, val int64, bypass, lastRef bool) {
+	if m.cfg.Injector != nil {
+		m.cfg.Injector.BeforeRef(m, addr, true)
+	}
 	m.stats.Refs++
 	set, tag, off := m.split(addr)
 
@@ -422,6 +724,7 @@ func (m *Memory) Store(addr int64, val int64, bypass, lastRef bool) {
 			ln.last = m.tick
 			ln.refs++
 			ln.data[off] = val
+			m.protectWord(ln, off)
 			if lastRef {
 				m.deadMark(ln)
 			}
@@ -437,6 +740,7 @@ func (m *Memory) Store(addr int64, val int64, bypass, lastRef bool) {
 		ln.last = m.tick
 		ln.refs++
 		ln.data[off] = val
+		m.protectWord(ln, off)
 		ln.dirty = true
 		ln.dead = false
 		if lastRef {
@@ -446,6 +750,13 @@ func (m *Memory) Store(addr int64, val int64, bypass, lastRef bool) {
 	}
 	m.stats.Misses++
 	ln := m.victim(set)
+	if ln == nil {
+		// Every way of the set is stuck: degrade to an uncached write.
+		m.fstats.StuckWayRefs++
+		m.stats.BypassWrites++
+		m.mem[addr] = val
+		return
+	}
 	m.evict(ln)
 	if m.cfg.LineWords == 1 {
 		// The whole line is overwritten: allocate without fetching.
@@ -463,6 +774,7 @@ func (m *Memory) Store(addr int64, val int64, bypass, lastRef bool) {
 	}
 	ln.refs = 1
 	ln.data[off] = val
+	m.protectWord(ln, off)
 	ln.dirty = true
 	if lastRef {
 		m.deadMark(ln)

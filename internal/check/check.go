@@ -46,6 +46,10 @@ type Options struct {
 	// unified management model; false means the conventional baseline,
 	// where no reference may carry a bypass or last bit.
 	Unified bool
+
+	// MaxSteps bounds the differential run's IR-interpreter budget;
+	// 0 means the interpreter's default.
+	MaxSteps int64
 }
 
 // Violation is one rule the program breaks, located precisely enough to

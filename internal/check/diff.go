@@ -101,7 +101,7 @@ func Differential(p *ir.Program, ccfg cache.Config, opt Options) (*DiffResult, e
 		}
 	}
 
-	run, err := irinterp.Run(p, irinterp.Config{OnRef: hook})
+	run, err := irinterp.Run(p, irinterp.Config{OnRef: hook, MaxSteps: opt.MaxSteps})
 	if err != nil {
 		return nil, fmt.Errorf("check: differential run: %w", err)
 	}

@@ -1,0 +1,80 @@
+// Package cli fixes the error-reporting conventions shared by the four
+// command-line tools (unicc, unisim, unicheck, unibench):
+//
+//   - exit code 0: success;
+//   - exit code 1: any failure (bad input file, parse error, verifier
+//     violation, simulator fault), reported as a one-line
+//     "tool: phase: message" on stderr;
+//   - exit code 2: usage errors (unknown flags, wrong arguments).
+//
+// Multi-line errors (a parser ErrorList, a verifier violation list) keep
+// the one-line convention for their first line; continuation lines are
+// indented underneath so shell pipelines grepping "tool:" still see a
+// single headline per failure.
+package cli
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/ice"
+)
+
+// Exit codes.
+const (
+	ExitOK    = 0
+	ExitFail  = 1
+	ExitUsage = 2
+)
+
+// Test seams.
+var (
+	exit           = os.Exit
+	out  io.Writer = os.Stderr
+)
+
+// Fatal reports err as "tool: phase: message" and exits with ExitFail.
+// The phase names the pipeline stage that failed ("read", "compile",
+// "assemble", "simulate", "check", ...). A leading "phase: " already
+// present on the error is not repeated.
+func Fatal(tool, phase string, err error) {
+	lines := strings.Split(err.Error(), "\n")
+	head := strings.TrimPrefix(lines[0], phase+": ")
+	fmt.Fprintf(out, "%s: %s: %s\n", tool, phase, head)
+	for _, l := range lines[1:] {
+		fmt.Fprintf(out, "  %s\n", l)
+	}
+	exit(ExitFail)
+}
+
+// Fatalf is Fatal with a formatted message.
+func Fatalf(tool, phase, format string, args ...any) {
+	Fatal(tool, phase, fmt.Errorf(format, args...))
+}
+
+// Usage prints a usage line (and optional flag defaults via printDefaults)
+// and exits with ExitUsage.
+func Usage(usage string, printDefaults func()) {
+	fmt.Fprintln(out, "usage:", usage)
+	if printDefaults != nil {
+		printDefaults()
+	}
+	exit(ExitUsage)
+}
+
+// Trap is the tools' last line of defense, deferred first thing in each
+// main. The library entry points guard their own pipelines with
+// internal/ice, but the tools also call pipeline stages directly; a panic
+// escaping any of them is recovered here and reported in the shared
+// format (with the panic site's stack, indented) instead of crashing the
+// process with a raw goroutine dump.
+func Trap(tool string) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	ie := ice.FromPanic("internal", r)
+	Fatal(tool, "internal", fmt.Errorf("panic: %v\n%s", ie.Panic, strings.TrimRight(ie.Stack, "\n")))
+}

@@ -1,0 +1,94 @@
+package cli
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// capture redirects the package's output and exit seams for one call.
+func capture(f func()) (msg string, code int) {
+	var sb strings.Builder
+	code = -1
+	oldOut, oldExit := out, exit
+	out = &sb
+	exit = func(c int) { code = c; panic("exit") }
+	defer func() {
+		out, exit = oldOut, oldExit
+		msg = sb.String()
+		recover()
+	}()
+	f()
+	return sb.String(), code
+}
+
+func TestFatalOneLine(t *testing.T) {
+	msg, code := capture(func() {
+		Fatal("unisim", "simulate", errors.New("vm: pc 7 out of range"))
+	})
+	if code != ExitFail {
+		t.Errorf("exit code %d, want %d", code, ExitFail)
+	}
+	if msg != "unisim: simulate: vm: pc 7 out of range\n" {
+		t.Errorf("got %q", msg)
+	}
+}
+
+func TestFatalStripsRepeatedPhase(t *testing.T) {
+	msg, _ := capture(func() {
+		Fatal("unicc", "parse", errors.New("parse: 3:1: expected type"))
+	})
+	if msg != "unicc: parse: 3:1: expected type\n" {
+		t.Errorf("got %q", msg)
+	}
+}
+
+func TestFatalMultiline(t *testing.T) {
+	msg, _ := capture(func() {
+		Fatal("unicc", "parse", errors.New("1:1: bad\n2:2: worse"))
+	})
+	lines := strings.Split(strings.TrimRight(msg, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines: %q", len(lines), msg)
+	}
+	if lines[0] != "unicc: parse: 1:1: bad" || lines[1] != "  2:2: worse" {
+		t.Errorf("got %q", msg)
+	}
+}
+
+func TestTrapRecoversPanic(t *testing.T) {
+	msg, code := capture(func() {
+		defer Trap("unisim")
+		panic("index out of range")
+	})
+	if code != ExitFail {
+		t.Errorf("exit code %d, want %d", code, ExitFail)
+	}
+	if !strings.HasPrefix(msg, "unisim: internal: panic: index out of range\n") {
+		t.Errorf("got %q", msg)
+	}
+	if !strings.Contains(msg, "goroutine") {
+		t.Errorf("stack trace missing from %q", msg)
+	}
+}
+
+func TestTrapNoopWithoutPanic(t *testing.T) {
+	msg, code := capture(func() {
+		defer Trap("unisim")
+	})
+	if code != -1 || msg != "" {
+		t.Errorf("Trap acted without a panic: code %d, msg %q", code, msg)
+	}
+}
+
+func TestUsageExitCode(t *testing.T) {
+	msg, code := capture(func() {
+		Usage("unisim [flags] file.mc", nil)
+	})
+	if code != ExitUsage {
+		t.Errorf("exit code %d, want %d", code, ExitUsage)
+	}
+	if !strings.HasPrefix(msg, "usage: unisim") {
+		t.Errorf("got %q", msg)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/alias"
 	"repro/internal/check"
 	"repro/internal/dataflow"
+	"repro/internal/ice"
 	"repro/internal/inline"
 	"repro/internal/ir"
 	"repro/internal/irgen"
@@ -83,15 +84,22 @@ type Compilation struct {
 //	parse -> check -> IR -> web split -> alias sets -> register
 //	allocation (spills through cache) -> unified/conventional reference
 //	classification -> static statistics.
-func Compile(src string, cfg Config) (*Compilation, error) {
+func Compile(src string, cfg Config) (_ *Compilation, err error) {
+	// Any panic in a pass is an internal compiler error; recover it into a
+	// structured ice.Error naming the stage that was running.
+	phase := "parse"
+	defer ice.GuardPhase(&phase, &err)
+
 	file, err := parser.Parse(src)
 	if err != nil {
 		return nil, fmt.Errorf("parse: %w", err)
 	}
+	phase = "typecheck"
 	info, err := sem.Check(file)
 	if err != nil {
 		return nil, fmt.Errorf("typecheck: %w", err)
 	}
+	phase = "irgen"
 	prog, err := irgen.BuildWithOptions(info, irgen.Options{StackScalars: cfg.StackScalars})
 	if err != nil {
 		return nil, err
@@ -101,25 +109,31 @@ func Compile(src string, cfg Config) (*Compilation, error) {
 	// scalar optimizations, then value-grained live ranges (the paper's
 	// user-name splitting) before allocation.
 	if cfg.Inline {
+		phase = "inline"
 		inline.Run(prog)
 	}
 	for _, f := range prog.Funcs {
 		if cfg.Optimize {
+			phase = "optimize"
 			opt.Optimize(f)
 		}
+		phase = "webs"
 		dataflow.SplitWebs(f)
 	}
 
 	// Alias sets and per-site ambiguity. Annotation happens before
 	// allocation only for the object-level verdicts; spill references are
 	// created by the allocator and annotated afterwards by Apply.
+	phase = "alias"
 	an := alias.Analyze(info)
 	an.Annotate(prog)
 
 	if cfg.PromoteGlobals {
+		phase = "promote"
 		promote.Run(prog, an)
 	}
 
+	phase = "regalloc"
 	allocs := make(map[string]*regalloc.Allocation, len(prog.Funcs))
 	for _, f := range prog.Funcs {
 		a, err := regalloc.Allocate(f, cfg.target(), cfg.Strategy)
@@ -130,8 +144,10 @@ func Compile(src string, cfg Config) (*Compilation, error) {
 	}
 
 	// The unified-management verdict for every reference site.
+	phase = "classify"
 	ApplyProgram(prog, cfg.Mode)
 
+	phase = "verify"
 	if err := prog.Verify(); err != nil {
 		return nil, fmt.Errorf("internal error after pipeline: %w", err)
 	}

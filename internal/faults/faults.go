@@ -1,0 +1,150 @@
+// Package faults is a deterministic, seeded fault-injection framework
+// for the unified cache pipeline. It implements cache.Injector and drives
+// the cache model's fault port, so a campaign — a seeded plan of fault
+// rates — is exactly reproducible: same plan, same reference stream, same
+// faults.
+//
+// The fault taxonomy follows the paper's safety argument (§3.1, §3.2):
+//
+//   - Hint-loss faults (lost dead-mark/kill signals, spurious
+//     invalidations of clean lines, stuck-at ways) may cost cycles but
+//     must never change program results, because bypass and dead marking
+//     are pure performance hints and clean lines are coherent with memory.
+//   - Data-corrupting faults (bit flips in cached data, dropped
+//     writebacks) can change results; with a detection layer configured
+//     (cache.Config.ECC) they must be *detected* — corrected, retried, or
+//     reported as a structured cache.FaultError — never silent.
+//
+// The resilience harness in internal/experiments turns both properties
+// into executable assertions over the benchmark suite.
+package faults
+
+import "repro/internal/cache"
+
+// Plan is a campaign description: the seed plus one inverse rate per
+// fault class. A rate of N means "on average one fault per N
+// opportunities" (an opportunity is a CPU data reference for the
+// reference-clocked faults, a dead-mark or writeback event for the
+// event-clocked ones); 0 disables the class. StuckWays is a per-mille-ish
+// density: each (set, way) slot is independently stuck at power-on with
+// probability StuckWays/1024, chosen deterministically from the seed.
+type Plan struct {
+	Seed uint64
+
+	// Hint-loss fault classes (safe: performance only).
+	DeadMarkLoss       int // 1-in-N dead-mark (kill) signals lost
+	SpuriousInvalidate int // 1-in-N refs spuriously invalidate a clean line
+	StuckWays          int // stuck-at density: each way stuck w.p. N/1024
+
+	// Data-corrupting fault classes (must be detected, never silent).
+	WritebackDrop int // 1-in-N dirty writebacks lost on the bus
+	BitFlip       int // 1-in-N refs flip one bit of one cached word
+}
+
+// Corrupting reports whether the plan contains any data-corrupting fault
+// class. Plans with only hint-loss classes are output-preserving by the
+// paper's argument.
+func (p Plan) Corrupting() bool { return p.WritebackDrop > 0 || p.BitFlip > 0 }
+
+// Counts are the per-campaign injection counters: how many faults of each
+// class actually fired. They complement cache.FaultStats (which counts
+// what the detection layer saw).
+type Counts struct {
+	DeadMarksDropped    int64
+	SpuriousInvalidates int64
+	WritebacksDropped   int64
+	BitFlips            int64
+}
+
+// Total is the number of injected faults across all classes.
+func (c Counts) Total() int64 {
+	return c.DeadMarksDropped + c.SpuriousInvalidates + c.WritebacksDropped + c.BitFlips
+}
+
+// Injector implements cache.Injector for one campaign. It is not safe for
+// concurrent use; attach one Injector to exactly one cache.Memory.
+type Injector struct {
+	plan   Plan
+	rng    uint64
+	counts Counts
+}
+
+// New builds an injector executing plan. The zero plan injects nothing.
+func New(plan Plan) *Injector {
+	return &Injector{plan: plan, rng: plan.Seed*0x9E3779B97F4A7C15 | 1}
+}
+
+// Plan returns the campaign description the injector executes.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// Counts returns the faults injected so far.
+func (in *Injector) Counts() Counts { return in.counts }
+
+// next is xorshift64*: deterministic for a fixed seed and call sequence.
+func (in *Injector) next() uint64 {
+	x := in.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	in.rng = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// roll fires with probability 1/rate (never when rate <= 0).
+func (in *Injector) roll(rate int) bool {
+	if rate <= 0 {
+		return false
+	}
+	return in.next()%uint64(rate) == 0
+}
+
+// BeforeRef fires the reference-clocked fault classes through the cache's
+// fault port: spurious clean-line invalidations and bit flips.
+func (in *Injector) BeforeRef(m *cache.Memory, addr int64, store bool) {
+	if in.roll(in.plan.SpuriousInvalidate) {
+		if m.InvalidateClean(in.next()) {
+			in.counts.SpuriousInvalidates++
+		}
+	}
+	if in.roll(in.plan.BitFlip) {
+		pick, word, bit := in.next(), in.next(), in.next()
+		if _, ok := m.FlipBit(pick, int(word%64), uint(bit%64)); ok {
+			in.counts.BitFlips++
+		}
+	}
+}
+
+// DropDeadMark loses 1-in-DeadMarkLoss kill signals.
+func (in *Injector) DropDeadMark(addr int64) bool {
+	if in.roll(in.plan.DeadMarkLoss) {
+		in.counts.DeadMarksDropped++
+		return true
+	}
+	return false
+}
+
+// DropWriteback loses 1-in-WritebackDrop dirty writebacks.
+func (in *Injector) DropWriteback(addr int64) bool {
+	if in.roll(in.plan.WritebackDrop) {
+		in.counts.WritebacksDropped++
+		return true
+	}
+	return false
+}
+
+// WayStuck reports whether (set, way) is stuck at power-on. The decision
+// is a stateless hash of (seed, set, way): stable across the whole run —
+// a stuck way never holds a valid line — and independent of the reference
+// stream, so it models a manufacturing defect rather than a soft error.
+func (in *Injector) WayStuck(set, way int) bool {
+	if in.plan.StuckWays <= 0 {
+		return false
+	}
+	h := in.plan.Seed ^ uint64(set)*0x9E3779B97F4A7C15 ^ uint64(way)*0xBF58476D1CE4E5B9
+	h ^= h >> 31
+	h *= 0x94D049BB133111EB
+	h ^= h >> 29
+	return h%1024 < uint64(in.plan.StuckWays)
+}
+
+var _ cache.Injector = (*Injector)(nil)

@@ -1,0 +1,250 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/cache"
+)
+
+// run pushes a deterministic reference stream through a fault-configured
+// cache and returns the memory for inspection.
+func run(t *testing.T, cfg cache.Config, words int, refs func(m *cache.Memory)) *cache.Memory {
+	t.Helper()
+	m, err := cache.NewMemory(words, cfg)
+	if err != nil {
+		t.Fatalf("NewMemory: %v", err)
+	}
+	refs(m)
+	return m
+}
+
+// stream is a small loop workload: write then repeatedly read a working
+// set larger than one set's ways, forcing evictions and writebacks.
+func stream(m *cache.Memory) {
+	const n = 256
+	for i := int64(0); i < n; i++ {
+		m.Store(i, i*3+1, false, false)
+	}
+	for pass := 0; pass < 4; pass++ {
+		for i := int64(0); i < n; i++ {
+			v := m.Load(i, false, false)
+			m.Store(i, v+1, false, false)
+		}
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	plan := Plan{Seed: 42, DeadMarkLoss: 3, SpuriousInvalidate: 7, BitFlip: 11, WritebackDrop: 13}
+	var counts [2]Counts
+	var stats [2]cache.Stats
+	for i := range counts {
+		inj := New(plan)
+		cfg := cache.DefaultConfig()
+		cfg.Injector = inj
+		m := run(t, cfg, 1<<12, stream)
+		counts[i] = inj.Counts()
+		stats[i] = m.Stats()
+	}
+	if counts[0] != counts[1] {
+		t.Errorf("same plan, different injections: %+v vs %+v", counts[0], counts[1])
+	}
+	if stats[0] != stats[1] {
+		t.Errorf("same plan, different cache stats: %+v vs %+v", stats[0], stats[1])
+	}
+	if counts[0].Total() == 0 {
+		t.Error("campaign injected no faults; rates too low for the stream")
+	}
+}
+
+func TestZeroPlanInjectsNothing(t *testing.T) {
+	inj := New(Plan{Seed: 99})
+	cfg := cache.DefaultConfig()
+	cfg.Injector = inj
+	m := run(t, cfg, 1<<12, stream)
+	if got := inj.Counts().Total(); got != 0 {
+		t.Errorf("zero plan injected %d faults", got)
+	}
+	if err := m.FaultErr(); err != nil {
+		t.Errorf("zero plan raised fault: %v", err)
+	}
+}
+
+// TestHintLossPreservesData: dead-mark losses, spurious clean
+// invalidations and stuck ways must never change memory contents.
+func TestHintLossPreservesData(t *testing.T) {
+	golden := run(t, cache.DefaultConfig(), 1<<12, stream)
+	golden.FlushAll()
+
+	plans := []Plan{
+		{Seed: 7, DeadMarkLoss: 2},
+		{Seed: 7, SpuriousInvalidate: 3},
+		{Seed: 7, StuckWays: 512},
+		{Seed: 7, DeadMarkLoss: 2, SpuriousInvalidate: 3, StuckWays: 256},
+	}
+	for _, plan := range plans {
+		if plan.Corrupting() {
+			t.Fatalf("plan %+v unexpectedly corrupting", plan)
+		}
+		inj := New(plan)
+		cfg := cache.DefaultConfig()
+		cfg.Injector = inj
+		m := run(t, cfg, 1<<12, stream)
+		m.FlushAll()
+		if err := m.FaultErr(); err != nil {
+			t.Errorf("plan %+v: hint-loss campaign raised fault: %v", plan, err)
+		}
+		for a := int64(0); a < 256; a++ {
+			if got, want := m.Peek(a), golden.Peek(a); got != want {
+				t.Fatalf("plan %+v: mem[%d] = %d, want %d", plan, a, got, want)
+			}
+		}
+	}
+}
+
+// TestBitFlipDetected: with parity on, an injected bit flip must surface
+// as a detected fault or a successful retry — never as silently wrong data.
+func TestBitFlipDetected(t *testing.T) {
+	for _, mode := range []cache.ECCMode{cache.ECCParity, cache.ECCSECDED} {
+		inj := New(Plan{Seed: 5, BitFlip: 4})
+		cfg := cache.DefaultConfig()
+		cfg.ECC = mode
+		cfg.Injector = inj
+		m := run(t, cfg, 1<<12, stream)
+		m.FlushAll()
+		fs := m.FaultStats()
+		if inj.Counts().BitFlips == 0 {
+			t.Fatalf("%v: no bit flips injected", mode)
+		}
+		seen := fs.Detected + fs.Corrected + fs.Retried
+		if seen == 0 {
+			t.Errorf("%v: %d flips injected, none detected/corrected/retried",
+				mode, inj.Counts().BitFlips)
+		}
+		if mode == cache.ECCSECDED && fs.Corrected == 0 {
+			t.Errorf("secded: no single-bit corrections recorded (%+v)", fs)
+		}
+	}
+}
+
+// TestBitFlipSilentWithoutECC documents why the detection layer exists:
+// with ECC off the same campaign corrupts data with no report.
+func TestBitFlipSilentWithoutECC(t *testing.T) {
+	inj := New(Plan{Seed: 5, BitFlip: 4})
+	cfg := cache.DefaultConfig()
+	cfg.Injector = inj
+	m := run(t, cfg, 1<<12, stream)
+	m.FlushAll()
+	if err := m.FaultErr(); err != nil {
+		t.Fatalf("ECC off cannot detect, got %v", err)
+	}
+	if inj.Counts().BitFlips == 0 {
+		t.Fatal("no bit flips injected")
+	}
+	golden := run(t, cache.DefaultConfig(), 1<<12, stream)
+	golden.FlushAll()
+	diff := 0
+	for a := int64(0); a < 256; a++ {
+		if m.Peek(a) != golden.Peek(a) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("bit-flip campaign left memory intact; injection not effective")
+	}
+}
+
+// TestDroppedWritebackFaults: with ECC on, a dropped writeback is a
+// machine-check, reported as FaultWritebackLost.
+func TestDroppedWritebackFaults(t *testing.T) {
+	inj := New(Plan{Seed: 11, WritebackDrop: 2})
+	cfg := cache.DefaultConfig()
+	cfg.ECC = cache.ECCParity
+	cfg.Injector = inj
+	m := run(t, cfg, 1<<12, stream)
+	m.FlushAll()
+	if inj.Counts().WritebacksDropped == 0 {
+		t.Fatal("no writebacks dropped; stream has no evictions?")
+	}
+	err := m.FaultErr()
+	if err == nil {
+		t.Fatal("dropped writeback with ECC on did not fault")
+	}
+	var fe *cache.FaultError
+	if !errors.As(err, &fe) || fe.Kind != cache.FaultWritebackLost {
+		t.Errorf("want FaultWritebackLost, got %v", err)
+	}
+}
+
+// TestRetryRepairsCleanLines: a flipped clean line under ECCRetry is
+// refetched from memory instead of faulting.
+func TestRetryRepairsCleanLines(t *testing.T) {
+	cfg := cache.DefaultConfig()
+	cfg.ECC = cache.ECCParity
+	cfg.ECCRetry = true
+	m, err := cache.NewMemory(1<<12, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Poke(7, 12345)
+	if v := m.Load(7, false, false); v != 12345 { // fill a clean line
+		t.Fatalf("load = %d", v)
+	}
+	if _, ok := m.FlipBit(0, 0, 3); !ok {
+		t.Fatal("FlipBit found no resident line")
+	}
+	if v := m.Load(7, false, false); v != 12345 {
+		t.Errorf("retry did not repair clean line: got %d", v)
+	}
+	fs := m.FaultStats()
+	if fs.Retried == 0 {
+		t.Errorf("no retry recorded: %+v", fs)
+	}
+	if m.FaultErr() != nil {
+		t.Errorf("retryable fault left sticky error: %v", m.FaultErr())
+	}
+}
+
+// TestStuckWaysDegradeGracefully: with every way stuck the cache degrades
+// to direct memory access with correct results.
+func TestStuckWaysDegradeGracefully(t *testing.T) {
+	inj := New(Plan{Seed: 3, StuckWays: 1024}) // all ways stuck
+	cfg := cache.DefaultConfig()
+	cfg.Injector = inj
+	m := run(t, cfg, 1<<12, stream)
+	m.FlushAll()
+	st := m.Stats()
+	if st.Fetches != 0 || st.StoreAllocs != 0 {
+		t.Errorf("fully stuck cache still allocated lines: %+v", st)
+	}
+	if m.FaultStats().StuckWayRefs == 0 {
+		t.Error("no degraded refs counted")
+	}
+	golden := run(t, cache.DefaultConfig(), 1<<12, stream)
+	golden.FlushAll()
+	for a := int64(0); a < 256; a++ {
+		if got, want := m.Peek(a), golden.Peek(a); got != want {
+			t.Fatalf("mem[%d] = %d, want %d", a, got, want)
+		}
+	}
+}
+
+func TestWayStuckStable(t *testing.T) {
+	inj := New(Plan{Seed: 21, StuckWays: 300})
+	stuck := 0
+	for s := 0; s < 32; s++ {
+		for w := 0; w < 2; w++ {
+			a := inj.WayStuck(s, w)
+			b := inj.WayStuck(s, w)
+			if a != b {
+				t.Fatalf("WayStuck(%d,%d) unstable", s, w)
+			}
+			if a {
+				stuck++
+			}
+		}
+	}
+	if stuck == 0 {
+		t.Error("density 300/1024 over 64 ways produced no stuck ways")
+	}
+}

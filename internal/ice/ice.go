@@ -1,0 +1,72 @@
+// Package ice converts internal panics into structured internal-compiler-
+// error values. The public entry points (api.Compile, api.Run, the cmd/*
+// tools) guard their pipelines with it so a bug in any pass surfaces as an
+// ordinary error carrying the failing phase — never as a process crash
+// with a raw goroutine dump in the user's face.
+package ice
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+)
+
+// Error is a recovered internal panic.
+type Error struct {
+	Phase string // pipeline phase that panicked ("parse", "regalloc", ...)
+	Panic any    // the recovered value
+	Stack string // trimmed stack of the panicking goroutine
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("internal error in %s: %v", e.Phase, e.Panic)
+}
+
+// Guard recovers a panic in progress and stores it in *err as an *Error
+// tagged with phase. Use it as:
+//
+//	defer ice.Guard("compile", &err)
+//
+// An existing error is not overwritten unless a panic actually occurred.
+func Guard(phase string, err *error) {
+	if r := recover(); r != nil {
+		*err = &Error{Phase: phase, Panic: r, Stack: stack()}
+	}
+}
+
+// GuardPhase is Guard with a late-bound phase: the guarded function
+// updates *phase as it moves through its pipeline, so the recovered error
+// names the stage that was actually running when the panic fired.
+func GuardPhase(phase *string, err *error) {
+	if r := recover(); r != nil {
+		*err = &Error{Phase: *phase, Panic: r, Stack: stack()}
+	}
+}
+
+// FromPanic wraps a panic value the caller has already recovered itself
+// (recover only sees a panic from the directly deferred function, so
+// callers with their own deferred handler cannot delegate to Guard).
+func FromPanic(phase string, r any) *Error {
+	return &Error{Phase: phase, Panic: r, Stack: stack()}
+}
+
+// stack captures the current goroutine's stack, trimmed of the recover
+// plumbing frames so the first frame shown is the panic site.
+func stack() string {
+	buf := make([]byte, 64<<10)
+	buf = buf[:runtime.Stack(buf, false)]
+	s := string(buf)
+	// Drop frames up to and including the runtime panic machinery; keep
+	// the full trace when the shape is unexpected.
+	if i := strings.Index(s, "panic("); i >= 0 {
+		if j := strings.Index(s[i:], "\n"); j >= 0 {
+			// Skip the "panic(...)" line and its file/line continuation.
+			rest := s[i+j+1:]
+			if k := strings.Index(rest, "\n"); k >= 0 {
+				head := s[:strings.Index(s, "\n")+1] // "goroutine N [...]:" line
+				return head + rest[k+1:]
+			}
+		}
+	}
+	return s
+}

@@ -1,0 +1,67 @@
+package ice
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func boom() (err error) {
+	defer Guard("boom", &err)
+	panic("kaboom")
+}
+
+func TestGuardRecovers(t *testing.T) {
+	err := boom()
+	if err == nil {
+		t.Fatal("panic not recovered")
+	}
+	var ie *Error
+	if !errors.As(err, &ie) {
+		t.Fatalf("want *Error, got %T", err)
+	}
+	if ie.Phase != "boom" || ie.Panic != "kaboom" {
+		t.Errorf("got phase=%q panic=%v", ie.Phase, ie.Panic)
+	}
+	if !strings.Contains(err.Error(), "internal error in boom: kaboom") {
+		t.Errorf("message: %q", err.Error())
+	}
+	if ie.Stack == "" {
+		t.Error("no stack captured")
+	}
+}
+
+func TestGuardPreservesError(t *testing.T) {
+	want := errors.New("ordinary failure")
+	f := func() (err error) {
+		defer Guard("p", &err)
+		return want
+	}
+	if got := f(); got != want {
+		t.Errorf("guard rewrote a non-panic error: %v", got)
+	}
+}
+
+func TestGuardPhaseLateBinding(t *testing.T) {
+	f := func() (err error) {
+		phase := "early"
+		defer GuardPhase(&phase, &err)
+		phase = "late"
+		panic(42)
+	}
+	err := f()
+	var ie *Error
+	if !errors.As(err, &ie) || ie.Phase != "late" {
+		t.Fatalf("want phase 'late', got %v", err)
+	}
+}
+
+func TestGuardNilOnSuccess(t *testing.T) {
+	f := func() (err error) {
+		defer Guard("p", &err)
+		return nil
+	}
+	if err := f(); err != nil {
+		t.Errorf("unexpected error: %v", err)
+	}
+}

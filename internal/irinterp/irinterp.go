@@ -32,6 +32,18 @@ type Result struct {
 	Steps  int64  // instructions executed
 }
 
+// BudgetError reports an exhausted instruction budget, naming the
+// function that was executing when the limit hit so a runaway program can
+// be located. Callers detect it with errors.As.
+type BudgetError struct {
+	Limit int64  // the exhausted MaxSteps budget
+	Func  string // IR function executing when the budget ran out
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("irinterp: budget of %d steps exhausted in %s", e.Limit, e.Func)
+}
+
 // Run executes prog starting at main() and returns its output.
 func Run(prog *ir.Program, cfg Config) (*Result, error) {
 	if cfg.MemWords == 0 {
@@ -130,7 +142,7 @@ func (in *interp) call(f *ir.Func, args []int64) (int64, error) {
 		var next *ir.Block
 		for i := range b.Instrs {
 			if in.steps++; in.steps > in.limit {
-				return 0, fmt.Errorf("irinterp: step limit exceeded in %s", f.Name)
+				return 0, &BudgetError{Limit: in.limit, Func: f.Name}
 			}
 			ins := &b.Instrs[i]
 			switch ins.Op {

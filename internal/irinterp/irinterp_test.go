@@ -1,6 +1,7 @@
 package irinterp
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -34,9 +35,16 @@ func TestStepLimit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Run(prog, Config{MaxSteps: 5000}); err == nil ||
-		!strings.Contains(err.Error(), "step limit") {
-		t.Errorf("expected step-limit error, got %v", err)
+	_, err = Run(prog, Config{MaxSteps: 5000})
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("expected *BudgetError, got %v", err)
+	}
+	if be.Limit != 5000 || be.Func != "main" {
+		t.Errorf("BudgetError = %+v, want limit 5000 in main", be)
+	}
+	if !strings.Contains(err.Error(), "budget of 5000 steps exhausted in main") {
+		t.Errorf("message %q lacks budget details", err)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"unicode"
 )
 
 // Assemble parses UM assembly text. Accepted syntax is exactly what
@@ -24,8 +25,8 @@ import (
 //
 //	.globals N                     (size of the global segment in words)
 //	.init ADDR VALUE               (initialize a global word)
-//	.entry LABEL                   (start label; default "_start", falling
-//	                                back to PC 0)
+//	.entry LABEL                   (start label; ".entry @N" selects an
+//	                                absolute PC; default PC 0)
 //
 // Leading PC numbers (as printed by Listing) are ignored, so a listing can
 // be assembled unchanged.
@@ -94,8 +95,13 @@ func Assemble(src string) (*Program, error) {
 		// a single "name:").
 		if strings.HasSuffix(line, ":") {
 			name := strings.TrimSuffix(line, ":")
-			if name == "" || strings.ContainsAny(name, " \t") {
+			if !validLabel(name) {
 				return nil, asmErr(lineNo, "bad label %q", line)
+			}
+			if strings.HasPrefix(name, "@") {
+				// "@N" is the absolute-target syntax; a label spelled that
+				// way could never be referenced unambiguously.
+				return nil, asmErr(lineNo, "label %q: names starting with '@' are reserved for absolute targets", name)
 			}
 			if _, dup := p.Labels[name]; dup {
 				return nil, asmErr(lineNo, "duplicate label %q", name)
@@ -142,6 +148,14 @@ func Assemble(src string) (*Program, error) {
 	}
 
 	switch {
+	case strings.HasPrefix(entryLabel, "@"):
+		// ".entry @N": absolute PC, used by Save when no function label
+		// coincides with the entry point.
+		n, err := strconv.Atoi(entryLabel[1:])
+		if err != nil {
+			return nil, fmt.Errorf("asm: bad absolute entry %q", entryLabel)
+		}
+		p.Entry = n
 	case entryLabel != "":
 		pc, ok := p.Labels[entryLabel]
 		if !ok {
@@ -159,6 +173,21 @@ func Assemble(src string) (*Program, error) {
 
 func asmErr(lineNo int, format string, args ...any) error {
 	return fmt.Errorf("asm: line %d: %s", lineNo+1, fmt.Sprintf(format, args...))
+}
+
+// validLabel accepts names the textual format can reproduce: nonempty,
+// printable, and free of whitespace, comment starters and the directive
+// dot-prefix position markers that would change meaning when re-read.
+func validLabel(name string) bool {
+	if name == "" {
+		return false
+	}
+	for _, r := range name {
+		if r <= ' ' || r == 0x7f || r == ';' || r == '#' || r == ':' || unicode.IsSpace(r) {
+			return false
+		}
+	}
+	return true
 }
 
 var nameToOp = func() map[string]Op {
@@ -375,14 +404,23 @@ func (p *Program) Save() string {
 	for _, a := range addrs {
 		fmt.Fprintf(&sb, ".init %d %d\n", a, p.GlobalInit[a])
 	}
+	// Deterministic choice when several function labels share the entry
+	// PC: the lexically smallest wins.
+	entryName := ""
 	for name, pc := range p.Labels {
-		if pc == p.Entry && !strings.Contains(name, ".") {
-			fmt.Fprintf(&sb, ".entry %s\n", name)
-			break
+		if pc == p.Entry && !strings.Contains(name, ".") &&
+			(entryName == "" || name < entryName) {
+			entryName = name
 		}
 	}
-	if p.Entry == 0 {
-		sb.WriteString("; entry at pc 0\n")
+	named := entryName != ""
+	if named {
+		fmt.Fprintf(&sb, ".entry %s\n", entryName)
+	}
+	if !named && p.Entry != 0 {
+		// No function label at the entry point: record it absolutely so
+		// Assemble(Save(p)) preserves Entry.
+		fmt.Fprintf(&sb, ".entry @%d\n", p.Entry)
 	}
 	sb.WriteString(p.Listing())
 	return sb.String()

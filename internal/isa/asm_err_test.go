@@ -1,0 +1,59 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+// The assembler's diagnostics are the round-trip debugging surface: when a
+// saved .s file is edited by hand or corrupted, the error must name the
+// 1-based source line. Each case pins both the line number and the
+// substance of the message.
+func TestAssembleErrorPositions(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string // must be a substring of the error
+	}{
+		{"bad label", "li $t0, 1\nbad label:\nhalt", `asm: line 2: bad label "bad label:"`},
+		{"at label reserved", "@7:\nhalt", `asm: line 1: label "@7": names starting with '@' are reserved`},
+		{"duplicate label", "x:\nhalt\nx:\nhalt", `asm: line 3: duplicate label "x"`},
+		{"unknown directive", "halt\n.bogus 3", "asm: line 2: unknown directive .bogus"},
+		{"globals usage", ".globals\nhalt", "asm: line 1: usage: .globals N"},
+		{"globals size", ".globals -4\nhalt", `asm: line 1: bad global size "-4"`},
+		{"init usage", "halt\n.init 7\nhalt", "asm: line 2: usage: .init ADDR VALUE"},
+		{"init operands", ".init seven 1\nhalt", "asm: line 1: bad .init operands"},
+		{"entry usage", ".entry\nhalt", "asm: line 1: usage: .entry LABEL"},
+		{"bad mnemonic", "halt\n\nfrob $t0, $t1", `asm: line 3: unknown mnemonic "frob"`},
+		{"bad memory suffix", "lw.xz $t0, 0($sp)", `asm: line 1: unknown memory suffix in "lw.xz"`},
+		{"bad register", "add $t0, $bogus, $t1", `asm: line 1: bad register "$bogus"`},
+		{"missing operand", "add $t0, $t1", "asm: line 1: missing operand"},
+		{"bad memory operand", "lw $t0, nonsense", `asm: line 1: bad memory operand "nonsense"`},
+		{"bad offset", "lw $t0, x7($sp)", `asm: line 1: bad offset "x7"`},
+		{"undefined branch target", "halt\nj nowhere", `asm: line 2: undefined label "nowhere"`},
+		{"bad absolute target", "j @ten", `asm: line 1: bad absolute target "@ten"`},
+		{"undefined entry", ".entry main\nhalt", `asm: entry label "main" undefined`},
+		{"bad absolute entry", ".entry @x\nhalt", `asm: bad absolute entry "@x"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Assemble(tc.src)
+			if err == nil {
+				t.Fatalf("Assemble(%q) succeeded, want error containing %q", tc.src, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("Assemble(%q) error %q, want substring %q", tc.src, err, tc.want)
+			}
+		})
+	}
+}
+
+// Line numbers must survive blank lines and comments: diagnostics count
+// raw source lines, not logical instructions.
+func TestAssembleErrorLineCountsComments(t *testing.T) {
+	src := "; header comment\n\nmain:\n  li $t0, 1  ; fine\n  frob\n"
+	_, err := Assemble(src)
+	if err == nil || !strings.Contains(err.Error(), "asm: line 5:") {
+		t.Errorf("error %v, want line 5", err)
+	}
+}

@@ -1,0 +1,59 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzAsmRoundTrip: any text the assembler accepts must survive a
+// Save/Assemble round trip — same instructions, same entry, same globals —
+// and Save must be a fixed point after one normalization.
+func FuzzAsmRoundTrip(f *testing.F) {
+	seeds := []string{
+		"halt\n",
+		".globals 4\n.init 64 7\nmain:\n    li $t0, 42\n    print $t0\n    halt\n",
+		"main:\n    li $t0, 3\n    li $t1, 4\n    add $t2, $t0, $t1\n    sw.am $t2, 0($sp)\n    lw.uml $t3, 0($sp)\n    print $t3\n    halt\n",
+		".entry loop\nstart:\n    nop\nloop:\n    beqz $t0, done.x\n    j loop\ndone.x:\n    halt\n",
+		".entry @1\n    nop\n    halt\n",
+		"f:\n    jal f\n    jr $ra\n    halt\n",
+		"; comment\n# another\nmain:\n    lw.um $a0, 64($zero)\n    halt\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble(src)
+		if err != nil {
+			// Rejected input: the only requirement is a graceful error.
+			return
+		}
+		saved := p.Save()
+		p2, err := Assemble(saved)
+		if err != nil {
+			t.Fatalf("Save output rejected by Assemble: %v\nsaved:\n%s", err, saved)
+		}
+		if p2.Entry != p.Entry {
+			t.Fatalf("entry changed across round trip: %d -> %d\nsaved:\n%s", p.Entry, p2.Entry, saved)
+		}
+		if p2.GlobalWords != p.GlobalWords {
+			t.Fatalf("globals changed: %d -> %d", p.GlobalWords, p2.GlobalWords)
+		}
+		if len(p2.Instrs) != len(p.Instrs) {
+			t.Fatalf("instruction count changed: %d -> %d", len(p.Instrs), len(p2.Instrs))
+		}
+		for i := range p.Instrs {
+			a, b := p.Instrs[i], p2.Instrs[i]
+			// Sym is cosmetic (label attribution); the semantic fields must
+			// match exactly.
+			a.Sym, b.Sym = "", ""
+			if a != b {
+				t.Fatalf("instr %d changed: %v -> %v", i, p.Instrs[i], p2.Instrs[i])
+			}
+		}
+		// Save is a fixed point once normalized.
+		if again := p2.Save(); again != saved {
+			t.Fatalf("Save not stable:\nfirst:\n%s\nsecond:\n%s", saved, again)
+		}
+		_ = strings.TrimSpace(saved)
+	})
+}

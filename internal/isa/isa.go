@@ -12,6 +12,7 @@ package isa
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -234,6 +235,9 @@ func (p *Program) Listing() string {
 	for name, pc := range p.Labels {
 		byPC[pc] = append(byPC[pc], name)
 	}
+	for _, names := range byPC {
+		sort.Strings(names) // deterministic listing under map iteration
+	}
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "; entry @%d, globals [%d, %d)\n", p.Entry, p.GlobalBase, p.GlobalBase+p.GlobalWords)
 	for pc := range p.Instrs {
@@ -252,6 +256,23 @@ func (p *Program) Listing() string {
 		fmt.Fprintf(&sb, "%5d    %s\n", pc, p.Instrs[pc].String())
 	}
 	return sb.String()
+}
+
+// FuncAt returns the name of the function containing pc: the dot-free
+// label with the greatest PC not exceeding pc (block labels contain a
+// dot). Ties break to the lexically smallest name so the answer is
+// deterministic; the empty string means no function label covers pc.
+func (p *Program) FuncAt(pc int) string {
+	best, bestPC := "", -1
+	for name, lpc := range p.Labels {
+		if strings.Contains(name, ".") || lpc > pc {
+			continue
+		}
+		if lpc > bestPC || (lpc == bestPC && name < best) {
+			best, bestPC = name, lpc
+		}
+	}
+	return best
 }
 
 // Validate checks structural invariants: branch targets in range, register

@@ -1,0 +1,84 @@
+package lexer
+
+import (
+	"testing"
+
+	"repro/internal/token"
+)
+
+// scanToIllegal returns the first ILLEGAL token, failing if the input
+// lexes cleanly.
+func scanToIllegal(t *testing.T, src string) token.Token {
+	t.Helper()
+	lx := New(src)
+	for {
+		tok := lx.Next()
+		switch tok.Kind {
+		case token.ILLEGAL:
+			return tok
+		case token.EOF:
+			t.Fatalf("no ILLEGAL token in %q", src)
+		}
+	}
+}
+
+// Diagnostics downstream (parser, sem) render positions from these
+// tokens, so the line/column of every lexical error must be exact:
+// 1-based, counting the offending byte itself.
+func TestIllegalTokenPositions(t *testing.T) {
+	cases := []struct {
+		name      string
+		src       string
+		text      string
+		line, col int
+	}{
+		{"stray at line start", "@", "@", 1, 1},
+		{"stray mid-line", "int x = 3 $;", "$", 1, 11},
+		{"stray on later line", "int a;\nint b;\n  ? c;", "?", 3, 3},
+		{"stray after tab", "\t#", "#", 1, 2},
+		// The token text renders the byte as a code point ("\xc3" -> U+00C3);
+		// the position still counts source bytes.
+		{"non-ascii byte", "int \xc3 = 1;", "Ã", 1, 5},
+		{"stray after comment", "// note\n~x", "~", 2, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tok := scanToIllegal(t, tc.src)
+			if tok.Text != tc.text {
+				t.Errorf("text %q, want %q", tok.Text, tc.text)
+			}
+			if tok.Pos.Line != tc.line || tok.Pos.Col != tc.col {
+				t.Errorf("pos %d:%d, want %d:%d", tok.Pos.Line, tok.Pos.Col, tc.line, tc.col)
+			}
+		})
+	}
+}
+
+// An unterminated block comment is reported at the position where
+// scanning gave up (EOF), as an ILLEGAL token the parser can surface.
+func TestUnterminatedCommentPosition(t *testing.T) {
+	tok := scanToIllegal(t, "int x;\n/* never closed")
+	if tok.Text != "unterminated comment" {
+		t.Fatalf("text %q, want unterminated comment", tok.Text)
+	}
+	if tok.Pos.Line != 2 {
+		t.Errorf("line %d, want 2", tok.Pos.Line)
+	}
+}
+
+// After an ILLEGAL token the lexer keeps going: the bad byte is consumed
+// and scanning resumes, so one stray byte yields one diagnostic.
+func TestLexerContinuesAfterIllegal(t *testing.T) {
+	lx := New("$ int")
+	first := lx.Next()
+	if first.Kind != token.ILLEGAL || first.Text != "$" {
+		t.Fatalf("first = %v %q, want ILLEGAL $", first.Kind, first.Text)
+	}
+	second := lx.Next()
+	if second.Kind != token.KWINT {
+		t.Errorf("second = %v, want int keyword", second.Kind)
+	}
+	if second.Pos.Line != 1 || second.Pos.Col != 3 {
+		t.Errorf("second pos %d:%d, want 1:3", second.Pos.Line, second.Pos.Col)
+	}
+}

@@ -123,16 +123,26 @@ func (p *parser) sync() {
 func (p *parser) file() *ast.File {
 	f := &ast.File{}
 	for !p.at(token.EOF) {
+		if len(p.errs) >= maxErrors {
+			break
+		}
 		if p.at(token.ILLEGAL) {
 			p.errorf(p.tok.Pos, "illegal token %q", p.tok.Text)
 			p.next()
 			continue
 		}
+		before := p.tok.Pos
 		d := p.decl()
 		if d != nil {
 			f.Decls = append(f.Decls, d)
 		} else {
 			p.sync()
+			// Progress guarantee: if recovery consumed nothing (the
+			// offending token is itself a sync boundary, e.g. a stray
+			// '}'), skip it so the parse always terminates.
+			if p.tok.Pos == before && !p.at(token.EOF) {
+				p.next()
+			}
 		}
 	}
 	return f
@@ -284,11 +294,20 @@ func (p *parser) blockStmt() *ast.BlockStmt {
 	b := &ast.BlockStmt{LBrace: p.tok.Pos}
 	p.expect(token.LBRACE)
 	for !p.at(token.RBRACE) && !p.at(token.EOF) {
+		if len(p.errs) >= maxErrors {
+			break
+		}
+		before := p.tok.Pos
 		s := p.stmt()
 		if s != nil {
 			b.List = append(b.List, s)
 		} else {
 			p.sync()
+			// Progress guarantee: never loop on a sync-boundary token
+			// that stmt() could not consume (e.g. a misplaced 'void').
+			if p.tok.Pos == before && !p.at(token.EOF) && !p.at(token.RBRACE) {
+				p.next()
+			}
 		}
 	}
 	p.expect(token.RBRACE)

@@ -39,8 +39,31 @@ type Result struct {
 	Loads        int64
 	Stores       int64
 	CacheStats   cache.Stats
-	ICacheStats  *cache.Stats // set when Config.ICache was provided
+	FaultStats   cache.FaultStats // detection-layer counters (fault campaigns)
+	ICacheStats  *cache.Stats     // set when Config.ICache was provided
 	Trace        trace.Trace
+}
+
+// BudgetError reports that the instruction budget ran out before HALT. It
+// carries the faulting program counter and (when label information allows)
+// the enclosing function, so tools can say where the program was spinning.
+type BudgetError struct {
+	Limit int64  // the exhausted MaxSteps budget
+	PC    int    // program counter at exhaustion
+	Func  string // enclosing function label, "" if unknown
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("vm: step budget (%d instructions) exhausted at %s",
+		e.Limit, site(e.PC, e.Func))
+}
+
+// site renders "pc N" or "pc N (in func)" for error messages.
+func site(pc int, fn string) string {
+	if fn == "" {
+		return fmt.Sprintf("pc %d", pc)
+	}
+	return fmt.Sprintf("pc %d (in %s)", pc, fn)
 }
 
 // DynamicBypassPercent is the runtime fraction of data references marked
@@ -95,7 +118,7 @@ func Run(p *isa.Program, cfg Config) (*Result, error) {
 
 	for steps := int64(0); ; steps++ {
 		if steps >= cfg.MaxSteps {
-			return nil, fmt.Errorf("vm: step limit (%d) exceeded at pc %d", cfg.MaxSteps, pc)
+			return nil, &BudgetError{Limit: cfg.MaxSteps, PC: pc, Func: p.FuncAt(pc)}
 		}
 		if pc < 0 || pc >= n {
 			return nil, fmt.Errorf("vm: pc %d out of range", pc)
@@ -110,8 +133,15 @@ func Run(p *isa.Program, cfg Config) (*Result, error) {
 		switch in.Op {
 		case isa.NOP:
 		case isa.HALT:
+			// Drain dirty lines so end-of-run writeback faults (dropped
+			// writebacks, latent ECC damage) are detected, not left latent.
+			mem.FlushAll()
+			if err := mem.FaultErr(); err != nil {
+				return nil, fmt.Errorf("vm: at %s: %w", site(pc, p.FuncAt(pc)), err)
+			}
 			res.Output = out.String()
 			res.CacheStats = mem.Stats()
+			res.FaultStats = mem.FaultStats()
 			if imem != nil {
 				ist := imem.Stats()
 				res.ICacheStats = &ist
@@ -171,6 +201,9 @@ func Run(p *isa.Program, cfg Config) (*Result, error) {
 				return nil, fmt.Errorf("vm: load address %d out of range at pc %d (%s)", addr, pc, in)
 			}
 			regs[in.Rd] = mem.Load(addr, in.Bypass, in.Last)
+			if err := mem.FaultErr(); err != nil {
+				return nil, fmt.Errorf("vm: at %s: %w", site(pc, p.FuncAt(pc)), err)
+			}
 			res.Loads++
 			if cfg.RecordTrace {
 				res.Trace = append(res.Trace, trace.Rec{Addr: addr, Kind: trace.Load,
@@ -182,6 +215,9 @@ func Run(p *isa.Program, cfg Config) (*Result, error) {
 				return nil, fmt.Errorf("vm: store address %d out of range at pc %d (%s)", addr, pc, in)
 			}
 			mem.Store(addr, regs[in.Rt], in.Bypass, in.Last)
+			if err := mem.FaultErr(); err != nil {
+				return nil, fmt.Errorf("vm: at %s: %w", site(pc, p.FuncAt(pc)), err)
+			}
 			res.Stores++
 			if cfg.RecordTrace {
 				res.Trace = append(res.Trace, trace.Rec{Addr: addr, Kind: trace.Store,

@@ -27,4 +27,12 @@ go run ./cmd/unicheck
 echo "== unicheck (examples/mc) =="
 go run ./cmd/unicheck examples/mc/*.mc
 
+echo "== fuzz smoke (10s per target) =="
+go test -run 'xxx^' -fuzz 'FuzzCompile$' -fuzztime 10s .
+go test -run 'xxx^' -fuzz 'FuzzAsmRoundTrip$' -fuzztime 10s ./internal/isa
+go test -run 'xxx^' -fuzz 'FuzzCacheModel$' -fuzztime 10s ./internal/cache
+
+echo "== fault campaigns (bubble, sieve) =="
+go run ./cmd/unibench -experiment resilience -bench bubble,sieve
+
 echo "CI OK"

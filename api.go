@@ -212,27 +212,21 @@ func (p *Program) cacheConfig(o CacheOptions) (cache.Config, error) {
 	if o.LineWords != 0 {
 		cfg.LineWords = o.LineWords
 	}
-	switch o.Policy {
-	case "":
-	case "lru":
-		cfg.Policy = cache.LRU
-	case "fifo":
-		cfg.Policy = cache.FIFO
-	case "random":
-		cfg.Policy = cache.Random
-	default:
-		return cfg, fmt.Errorf("unicache: unknown policy %q", o.Policy)
+	if o.Policy != "" {
+		pol, err := cache.ParsePolicy(o.Policy)
+		// MIN needs the future knowledge only a recorded trace provides;
+		// executing runs cannot use it (Replay can).
+		if err != nil || pol == cache.MIN {
+			return cfg, fmt.Errorf("unicache: unknown policy %q", o.Policy)
+		}
+		cfg.Policy = pol
 	}
-	switch o.DeadMarking {
-	case "":
-	case "off":
-		cfg.Dead = cache.DeadOff
-	case "invalidate":
-		cfg.Dead = cache.DeadInvalidate
-	case "demote":
-		cfg.Dead = cache.DeadDemote
-	default:
-		return cfg, fmt.Errorf("unicache: unknown dead-marking mode %q", o.DeadMarking)
+	if o.DeadMarking != "" {
+		dm, err := cache.ParseDeadMode(o.DeadMarking)
+		if err != nil {
+			return cfg, fmt.Errorf("unicache: unknown dead-marking mode %q", o.DeadMarking)
+		}
+		cfg.Dead = dm
 	}
 	if o.HonorBypass != nil {
 		cfg.HonorBypass = *o.HonorBypass
@@ -384,29 +378,19 @@ func (r *RunResult) Replay(opts CacheOptions, stripFlags bool) (_ CacheStats, er
 	if opts.LineWords != 0 {
 		cfg.LineWords = opts.LineWords
 	}
-	switch opts.Policy {
-	case "":
-	case "lru":
-		cfg.Policy = cache.LRU
-	case "fifo":
-		cfg.Policy = cache.FIFO
-	case "random":
-		cfg.Policy = cache.Random
-	case "min":
-		cfg.Policy = cache.MIN
-	default:
-		return CacheStats{}, fmt.Errorf("unicache: unknown policy %q", opts.Policy)
+	if opts.Policy != "" {
+		pol, err := cache.ParsePolicy(opts.Policy) // "min" allowed: replay has the future
+		if err != nil {
+			return CacheStats{}, fmt.Errorf("unicache: unknown policy %q", opts.Policy)
+		}
+		cfg.Policy = pol
 	}
-	switch opts.DeadMarking {
-	case "":
-	case "off":
-		cfg.Dead = cache.DeadOff
-	case "invalidate":
-		cfg.Dead = cache.DeadInvalidate
-	case "demote":
-		cfg.Dead = cache.DeadDemote
-	default:
-		return CacheStats{}, fmt.Errorf("unicache: unknown dead-marking mode %q", opts.DeadMarking)
+	if opts.DeadMarking != "" {
+		dm, err := cache.ParseDeadMode(opts.DeadMarking)
+		if err != nil {
+			return CacheStats{}, fmt.Errorf("unicache: unknown dead-marking mode %q", opts.DeadMarking)
+		}
+		cfg.Dead = dm
 	}
 	if opts.HonorBypass != nil {
 		cfg.HonorBypass = *opts.HonorBypass

@@ -1,12 +1,19 @@
 // Command unibench regenerates the paper's evaluation tables (DESIGN.md's
-// experiment index E1–E5) from scratch: it compiles the six benchmarks
+// experiment index E1–E10) from scratch: it compiles the six benchmarks
 // under both management models and both compiler variants, runs them on
 // the UM simulator, and prints the paper-style tables.
 //
 // Usage:
 //
-//	unibench [-experiment all|fig5|fig5-opt|deadlru|policies|miller|singleuse|resilience]
-//	         [-sets N -ways N -line N] [-bench a,b,...]
+//	unibench [-experiment all|fig5|fig5-opt|deadlru|policies|miller|singleuse|
+//	          promotion|linesize|regs|deadmode|icache|resilience]
+//	         [-sets N -ways N -line N] [-bench a,b,...] [-json] [-list]
+//
+// With -json, experiments backed by Record streams (E1–E6) emit one JSON
+// record per line — the same Record schema unisweep writes — instead of
+// tables; experiments without a record stream are skipped with a warning.
+// All compilations and simulations share one artifact cache, so
+// `-experiment all` compiles each (benchmark, config) pair exactly once.
 //
 // The resilience experiment sweeps the fault-injection campaigns of
 // internal/experiments over the benchmark suite (optionally restricted
@@ -25,9 +32,19 @@ import (
 	"repro/internal/cache"
 	"repro/internal/cli"
 	"repro/internal/experiments"
+	"repro/internal/sweep"
 )
 
 const tool = "unibench"
+
+// experiment is one runnable entry of the -experiment dispatch table.
+type experiment struct {
+	name     string
+	usesBase bool // draws on the baseline-compiler workload set
+	usesOpt  bool // draws on the optimizing-compiler workload set
+	table    func() (string, error)
+	records  func() ([]sweep.Record, error) // nil: no -json support
+}
 
 func main() {
 	defer cli.Trap(tool)
@@ -37,99 +54,173 @@ func main() {
 	ways := flag.Int("ways", 2, "cache ways")
 	line := flag.Int("line", 1, "cache line words")
 	benchList := flag.String("bench", "", "comma-separated benchmark subset for -experiment resilience (default all)")
+	asJSON := flag.Bool("json", false, "emit Record streams (one JSON record per line) instead of tables")
+	list := flag.Bool("list", false, "list experiment names and exit")
 	flag.Parse()
 
+	geom := experiments.CacheGeometry{Sets: *sets, Ways: *ways, LineWords: *line, Policy: cache.LRU}
+
+	// Workload sets are built lazily and at most once; every experiment
+	// then draws compilations and simulations from the shared
+	// experiments.Artifacts cache.
+	var base, opt []*experiments.Workload
+	baseWs := func() []*experiments.Workload {
+		if base == nil {
+			fmt.Fprintln(os.Stderr, "building baseline-compiler workloads...")
+			ws, err := experiments.BuildAll(geom, experiments.Baseline)
+			if err != nil {
+				cli.Fatal(tool, "build", err)
+			}
+			base = ws
+		}
+		return base
+	}
+	optWs := func() []*experiments.Workload {
+		if opt == nil {
+			fmt.Fprintln(os.Stderr, "building optimizing-compiler workloads...")
+			ws, err := experiments.BuildAll(geom, experiments.Optimizing)
+			if err != nil {
+				cli.Fatal(tool, "build", err)
+			}
+			opt = ws
+		}
+		return opt
+	}
+
+	table := []experiment{
+		{name: "fig5", usesBase: true,
+			table:   func() (string, error) { return experiments.Fig5(baseWs(), geom).String(), nil },
+			records: func() ([]sweep.Record, error) { return experiments.RecordsWorkloads(baseWs()), nil }},
+		{name: "fig5-opt", usesOpt: true,
+			table:   func() (string, error) { return experiments.Fig5(optWs(), geom).String(), nil },
+			records: func() ([]sweep.Record, error) { return experiments.RecordsWorkloads(optWs()), nil }},
+		{name: "deadlru", usesBase: true,
+			table: func() (string, error) {
+				t, err := experiments.DeadLRU(baseWs(), deadLRUSizes)
+				return t.String(), err
+			},
+			records: func() ([]sweep.Record, error) { return experiments.RecordsDeadLRU(baseWs(), deadLRUSizes) }},
+		{name: "policies", usesBase: true,
+			table: func() (string, error) {
+				t, err := experiments.Policies(baseWs(), geom)
+				return t.String(), err
+			},
+			records: func() ([]sweep.Record, error) { return experiments.RecordsPolicies(baseWs(), geom) }},
+		{name: "miller", usesBase: true,
+			table:   func() (string, error) { return experiments.Miller(baseWs()).String(), nil },
+			records: func() ([]sweep.Record, error) { return experiments.RecordsWorkloads(baseWs()), nil }},
+		{name: "singleuse", usesBase: true,
+			table:   func() (string, error) { return experiments.SingleUse(baseWs()).String(), nil },
+			records: func() ([]sweep.Record, error) { return experiments.RecordsWorkloads(baseWs()), nil }},
+		{name: "promotion",
+			table: func() (string, error) {
+				t, err := experiments.Promotion(geom)
+				return t.String(), err
+			},
+			records: func() ([]sweep.Record, error) { return experiments.RecordsPromotion(geom) }},
+		{name: "linesize", usesBase: true, table: func() (string, error) {
+			t, err := experiments.LineSize(baseWs(), geom)
+			return t.String(), err
+		}},
+		{name: "regs", table: func() (string, error) {
+			t, err := experiments.RegPressure(geom)
+			return t.String(), err
+		}},
+		{name: "deadmode", usesBase: true, table: func() (string, error) {
+			t, err := experiments.DeadMode(baseWs(), geom)
+			return t.String(), err
+		}},
+		{name: "icache", table: func() (string, error) {
+			t, err := experiments.ICache(geom)
+			return t.String(), err
+		}},
+	}
+
+	if *list {
+		for _, e := range table {
+			fmt.Println(e.name)
+		}
+		fmt.Println("resilience")
+		return
+	}
+
 	// Resilience is a pass/fail sweep, not a table over prebuilt
-	// workloads; handle it before the workload build below.
+	// workloads; handle it before the table dispatch.
 	if *exp == "resilience" {
+		if *asJSON {
+			cli.Fatalf(tool, "flags", "resilience has no record stream; run it without -json")
+		}
 		runResilience(*benchList)
 		return
 	}
 
-	geom := experiments.CacheGeometry{Sets: *sets, Ways: *ways, LineWords: *line, Policy: cache.LRU}
-
-	needBaseline := *exp != "fig5-opt" && *exp != "promotion" && *exp != "regs" && *exp != "icache"
-	needOpt := *exp == "all" || *exp == "fig5-opt"
-
-	var base, opt []*experiments.Workload
-	var err error
-	if needBaseline {
-		fmt.Fprintln(os.Stderr, "building baseline-compiler workloads...")
-		if base, err = experiments.BuildAll(geom, experiments.Baseline); err != nil {
-			cli.Fatal(tool, "build", err)
+	var selected []experiment
+	for _, e := range table {
+		if *exp == "all" || *exp == e.name {
+			selected = append(selected, e)
 		}
 	}
-	if needOpt {
-		fmt.Fprintln(os.Stderr, "building optimizing-compiler workloads...")
-		if opt, err = experiments.BuildAll(geom, experiments.Optimizing); err != nil {
-			cli.Fatal(tool, "build", err)
-		}
+	if len(selected) == 0 {
+		cli.Fatalf(tool, "flags", "unknown experiment %q (use -list)", *exp)
 	}
 
-	show := func(name string) bool { return *exp == "all" || *exp == name }
-
-	if show("fig5") {
-		fmt.Println(experiments.Fig5(base, geom))
-	}
-	if show("fig5-opt") {
-		fmt.Println(experiments.Fig5(opt, geom))
-	}
-	if show("deadlru") {
-		tab, err := experiments.DeadLRU(base, []int{16, 32, 64, 128, 256})
+	// With -json and -experiment all, experiments sharing a stream (fig5/
+	// miller/singleuse) would triple-emit it; emit each distinct stream once.
+	emitted := map[string]bool{}
+	runOne := func(e experiment) {
+		if !*asJSON {
+			s, err := e.table()
+			if err != nil {
+				cli.Fatal(tool, "experiment", err)
+			}
+			fmt.Println(s)
+			return
+		}
+		if e.records == nil {
+			fmt.Fprintf(os.Stderr, "%s: %s has no record stream yet; skipping (re-run without -json for the table)\n", tool, e.name)
+			return
+		}
+		recs, err := e.records()
 		if err != nil {
 			cli.Fatal(tool, "experiment", err)
 		}
-		fmt.Println(tab)
-	}
-	if show("policies") {
-		tab, err := experiments.Policies(base, geom)
-		if err != nil {
-			cli.Fatal(tool, "experiment", err)
+		if len(recs) == 0 {
+			return
 		}
-		fmt.Println(tab)
-	}
-	if show("miller") {
-		fmt.Println(experiments.Miller(base))
-	}
-	if show("singleuse") {
-		fmt.Println(experiments.SingleUse(base))
-	}
-	if show("promotion") {
-		tab, err := experiments.Promotion(geom)
-		if err != nil {
-			cli.Fatal(tool, "experiment", err)
+		stream := recs[0].Experiment + "/" + recs[0].Compiler
+		if emitted[stream] {
+			return
 		}
-		fmt.Println(tab)
-	}
-	if show("linesize") {
-		tab, err := experiments.LineSize(base, geom)
-		if err != nil {
-			cli.Fatal(tool, "experiment", err)
+		emitted[stream] = true
+		for _, r := range recs {
+			b, err := r.MarshalLine()
+			if err != nil {
+				cli.Fatal(tool, "experiment", err)
+			}
+			fmt.Println(string(b))
 		}
-		fmt.Println(tab)
 	}
-	if show("regs") {
-		tab, err := experiments.RegPressure(geom)
-		if err != nil {
-			cli.Fatal(tool, "experiment", err)
+	for i, e := range selected {
+		runOne(e)
+		// Release workload sets no later experiment draws on: their
+		// recorded reference traces are hundreds of megabytes, and keeping
+		// them live for the remaining experiments just grows every GC scan.
+		needBase, needOpt := false, false
+		for _, later := range selected[i+1:] {
+			needBase = needBase || later.usesBase
+			needOpt = needOpt || later.usesOpt
 		}
-		fmt.Println(tab)
-	}
-	if show("deadmode") {
-		tab, err := experiments.DeadMode(base, geom)
-		if err != nil {
-			cli.Fatal(tool, "experiment", err)
+		if !needBase {
+			base = nil
 		}
-		fmt.Println(tab)
-	}
-	if show("icache") {
-		tab, err := experiments.ICache(geom)
-		if err != nil {
-			cli.Fatal(tool, "experiment", err)
+		if !needOpt {
+			opt = nil
 		}
-		fmt.Println(tab)
 	}
 }
+
+// deadLRUSizes are the fully-associative cache sizes E2 measures.
+var deadLRUSizes = []int{16, 32, 64, 128, 256}
 
 // runResilience sweeps the default fault campaigns over the selected
 // benchmarks and exits nonzero on any fault-model violation.

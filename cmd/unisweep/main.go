@@ -1,0 +1,250 @@
+// Command unisweep runs the design-space sweep engine: it expands a grid
+// of benchmarks × compiler configs × cache geometries × replacement
+// policies × management modes into work units, executes them on a worker
+// pool, and writes the machine-readable BENCH_sweep.json artifact.
+//
+// Usage:
+//
+//	unisweep [-bench a,b,...] [-compilers baseline,optimizing]
+//	         [-modes conventional,unified] [-sets 8,16,32,64]
+//	         [-ways 1,2,4] [-line 1] [-policies lru,fifo,random]
+//	         [-workers N] [-o BENCH_sweep.json] [-resume]
+//	         [-json=false] [-list] [-quiet]
+//	unisweep -verify BENCH_sweep.json
+//
+// The artifact is byte-identical for any -workers value: units are merged
+// in canonical grid order and wall-clock time is excluded from the
+// encoding. While running, finished records are streamed to <out>.partial
+// (completion order); -resume salvages complete records from both the
+// output file and the partial sidecar, re-running only the missing units.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/cli"
+	"repro/internal/sweep"
+)
+
+const tool = "unisweep"
+
+func main() {
+	defer cli.Trap(tool)
+	var (
+		benchList = flag.String("bench", "", "comma-separated benchmarks (default all)")
+		compilers = flag.String("compilers", sweep.CompilerBaseline, "comma-separated compiler configs (baseline, optimizing)")
+		modes     = flag.String("modes", sweep.ModeConventional+","+sweep.ModeUnified, "comma-separated management modes")
+		sets      = flag.String("sets", "8,16,32,64", "comma-separated set counts")
+		ways      = flag.String("ways", "1,2,4", "comma-separated associativities")
+		line      = flag.String("line", "1", "comma-separated line sizes in words")
+		policies  = flag.String("policies", "lru,fifo,random", "comma-separated replacement policies")
+		workers   = flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
+		out       = flag.String("o", "BENCH_sweep.json", "output artifact path (- for stdout)")
+		resume    = flag.Bool("resume", false, "salvage records from the output file (and its .partial sidecar) and run only missing units")
+		asJSON    = flag.Bool("json", true, "write the JSON artifact (false: print a compact table)")
+		list      = flag.Bool("list", false, "print the canonical unit keys and exit")
+		quiet     = flag.Bool("quiet", false, "suppress per-unit progress lines")
+		verify    = flag.String("verify", "", "strictly verify an existing artifact and exit")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		cli.Usage(tool+" [flags]", flag.PrintDefaults)
+	}
+
+	if *verify != "" {
+		runVerify(*verify)
+		return
+	}
+
+	g := sweep.Grid{
+		Benchmarks: splitList(*benchList),
+		Compilers:  splitList(*compilers),
+		Modes:      splitList(*modes),
+		Sets:       splitInts("sets", *sets),
+		Ways:       splitInts("ways", *ways),
+		LineWords:  splitInts("line", *line),
+		Policies:   splitList(*policies),
+	}
+	if len(g.Benchmarks) == 0 {
+		for _, b := range bench.All() {
+			g.Benchmarks = append(g.Benchmarks, b.Name)
+		}
+	}
+	units, err := g.Units()
+	if err != nil {
+		cli.Fatal(tool, "grid", err)
+	}
+
+	if *list {
+		for _, u := range units {
+			fmt.Println(u.Key())
+		}
+		return
+	}
+
+	opt := sweep.Options{Workers: *workers}
+	if *resume && *out != "-" {
+		opt.Done = salvage(*out)
+		fmt.Fprintf(os.Stderr, "%s: resume: %d/%d units already measured\n", tool, countDone(opt.Done, units), len(units))
+	}
+
+	// Stream finished records to a sidecar so a killed sweep is resumable
+	// even though the canonical artifact is only written at the end.
+	var partial *os.File
+	partialPath := *out + ".partial"
+	if *out != "-" {
+		if partial, err = os.Create(partialPath); err != nil {
+			cli.Fatal(tool, "write", err)
+		}
+	}
+	opt.Progress = func(done, total int, r sweep.Record) {
+		if partial != nil {
+			b, err := r.MarshalLine()
+			if err == nil {
+				partial.Write(append(b, '\n'))
+			}
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "[%*d/%d] %s dram=%d %s\n",
+				len(strconv.Itoa(total)), done, total, r.Key, r.DRAMWords,
+				time.Duration(r.WallNS).Round(100*time.Microsecond))
+		}
+	}
+
+	res, err := sweep.Run(g, opt)
+	if err != nil {
+		cli.Fatal(tool, "sweep", err)
+	}
+
+	if *asJSON {
+		writeArtifact(*out, res)
+	} else {
+		printTable(res)
+	}
+	if partial != nil {
+		partial.Close()
+		os.Remove(partialPath)
+	}
+	fmt.Fprintf(os.Stderr, "%s: %d units (%d run, %d resumed) on %d workers in %s\n",
+		tool, len(res.Records), res.Ran, len(res.Records)-res.Ran, poolSize(*workers, len(units)),
+		res.Elapsed.Round(time.Millisecond))
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func splitInts(name, s string) []int {
+	var out []int
+	for _, f := range splitList(s) {
+		n, err := strconv.Atoi(f)
+		if err != nil {
+			cli.Fatalf(tool, "flags", "-%s: %q is not an integer", name, f)
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+func poolSize(workers, units int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > units {
+		workers = units
+	}
+	return workers
+}
+
+// salvage leniently reads records from a previous (possibly truncated)
+// artifact and its partial sidecar. Missing files simply resume nothing.
+func salvage(out string) map[string]sweep.Record {
+	done := make(map[string]sweep.Record)
+	for _, path := range []string{out, out + ".partial"} {
+		f, err := os.Open(path)
+		if err != nil {
+			continue
+		}
+		recs, err := sweep.ReadRecords(f)
+		f.Close()
+		if err != nil {
+			cli.Fatal(tool, "resume", err)
+		}
+		for k, r := range recs {
+			done[k] = r
+		}
+	}
+	return done
+}
+
+func countDone(done map[string]sweep.Record, units []sweep.Unit) int {
+	n := 0
+	for _, u := range units {
+		if _, ok := done[u.Key()]; ok {
+			n++
+		}
+	}
+	return n
+}
+
+// writeArtifact writes the canonical artifact atomically: a temp file in
+// the same directory, renamed over the target, so readers (and -resume)
+// never see a half-written canonical file.
+func writeArtifact(out string, res *sweep.Result) {
+	if out == "-" {
+		if err := sweep.WriteJSON(os.Stdout, res.Grid, res.Records); err != nil {
+			cli.Fatal(tool, "write", err)
+		}
+		return
+	}
+	tmp := out + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		cli.Fatal(tool, "write", err)
+	}
+	if err := sweep.WriteJSON(f, res.Grid, res.Records); err != nil {
+		f.Close()
+		cli.Fatal(tool, "write", err)
+	}
+	if err := f.Close(); err != nil {
+		cli.Fatal(tool, "write", err)
+	}
+	if err := os.Rename(tmp, out); err != nil {
+		cli.Fatal(tool, "write", err)
+	}
+}
+
+func printTable(res *sweep.Result) {
+	fmt.Printf("%-55s %12s %10s %10s %12s %8s\n",
+		"unit", "refs", "hits", "misses", "dram words", "miss")
+	for _, r := range res.Records {
+		fmt.Printf("%-55s %12d %10d %10d %12d %7.2f%%\n",
+			r.Key, r.Refs, r.Hits, r.Misses, r.DRAMWords, 100*r.MissRatio)
+	}
+}
+
+func runVerify(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		cli.Fatal(tool, "verify", err)
+	}
+	defer f.Close()
+	n, err := sweep.Verify(f)
+	if err != nil {
+		cli.Fatal(tool, "verify", err)
+	}
+	fmt.Printf("%s: ok (%d records)\n", path, n)
+}

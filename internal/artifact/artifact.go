@@ -1,0 +1,222 @@
+// Package artifact is a content-addressed cache of compiled UM programs
+// and of their simulation results.
+//
+// The experiment suite and the sweep engine both need the same programs
+// over and over: every benchmark × compiler-config pair is simulated
+// across dozens of cache geometries, and several experiments (E6, E8)
+// re-request configurations another experiment already measured. Keying
+// compilations by a hash of (source, compiler config) makes "compile once,
+// simulate everywhere" the default — and because the cache is safe for
+// concurrent use, the sweep engine's worker pool shares one instance
+// without coordination.
+//
+// Two layers are cached:
+//
+//   - Build: (source, core.Config) -> compiled + code-generated Artifact.
+//     Concurrent requests for the same key compile exactly once.
+//   - Run: (artifact, vm.Config) -> *vm.Result. Simulation is
+//     deterministic, so a memoized result is indistinguishable from a
+//     fresh run. Fault-injected configurations are never memoized.
+//
+// Cached values are shared: callers must treat the returned Compilation,
+// Program and Result as read-only.
+package artifact
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"repro/internal/cache"
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+// Key is the content address of a compilation: a SHA-256 over the source
+// text and every config field that affects generated code.
+type Key [sha256.Size]byte
+
+// String renders a short hex prefix for logs and progress lines.
+func (k Key) String() string { return hex.EncodeToString(k[:8]) }
+
+// KeyOf computes the content address of (src, cfg). The register palette
+// is normalized first so a zero-value Target and an explicit DefaultTarget
+// hash identically (they compile identically).
+func KeyOf(src string, cfg core.Config) Key {
+	tgt := cfg.Target
+	if tgt.Colors() == 0 {
+		tgt = core.DefaultTarget
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00m%d.s%d.cs%v.ce%v.st%v.o%v.i%v.p%v.c%v",
+		src, cfg.Mode, cfg.Strategy, tgt.CallerSaved, tgt.CalleeSaved,
+		cfg.StackScalars, cfg.Optimize, cfg.Inline, cfg.PromoteGlobals, cfg.Check)
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+// Artifact is one compiled program with its middle-end byproducts.
+type Artifact struct {
+	Key  Key
+	Comp *core.Compilation
+	Prog *isa.Program
+}
+
+// Stats counts cache effectiveness (Hits are requests answered without
+// compiling or simulating).
+type Stats struct {
+	BuildHits   int64
+	BuildMisses int64
+	RunHits     int64
+	RunMisses   int64
+}
+
+type buildEntry struct {
+	once sync.Once
+	art  *Artifact
+	err  error
+}
+
+type runEntry struct {
+	mu  sync.Mutex
+	res *vm.Result
+	err error
+}
+
+// Cache is the content-addressed store. The zero value is not usable; use
+// New. All methods are safe for concurrent use.
+type Cache struct {
+	mu     sync.Mutex
+	builds map[Key]*buildEntry
+	runs   map[string]*runEntry
+	stats  Stats
+}
+
+// New returns an empty cache.
+func New() *Cache {
+	return &Cache{builds: make(map[Key]*buildEntry), runs: make(map[string]*runEntry)}
+}
+
+// Stats returns a snapshot of the hit/miss counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Build compiles src under cfg, or returns the cached artifact for an
+// identical request. Concurrent callers with the same key block until the
+// single compilation finishes. Compilation errors are cached too: a source
+// that fails to compile fails every time.
+func (c *Cache) Build(src string, cfg core.Config) (*Artifact, error) {
+	k := KeyOf(src, cfg)
+	c.mu.Lock()
+	e, ok := c.builds[k]
+	if !ok {
+		e = &buildEntry{}
+		c.builds[k] = e
+		c.stats.BuildMisses++
+	} else {
+		c.stats.BuildHits++
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		comp, err := core.Compile(src, cfg)
+		if err != nil {
+			e.err = err
+			return
+		}
+		prog, err := codegen.Generate(comp)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.art = &Artifact{Key: k, Comp: comp, Prog: prog}
+	})
+	return e.art, e.err
+}
+
+// cacheKey canonically encodes the fields of a cache.Config that determine
+// simulation results (the Injector is excluded: injected configurations
+// bypass memoization entirely).
+func cacheKey(cc cache.Config) string {
+	return fmt.Sprintf("s%d.w%d.l%d.%s.%s.b%v.seed%d.ecc%s.retry%v",
+		cc.Sets, cc.Ways, cc.LineWords, cc.Policy, cc.Dead,
+		cc.HonorBypass, cc.Seed, cc.ECC, cc.ECCRetry)
+}
+
+// runKey encodes everything but RecordTrace: a traced and an untraced run
+// of the same configuration produce identical statistics, so they share an
+// entry (see Run).
+func runKey(k Key, cfg vm.Config) string {
+	s := fmt.Sprintf("%s|mw%d|ms%d|%s", k, cfg.MemWords, cfg.MaxSteps, cacheKey(cfg.Cache))
+	if cfg.ICache != nil {
+		s += "|i:" + cacheKey(*cfg.ICache)
+	}
+	return s
+}
+
+// Run simulates art under cfg, or returns the memoized result of an
+// identical simulation. RecordTrace is not part of the identity, and
+// traces are never retained: a traced request always executes (the caller
+// owns the trace's lifetime) but seeds the memo with a trace-stripped copy
+// of its result, so later untraced requests for the same configuration are
+// still free. Memoizing traces themselves would pin hundreds of megabytes
+// per benchmark for the life of the cache. Configurations carrying a fault
+// Injector are executed directly and never cached — fault campaigns own
+// their injector state.
+func (c *Cache) Run(art *Artifact, cfg vm.Config) (*vm.Result, error) {
+	cfg = cfg.Normalized()
+	if cfg.Cache.Injector != nil || (cfg.ICache != nil && cfg.ICache.Injector != nil) {
+		return vm.Run(art.Prog, cfg)
+	}
+	key := runKey(art.Key, cfg)
+	c.mu.Lock()
+	e, ok := c.runs[key]
+	if !ok {
+		e = &runEntry{}
+		c.runs[key] = e
+	}
+	c.mu.Unlock()
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.err != nil {
+		c.hitRun()
+		return nil, e.err
+	}
+	if e.res != nil && !cfg.RecordTrace {
+		c.hitRun()
+		return e.res, nil
+	}
+	c.missRun()
+	res, err := vm.Run(art.Prog, cfg)
+	if err != nil {
+		e.err = err
+		return nil, err
+	}
+	if cfg.RecordTrace {
+		stripped := *res
+		stripped.Trace = nil
+		e.res = &stripped
+	} else {
+		e.res = res
+	}
+	return res, nil
+}
+
+func (c *Cache) hitRun() {
+	c.mu.Lock()
+	c.stats.RunHits++
+	c.mu.Unlock()
+}
+
+func (c *Cache) missRun() {
+	c.mu.Lock()
+	c.stats.RunMisses++
+	c.mu.Unlock()
+}

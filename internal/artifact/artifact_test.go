@@ -1,0 +1,189 @@
+package artifact
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/vm"
+)
+
+const src = `
+int g;
+void main() {
+    int i;
+    for (i = 0; i < 10; i++) g = g + i;
+    print(g);
+}
+`
+
+func TestKeyOfDiscriminatesConfigs(t *testing.T) {
+	base := core.Config{Mode: core.Unified}
+	same := KeyOf(src, base)
+	if same != KeyOf(src, base) {
+		t.Fatal("same inputs hash differently")
+	}
+	variants := []core.Config{
+		{Mode: core.Conventional},
+		{Mode: core.Unified, StackScalars: true},
+		{Mode: core.Unified, Optimize: true},
+		{Mode: core.Unified, Inline: true},
+		{Mode: core.Unified, PromoteGlobals: true},
+		{Mode: core.Unified, Check: true},
+	}
+	for i, v := range variants {
+		if KeyOf(src, v) == same {
+			t.Errorf("variant %d: key collides with base config", i)
+		}
+	}
+	if KeyOf(src+" ", base) == same {
+		t.Error("source change did not change the key")
+	}
+}
+
+func TestKeyOfNormalizesDefaultTarget(t *testing.T) {
+	implicit := core.Config{Mode: core.Unified}
+	explicit := implicit
+	explicit.Target = core.DefaultTarget
+	if KeyOf(src, implicit) != KeyOf(src, explicit) {
+		t.Error("zero-value Target and explicit DefaultTarget hash differently")
+	}
+}
+
+func TestBuildCachesArtifacts(t *testing.T) {
+	c := New()
+	cfg := core.Config{Mode: core.Unified, Check: true}
+	a1, err := c.Build(src, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := c.Build(src, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 {
+		t.Error("second Build returned a different artifact")
+	}
+	st := c.Stats()
+	if st.BuildMisses != 1 || st.BuildHits != 1 {
+		t.Errorf("build stats = %+v, want 1 miss, 1 hit", st)
+	}
+}
+
+func TestBuildCachesErrors(t *testing.T) {
+	c := New()
+	if _, err := c.Build("void main( {", core.Config{}); err == nil {
+		t.Fatal("bad source compiled")
+	}
+	if _, err := c.Build("void main( {", core.Config{}); err == nil {
+		t.Fatal("cached bad source compiled")
+	}
+}
+
+func TestRunMemoizesStatsButNeverTraces(t *testing.T) {
+	c := New()
+	art, err := c.Build(src, core.Config{Mode: core.Unified, Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A traced run executes and hands the trace to the caller...
+	cfg := vm.Config{Cache: cache.DefaultConfig()}
+	tcfg := cfg
+	tcfg.RecordTrace = true
+	r1, err := c.Run(art, tcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Trace) == 0 {
+		t.Fatal("traced run has no trace")
+	}
+	// ...while seeding the memo with a trace-free copy: the untraced
+	// request below is a hit, and the cache retains no trace memory.
+	r2, err := c.Run(art, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Trace != nil {
+		t.Error("memoized result retained the trace")
+	}
+	if r2.Output != r1.Output || r2.CacheStats != r1.CacheStats {
+		t.Error("memoized result diverged from the traced run")
+	}
+	r3, err := c.Run(art, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3 != r2 {
+		t.Error("identical untraced runs not shared")
+	}
+	if st := c.Stats(); st.RunMisses != 1 || st.RunHits != 2 {
+		t.Errorf("run stats = %+v, want 1 miss, 2 hits", st)
+	}
+	// Every traced request executes afresh — the caller owns the trace.
+	r4, err := c.Run(art, tcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r4.Trace) == 0 {
+		t.Error("second traced run has no trace")
+	}
+	if st := c.Stats(); st.RunMisses != 2 {
+		t.Errorf("run misses = %d, want 2 (traced requests are never memo hits)", st.RunMisses)
+	}
+}
+
+func TestRunDistinguishesConfigs(t *testing.T) {
+	c := New()
+	art, err := c.Build(src, core.Config{Mode: core.Unified, Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := cache.DefaultConfig()
+	b := a
+	b.Sets = 8
+	ra, err := c.Run(art, vm.Config{Cache: a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := c.Run(art, vm.Config{Cache: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra == rb {
+		t.Error("different cache geometries shared a result")
+	}
+}
+
+// TestConcurrentBuildAndRun exercises the cache from many goroutines; the
+// -race CI run proves the locking discipline.
+func TestConcurrentBuildAndRun(t *testing.T) {
+	c := New()
+	cfg := core.Config{Mode: core.Unified, Check: true}
+	var wg sync.WaitGroup
+	arts := make([]*Artifact, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			art, err := c.Build(src, cfg)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			arts[i] = art
+			if _, err := c.Run(art, vm.Config{Cache: cache.DefaultConfig()}); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(arts); i++ {
+		if arts[i] != arts[0] {
+			t.Fatalf("goroutine %d got a distinct artifact for the same key", i)
+		}
+	}
+	if st := c.Stats(); st.BuildMisses != 1 {
+		t.Errorf("build misses = %d, want 1 (single compile for 16 concurrent requests)", st.BuildMisses)
+	}
+}

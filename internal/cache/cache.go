@@ -46,6 +46,23 @@ func (p Policy) String() string {
 	return "?"
 }
 
+// ParsePolicy parses a replacement-policy name as printed by
+// Policy.String. "min" parses successfully but is only accepted by the
+// trace-driven simulator (Config.Validate rejects it for execution).
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "lru":
+		return LRU, nil
+	case "fifo":
+		return FIFO, nil
+	case "random":
+		return Random, nil
+	case "min":
+		return MIN, nil
+	}
+	return 0, fmt.Errorf("cache: unknown policy %q", s)
+}
+
 // DeadMode selects how the cache honors the last-reference bit (§3.2
 // offers both variants).
 type DeadMode int
@@ -73,6 +90,20 @@ func (d DeadMode) String() string {
 		return "demote"
 	}
 	return "?"
+}
+
+// ParseDeadMode parses a dead-marking mode name as printed by
+// DeadMode.String.
+func ParseDeadMode(s string) (DeadMode, error) {
+	switch s {
+	case "off":
+		return DeadOff, nil
+	case "invalidate":
+		return DeadInvalidate, nil
+	case "demote":
+		return DeadDemote, nil
+	}
+	return 0, fmt.Errorf("cache: unknown dead-marking mode %q", s)
 }
 
 // ECCMode selects the data-integrity detection layer. The paper treats

@@ -18,7 +18,6 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/cache"
-	"repro/internal/codegen"
 	"repro/internal/core"
 	"repro/internal/isa"
 	"repro/internal/regalloc"
@@ -52,6 +51,7 @@ func (c Compiler) String() string {
 type Workload struct {
 	Bench    bench.Benchmark
 	Compiler Compiler
+	Geometry CacheGeometry // hardware both runs were measured on
 
 	Unified      *core.Compilation
 	Conventional *core.Compilation
@@ -90,27 +90,26 @@ func (g CacheGeometry) conventional() cache.Config {
 		Policy: g.Policy, Dead: cache.DeadOff, HonorBypass: false, Seed: 1}
 }
 
-// BuildWorkload compiles and runs one benchmark under both modes.
+// BuildWorkload compiles and runs one benchmark under both modes. All
+// compilations and simulations go through the package Artifacts cache, so
+// repeated builds of the same configuration are free.
 func BuildWorkload(b bench.Benchmark, geom CacheGeometry, cc Compiler) (*Workload, error) {
-	w := &Workload{Bench: b, Compiler: cc}
+	w := &Workload{Bench: b, Compiler: cc, Geometry: geom}
 	stack := cc == Baseline
-	var err error
-	if w.Unified, err = core.Compile(b.Source, core.Config{Mode: core.Unified, StackScalars: stack, Check: true}); err != nil {
+	ua, err := Artifacts.Build(b.Source, core.Config{Mode: core.Unified, StackScalars: stack, Check: true})
+	if err != nil {
 		return nil, fmt.Errorf("%s unified: %w", b.Name, err)
 	}
-	if w.Conventional, err = core.Compile(b.Source, core.Config{Mode: core.Conventional, StackScalars: stack, Check: true}); err != nil {
+	ca, err := Artifacts.Build(b.Source, core.Config{Mode: core.Conventional, StackScalars: stack, Check: true})
+	if err != nil {
 		return nil, fmt.Errorf("%s conventional: %w", b.Name, err)
 	}
-	if w.UnifiedProg, err = codegen.Generate(w.Unified); err != nil {
-		return nil, fmt.Errorf("%s unified codegen: %w", b.Name, err)
-	}
-	if w.ConventionalProg, err = codegen.Generate(w.Conventional); err != nil {
-		return nil, fmt.Errorf("%s conventional codegen: %w", b.Name, err)
-	}
-	if w.UnifiedRes, err = vm.Run(w.UnifiedProg, vm.Config{Cache: geom.unified(), RecordTrace: true}); err != nil {
+	w.Unified, w.UnifiedProg = ua.Comp, ua.Prog
+	w.Conventional, w.ConventionalProg = ca.Comp, ca.Prog
+	if w.UnifiedRes, err = Artifacts.Run(ua, vm.Config{Cache: geom.unified(), RecordTrace: true}); err != nil {
 		return nil, fmt.Errorf("%s unified run: %w", b.Name, err)
 	}
-	if w.ConventionalRes, err = vm.Run(w.ConventionalProg, vm.Config{Cache: geom.conventional()}); err != nil {
+	if w.ConventionalRes, err = Artifacts.Run(ca, vm.Config{Cache: geom.conventional()}); err != nil {
 		return nil, fmt.Errorf("%s conventional run: %w", b.Name, err)
 	}
 	if w.UnifiedRes.Output != w.ConventionalRes.Output {
@@ -166,31 +165,12 @@ type Fig5Table struct {
 	Rows     []Fig5Row
 }
 
-// Fig5 computes the Figure 5 table from prebuilt workloads.
+// Fig5 computes the Figure 5 table from prebuilt workloads, by way of the
+// E1 record stream (unisweep and unibench -json emit the same records).
 func Fig5(ws []*Workload, geom CacheGeometry) Fig5Table {
-	t := Fig5Table{Geometry: geom}
-	if len(ws) > 0 {
-		t.Compiler = ws[0].Compiler
-	}
-	for _, w := range ws {
-		stats := w.Unified.Stats
-		us := w.UnifiedRes.CacheStats
-		cs := w.ConventionalRes.CacheStats
-		row := Fig5Row{
-			Name:             w.Bench.Name,
-			StaticSites:      stats.Sites,
-			StaticBypassPct:  stats.PercentBypass(),
-			DynamicRefs:      us.Refs,
-			DynamicBypassPct: w.UnifiedRes.DynamicBypassPercent(),
-			ConvTraffic:      cs.MemTrafficWords(geom.LineWords),
-			UnifTraffic:      us.MemTrafficWords(geom.LineWords),
-			ConvMissRatio:    1 - cs.HitRatio(),
-			UnifMissRatio:    1 - us.HitRatio(),
-		}
-		if row.ConvTraffic > 0 {
-			row.DRAMDeltaPct = 100 * float64(row.UnifTraffic-row.ConvTraffic) / float64(row.ConvTraffic)
-		}
-		t.Rows = append(t.Rows, row)
+	t := Fig5FromRecords(RecordsWorkloads(ws))
+	if len(t.Rows) == 0 {
+		t.Geometry = geom
 	}
 	return t
 }
@@ -234,41 +214,14 @@ type DeadLRUTable struct {
 
 // DeadLRU measures dead occupancy on fully-associative LRU caches of the
 // given sizes, comparing conventional hardware against the unified model,
-// and the paper's 1/r waste prediction.
+// and the paper's 1/r waste prediction. The table renders from the E2
+// record stream.
 func DeadLRU(ws []*Workload, sizes []int) (DeadLRUTable, error) {
-	var t DeadLRUTable
-	for _, w := range ws {
-		for _, lines := range sizes {
-			conv := cache.Config{Sets: 1, Ways: lines, LineWords: 1,
-				Policy: cache.LRU, Dead: cache.DeadOff, HonorBypass: false, Seed: 1}
-			unif := conv
-			unif.Dead = cache.DeadInvalidate
-			unif.HonorBypass = true
-			cs, err := cache.SimulateTrace(w.Trace.StripFlags(), conv)
-			if err != nil {
-				return t, err
-			}
-			us, err := cache.SimulateTrace(w.Trace, unif)
-			if err != nil {
-				return t, err
-			}
-			fills := cs.Fetches + cs.StoreAllocs
-			row := DeadLRURow{
-				Name:          w.Bench.Name,
-				Lines:         lines,
-				ConvDeadOcc:   cs.DeadOccupancy,
-				UnifDeadOcc:   us.DeadOccupancy,
-				ConvMissRatio: 1 - cs.HitRatio(),
-				UnifMissRatio: 1 - us.HitRatio(),
-			}
-			if fills > 0 {
-				row.MeanReuse = float64(cs.CachedRefs) / float64(fills)
-				row.PredictedDead = 1 / row.MeanReuse
-			}
-			t.Rows = append(t.Rows, row)
-		}
+	recs, err := RecordsDeadLRU(ws, sizes)
+	if err != nil {
+		return DeadLRUTable{}, err
 	}
-	return t, nil
+	return DeadLRUFromRecords(recs), nil
 }
 
 // String renders the E2 table.
@@ -309,50 +262,16 @@ type PolicyTable struct {
 	Rows     []PolicyRow
 }
 
-// Policies runs the policy ablation on the recorded traces.
+// Policies runs the policy ablation on the recorded traces; the table
+// renders from the E3 record stream.
 func Policies(ws []*Workload, geom CacheGeometry) (PolicyTable, error) {
-	t := PolicyTable{Geometry: geom}
-	pols := []cache.Policy{cache.LRU, cache.FIFO, cache.Random, cache.MIN}
-	for _, w := range ws {
-		for _, pol := range pols {
-			base := cache.Config{Sets: geom.Sets, Ways: geom.Ways, LineWords: geom.LineWords,
-				Policy: pol, Seed: 1}
-
-			conv := base
-			conv.Dead = cache.DeadOff
-			conv.HonorBypass = false
-			cs, err := cache.SimulateTrace(w.Trace.StripFlags(), conv)
-			if err != nil {
-				return t, err
-			}
-
-			byp := base
-			byp.Dead = cache.DeadOff
-			byp.HonorBypass = true
-			bs, err := cache.SimulateTrace(w.Trace, byp)
-			if err != nil {
-				return t, err
-			}
-
-			full := base
-			full.Dead = cache.DeadInvalidate
-			full.HonorBypass = true
-			fs, err := cache.SimulateTrace(w.Trace, full)
-			if err != nil {
-				return t, err
-			}
-
-			t.Rows = append(t.Rows, PolicyRow{
-				Name:            w.Bench.Name,
-				Policy:          pol,
-				ConvMissRatio:   1 - cs.HitRatio(),
-				BypassMissRatio: 1 - bs.HitRatio(),
-				FullMissRatio:   1 - fs.HitRatio(),
-				ConvTraffic:     cs.MemTrafficWords(geom.LineWords),
-				BypassTraffic:   bs.MemTrafficWords(geom.LineWords),
-				FullTraffic:     fs.MemTrafficWords(geom.LineWords),
-			})
-		}
+	recs, err := RecordsPolicies(ws, geom)
+	if err != nil {
+		return PolicyTable{Geometry: geom}, err
+	}
+	t := PoliciesFromRecords(recs)
+	if len(t.Rows) == 0 {
+		t.Geometry = geom
 	}
 	return t, nil
 }
@@ -389,22 +308,10 @@ type MillerTable struct {
 	Rows []MillerRow
 }
 
-// Miller computes the static site ratios from the unified compilations.
+// Miller computes the static site ratios from the unified compilations
+// (rendered from the E1 record stream's unified records).
 func Miller(ws []*Workload) MillerTable {
-	var t MillerTable
-	for _, w := range ws {
-		s := w.Unified.Stats
-		row := MillerRow{
-			Name:        w.Bench.Name,
-			Unambiguous: s.Bypass,
-			AmbiguousN:  s.Cached,
-		}
-		if row.AmbiguousN > 0 {
-			row.Ratio = float64(row.Unambiguous) / float64(row.AmbiguousN)
-		}
-		t.Rows = append(t.Rows, row)
-	}
-	return t
+	return MillerFromRecords(RecordsWorkloads(ws))
 }
 
 // String renders the E4 table.
@@ -437,28 +344,9 @@ type SingleUseTable struct {
 }
 
 // SingleUse measures the fraction of cache fills never re-referenced
-// before leaving the cache, from the VM runs.
+// before leaving the cache, rendered from the E1 record stream.
 func SingleUse(ws []*Workload) SingleUseTable {
-	var t SingleUseTable
-	for _, w := range ws {
-		cs := w.ConventionalRes.CacheStats
-		us := w.UnifiedRes.CacheStats
-		row := SingleUseRow{
-			Name:       w.Bench.Name,
-			ConvFills:  cs.Fetches + cs.StoreAllocs,
-			ConvSingle: cs.SingleUseFills,
-			UnifFills:  us.Fetches + us.StoreAllocs,
-			UnifSingle: us.SingleUseFills,
-		}
-		if row.ConvFills > 0 {
-			row.ConvPct = 100 * float64(row.ConvSingle) / float64(row.ConvFills)
-		}
-		if row.UnifFills > 0 {
-			row.UnifPct = 100 * float64(row.UnifSingle) / float64(row.UnifFills)
-		}
-		t.Rows = append(t.Rows, row)
-	}
-	return t
+	return SingleUseFromRecords(RecordsWorkloads(ws))
 }
 
 // String renders the E5 table.
@@ -510,62 +398,17 @@ type PromotionTable struct {
 }
 
 // Promotion runs E6: it quantifies how much of the naive unified model's
-// DRAM regression register promotion recovers, per workload.
+// DRAM regression register promotion recovers, per workload. The table
+// renders from the E6 record stream; all variants are compiled and run
+// through the Artifacts cache.
 func Promotion(geom CacheGeometry) (PromotionTable, error) {
-	t := PromotionTable{Geometry: geom}
-	type variant struct {
-		cfg  core.Config
-		mcfg cache.Config
+	recs, err := RecordsPromotion(geom)
+	if err != nil {
+		return PromotionTable{Geometry: geom}, err
 	}
-	run := func(src string, v variant) (int64, string, error) {
-		comp, err := core.Compile(src, v.cfg)
-		if err != nil {
-			return 0, "", err
-		}
-		prog, err := codegen.Generate(comp)
-		if err != nil {
-			return 0, "", err
-		}
-		res, err := vm.Run(prog, vm.Config{Cache: v.mcfg})
-		if err != nil {
-			return 0, "", err
-		}
-		return res.CacheStats.MemTrafficWords(geom.LineWords), res.Output, nil
-	}
-	variants := []variant{
-		{core.Config{Mode: core.Conventional, Check: true}, geom.conventional()},
-		{core.Config{Mode: core.Unified, Check: true}, geom.unified()},
-		{core.Config{Mode: core.Unified, PromoteGlobals: true, Check: true}, geom.unified()},
-		{core.Config{Mode: core.Unified, PromoteGlobals: true, Inline: true, Optimize: true, Check: true}, geom.unified()},
-	}
-	workloads := append([]bench.Benchmark{{Name: "hotloop", Source: hotLoopSrc}}, bench.All()...)
-	for _, b := range workloads {
-		var row PromotionRow
-		row.Name = b.Name
-		var outs [4]string
-		for i, v := range variants {
-			words, out, err := run(b.Source, v)
-			if err != nil {
-				return t, fmt.Errorf("%s variant %d: %w", b.Name, i, err)
-			}
-			outs[i] = out
-			switch i {
-			case 0:
-				row.Conventional = words
-			case 1:
-				row.Unified = words
-			case 2:
-				row.Promoted = words
-			case 3:
-				row.Full = words
-			}
-		}
-		for i := 1; i < len(outs); i++ {
-			if outs[i] != outs[0] {
-				return t, fmt.Errorf("%s: outputs diverge across variants", b.Name)
-			}
-		}
-		t.Rows = append(t.Rows, row)
+	t := PromotionFromRecords(recs)
+	if len(t.Rows) == 0 {
+		t.Geometry = geom
 	}
 	return t, nil
 }
@@ -618,7 +461,9 @@ func LineSize(ws []*Workload, geom CacheGeometry) (LineSizeTable, error) {
 			unif := conv
 			unif.Dead = cache.DeadInvalidate
 			unif.HonorBypass = true
-			cs, err := cache.SimulateTrace(w.Trace.StripFlags(), conv)
+			// No StripFlags copy needed: under DeadOff with HonorBypass
+			// false the simulator never consults the hint bits.
+			cs, err := cache.SimulateTrace(w.Trace, conv)
 			if err != nil {
 				return t, err
 			}
@@ -687,19 +532,15 @@ func RegPressure(geom CacheGeometry) (RegPressureTable, error) {
 			row := RegPressureRow{Name: b.Name, Registers: tgt.Colors()}
 			var outs [2]string
 			for vi, mode := range []core.Mode{core.Conventional, core.Unified} {
-				comp, err := core.Compile(b.Source, core.Config{Mode: mode, Target: tgt, Check: true})
+				art, err := Artifacts.Build(b.Source, core.Config{Mode: mode, Target: tgt, Check: true})
 				if err != nil {
 					return t, fmt.Errorf("%s/%d: %w", b.Name, tgt.Colors(), err)
-				}
-				prog, err := codegen.Generate(comp)
-				if err != nil {
-					return t, err
 				}
 				mcfg := geom.conventional()
 				if mode == core.Unified {
 					mcfg = geom.unified()
 				}
-				res, err := vm.Run(prog, vm.Config{Cache: mcfg})
+				res, err := Artifacts.Run(art, vm.Config{Cache: mcfg})
 				if err != nil {
 					return t, err
 				}
@@ -709,9 +550,7 @@ func RegPressure(geom CacheGeometry) (RegPressureTable, error) {
 					row.ConvTraffic = words
 				} else {
 					row.UnifTraffic = words
-					for _, a := range comp.Allocs {
-						row.SpilledWebs += a.SpilledWebs
-					}
+					row.SpilledWebs += compSpills(art.Comp)
 				}
 			}
 			if outs[0] != outs[1] {
@@ -826,18 +665,14 @@ type ICacheTable struct {
 func ICache(geom CacheGeometry) (ICacheTable, error) {
 	var t ICacheTable
 	for _, b := range bench.All() {
-		comp, err := core.Compile(b.Source, core.Config{Mode: core.Unified, Check: true})
-		if err != nil {
-			return t, err
-		}
-		prog, err := codegen.Generate(comp)
+		art, err := Artifacts.Build(b.Source, core.Config{Mode: core.Unified, Check: true})
 		if err != nil {
 			return t, err
 		}
 		for _, sets := range []int{4, 16, 64} {
 			icfg := cache.Config{Sets: sets, Ways: 2, LineWords: 4,
 				Policy: cache.LRU, Dead: cache.DeadOff, Seed: 1}
-			res, err := vm.Run(prog, vm.Config{Cache: geom.unified(), ICache: &icfg})
+			res, err := Artifacts.Run(art, vm.Config{Cache: geom.unified(), ICache: &icfg})
 			if err != nil {
 				return t, err
 			}

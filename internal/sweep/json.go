@@ -1,0 +1,114 @@
+package sweep
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Schema identifies the sweep artifact format. Bump on any change to the
+// Record encoding so trajectory tooling can tell generations apart.
+const Schema = "unicache-sweep/v1"
+
+// WriteJSON writes the canonical sweep artifact: schema header, the grid,
+// the unit count, then one record per line in canonical order. The
+// line-per-record layout is what makes truncated files recoverable —
+// ReadRecords salvages every complete line — and the encoding contains no
+// timestamps, map iterations or float formatting ambiguity, so two sweeps
+// of the same grid produce byte-identical files at any worker count.
+func WriteJSON(w io.Writer, g Grid, recs []Record) error {
+	gb, err := json.Marshal(g)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "{\n\"schema\": %q,\n\"grid\": %s,\n\"units\": %d,\n\"records\": [\n",
+		Schema, gb, len(recs)); err != nil {
+		return err
+	}
+	for i, r := range recs {
+		b, err := r.MarshalLine()
+		if err != nil {
+			return err
+		}
+		sep := ","
+		if i == len(recs)-1 {
+			sep = ""
+		}
+		if _, err := fmt.Fprintf(w, "%s%s\n", b, sep); err != nil {
+			return err
+		}
+	}
+	_, err = fmt.Fprint(w, "]}\n")
+	return err
+}
+
+// MarshalLine encodes the record as the single JSON line WriteJSON emits
+// (without the separator) — the unit of salvage ReadRecords understands.
+// Progress streams use it to mirror finished records to a sidecar file.
+func (r Record) MarshalLine() ([]byte, error) {
+	return json.Marshal(r)
+}
+
+// ReadRecords leniently salvages records from a sweep artifact that may be
+// truncated or half-written: every line holding one complete record is
+// kept (keyed for resume), everything else — headers, a cut-off final
+// line — is skipped. A file with no salvageable records yields an empty
+// map, which simply resumes nothing.
+func ReadRecords(r io.Reader) (map[string]Record, error) {
+	out := make(map[string]Record)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSuffix(strings.TrimSpace(sc.Text()), ",")
+		if !strings.HasPrefix(line, `{"key":`) {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			continue // truncated tail
+		}
+		if rec.Key != "" {
+			out[rec.Key] = rec
+		}
+	}
+	return out, sc.Err()
+}
+
+// Verify strictly parses a complete sweep artifact: schema and unit count
+// must match, every record's key must re-derive from its fields, and keys
+// must be unique. It returns the record count. CI's sweep-smoke stage uses
+// it as the "is this valid JSON with the schema we promised" gate.
+func Verify(r io.Reader) (int, error) {
+	var doc struct {
+		Schema  string   `json:"schema"`
+		Grid    Grid     `json:"grid"`
+		Units   int      `json:"units"`
+		Records []Record `json:"records"`
+	}
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return 0, fmt.Errorf("sweep: invalid artifact: %w", err)
+	}
+	if doc.Schema != Schema {
+		return 0, fmt.Errorf("sweep: schema %q, want %q", doc.Schema, Schema)
+	}
+	if doc.Units != len(doc.Records) {
+		return 0, fmt.Errorf("sweep: header says %d units, found %d records", doc.Units, len(doc.Records))
+	}
+	seen := make(map[string]bool, len(doc.Records))
+	for i, rec := range doc.Records {
+		want := rec
+		want.SetKey()
+		if rec.Key != want.Key {
+			return 0, fmt.Errorf("sweep: record %d: key %q does not match fields (want %q)", i, rec.Key, want.Key)
+		}
+		if seen[rec.Key] {
+			return 0, fmt.Errorf("sweep: record %d: duplicate key %q", i, rec.Key)
+		}
+		seen[rec.Key] = true
+	}
+	return len(doc.Records), nil
+}

@@ -1,0 +1,143 @@
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/artifact"
+	"repro/internal/vm"
+)
+
+// Options controls one engine run.
+type Options struct {
+	// Workers is the worker-pool size; 0 means GOMAXPROCS. Results do not
+	// depend on it: records are merged in canonical unit order.
+	Workers int
+
+	// Artifacts is the compile/run cache to draw on; nil builds a private
+	// one. Sharing a cache across runs (resume, repeated sweeps in one
+	// process) skips recompilation.
+	Artifacts *artifact.Cache
+
+	// Done maps unit keys to already-measured records (from a previous,
+	// possibly truncated, result file). Matching units are not re-run;
+	// their records are merged verbatim.
+	Done map[string]Record
+
+	// Progress, when non-nil, is called once per finished unit in
+	// completion order (not canonical order) with the running completion
+	// count. Calls are serialized by the engine.
+	Progress func(done, total int, r Record)
+}
+
+// Result is a finished sweep.
+type Result struct {
+	Grid    Grid
+	Records []Record // canonical unit order
+	Ran     int      // units executed (total - resumed)
+	Elapsed time.Duration
+}
+
+// Run expands the grid and executes every unit not already in opt.Done on
+// a worker pool. The merged record slice is in canonical unit order and
+// bit-identical for any worker count: unit execution is deterministic
+// (fixed seeds, no shared mutable state) and scheduling only affects
+// progress-line order.
+func Run(g Grid, opt Options) (*Result, error) {
+	units, err := g.Units()
+	if err != nil {
+		return nil, err
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(units) {
+		workers = len(units)
+	}
+	arts := opt.Artifacts
+	if arts == nil {
+		arts = artifact.New()
+	}
+
+	start := time.Now()
+	recs := make([]Record, len(units))
+	errs := make([]error, len(units))
+	var (
+		mu   sync.Mutex // serializes Progress and the done counter
+		done int
+		ran  int
+	)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				u := units[i]
+				var executed bool
+				if r, ok := opt.Done[u.Key()]; ok {
+					recs[i] = r
+				} else {
+					recs[i], errs[i] = runUnit(arts, u)
+					executed = true
+				}
+				mu.Lock()
+				done++
+				if executed {
+					ran++
+				}
+				if opt.Progress != nil && errs[i] == nil {
+					opt.Progress(done, len(units), recs[i])
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := range units {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("sweep: unit %s: %w", units[i].Key(), err)
+		}
+	}
+	return &Result{Grid: g, Records: recs, Ran: ran, Elapsed: time.Since(start)}, nil
+}
+
+// runUnit compiles (cached) and simulates one unit, self-checking the
+// program output against the benchmark's expected text.
+func runUnit(arts *artifact.Cache, u Unit) (Record, error) {
+	start := time.Now()
+	art, err := arts.Build(u.Bench.Source, u.CoreConfig())
+	if err != nil {
+		return Record{}, err
+	}
+	res, err := arts.Run(art, vm.Config{Cache: u.CacheConfig()})
+	if err != nil {
+		return Record{}, err
+	}
+	if u.Bench.Expected != "" && res.Output != u.Bench.Expected {
+		return Record{}, fmt.Errorf("output %q, want %q", res.Output, u.Bench.Expected)
+	}
+	rec := u.Record()
+	rec.SetStatic(art.Comp.Stats, spilledWebs(art))
+	rec.SetStats(res.CacheStats)
+	rec.Instructions = res.Instructions
+	rec.WallNS = time.Since(start).Nanoseconds()
+	return rec, nil
+}
+
+func spilledWebs(art *artifact.Artifact) int {
+	n := 0
+	for _, a := range art.Comp.Allocs {
+		n += a.SpilledWebs
+	}
+	return n
+}

@@ -32,6 +32,23 @@ type Config struct {
 	ICache *cache.Config
 }
 
+// Normalized returns the configuration with the defaults Run applies
+// filled in: two configurations with equal Normalized values produce
+// identical runs. Callers that key on a Config (the artifact run cache)
+// must normalize first so zero values and explicit defaults coincide.
+func (c Config) Normalized() Config {
+	if c.MemWords == 0 {
+		c.MemWords = 1 << 22
+	}
+	if c.MaxSteps == 0 {
+		c.MaxSteps = 2_000_000_000
+	}
+	if c.Cache.Sets == 0 {
+		c.Cache = cache.DefaultConfig()
+	}
+	return c
+}
+
 // Result is the outcome of a run.
 type Result struct {
 	Output       string
@@ -76,16 +93,13 @@ func (r *Result) DynamicBypassPercent() float64 {
 }
 
 // Run executes the program until HALT.
+//
+// Run never mutates p: all machine state (registers, memory, cache,
+// statistics) lives in the run itself, so any number of simulations of the
+// same *Program may execute concurrently — the property the sweep engine's
+// worker pool relies on, verified under -race by TestConcurrentRunsShareProgram.
 func Run(p *isa.Program, cfg Config) (*Result, error) {
-	if cfg.MemWords == 0 {
-		cfg.MemWords = 1 << 22
-	}
-	if cfg.MaxSteps == 0 {
-		cfg.MaxSteps = 2_000_000_000
-	}
-	if cfg.Cache.Sets == 0 {
-		cfg.Cache = cache.DefaultConfig()
-	}
+	cfg = cfg.Normalized()
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}

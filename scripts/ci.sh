@@ -35,4 +35,15 @@ go test -run 'xxx^' -fuzz 'FuzzCacheModel$' -fuzztime 10s ./internal/cache
 echo "== fault campaigns (bubble, sieve) =="
 go run ./cmd/unibench -experiment resilience -bench bubble,sieve
 
+echo "== sweep smoke (determinism + resume artifact) =="
+# A small grid swept at 1 and 8 workers must produce byte-identical
+# artifacts, and the checked-in full-grid artifact must still verify.
+go build -o /tmp/unisweep-ci ./cmd/unisweep
+/tmp/unisweep-ci -bench bubble,sieve -sets 8,16 -ways 1,2 -quiet -o /tmp/sweep-w1.json -workers 1
+/tmp/unisweep-ci -bench bubble,sieve -sets 8,16 -ways 1,2 -quiet -o /tmp/sweep-w8.json -workers 8
+cmp /tmp/sweep-w1.json /tmp/sweep-w8.json
+/tmp/unisweep-ci -verify /tmp/sweep-w1.json
+/tmp/unisweep-ci -verify BENCH_sweep.json
+rm -f /tmp/unisweep-ci /tmp/sweep-w1.json /tmp/sweep-w8.json
+
 echo "CI OK"

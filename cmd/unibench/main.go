@@ -6,7 +6,7 @@
 // Usage:
 //
 //	unibench [-experiment all|fig5|fig5-opt|deadlru|policies|miller|singleuse|
-//	          promotion|linesize|regs|deadmode|icache|resilience]
+//	          promotion|linesize|regs|deadmode|icache|precision|resilience]
 //	         [-sets N -ways N -line N] [-bench a,b,...] [-json] [-list]
 //
 // With -json, experiments backed by Record streams (E1–E6) emit one JSON
@@ -49,7 +49,7 @@ type experiment struct {
 func main() {
 	defer cli.Trap(tool)
 	exp := flag.String("experiment", "all",
-		"experiment: all, fig5, fig5-opt, deadlru, policies, miller, singleuse, promotion, linesize, regs, deadmode, icache, resilience")
+		"experiment: all, fig5, fig5-opt, deadlru, policies, miller, singleuse, promotion, linesize, regs, deadmode, icache, precision, resilience")
 	sets := flag.Int("sets", 32, "cache sets")
 	ways := flag.Int("ways", 2, "cache ways")
 	line := flag.Int("line", 1, "cache line words")
@@ -134,6 +134,12 @@ func main() {
 			t, err := experiments.ICache(geom)
 			return t.String(), err
 		}},
+		{name: "precision",
+			table: func() (string, error) {
+				t, err := experiments.Precision()
+				return t.String(), err
+			},
+			records: experiments.RecordsPrecision},
 	}
 
 	if *list {

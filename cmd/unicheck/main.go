@@ -15,6 +15,10 @@
 //
 //	-sets/-ways/-line   cache geometry for the analysis (default 32/2/1)
 //	-maxsteps N         differential-run budget (0 = interpreter default)
+//	-exact              also run the exact hit/miss refinement (internal/exact)
+//	-oracle             replay the program on the production VM and assert
+//	                    every exact verdict against observed hits and misses
+//	-bench a,b          restrict the built-in suite to named benchmarks
 //	-v                  print per-site verdicts for every program
 package main
 
@@ -23,6 +27,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"repro/internal/bench"
 	"repro/internal/cache"
@@ -30,6 +35,7 @@ import (
 	"repro/internal/cli"
 	"repro/internal/codegen"
 	"repro/internal/core"
+	"repro/internal/exact"
 )
 
 const tool = "unicheck"
@@ -40,14 +46,30 @@ func main() {
 	ways := flag.Int("ways", 2, "cache associativity for the analysis")
 	line := flag.Int("line", 1, "cache line size in words")
 	maxSteps := flag.Int64("maxsteps", 0, "differential-run instruction budget; 0 means the interpreter default")
+	doExact := flag.Bool("exact", false, "run the exact hit/miss refinement after the must/may prefilter")
+	doOracle := flag.Bool("oracle", false, "replay on the production VM and assert every exact verdict (implies -exact)")
+	benchList := flag.String("bench", "", "comma-separated benchmark subset when no files are given (default all)")
 	verbose := flag.Bool("v", false, "print per-site cache verdicts")
 	flag.Parse()
 
 	type program struct{ name, src string }
 	var progs []program
 	if flag.NArg() == 0 {
+		want := map[string]bool{}
+		for _, n := range strings.Split(*benchList, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				want[n] = true
+			}
+		}
+		filtered := len(want) > 0
 		for _, b := range bench.All() {
-			progs = append(progs, program{b.Name, b.Source})
+			if !filtered || want[b.Name] {
+				progs = append(progs, program{b.Name, b.Source})
+				delete(want, b.Name)
+			}
+		}
+		for n := range want {
+			cli.Fatalf(tool, "flags", "unknown benchmark %q", n)
 		}
 	} else {
 		for _, path := range flag.Args() {
@@ -60,10 +82,14 @@ func main() {
 		}
 	}
 
+	run := runConfig{
+		sets: *sets, ways: *ways, line: *line, maxSteps: *maxSteps,
+		exact: *doExact || *doOracle, oracle: *doOracle, verbose: *verbose,
+	}
 	failed := false
 	for _, p := range progs {
 		for _, mode := range []core.Mode{core.Unified, core.Conventional} {
-			if !checkOne(p.name, p.src, mode, *sets, *ways, *line, *maxSteps, *verbose) {
+			if !checkOne(p.name, p.src, mode, run) {
 				failed = true
 			}
 		}
@@ -73,9 +99,19 @@ func main() {
 	}
 }
 
+// runConfig carries the per-invocation knobs to checkOne.
+type runConfig struct {
+	sets, ways, line int
+	maxSteps         int64
+	exact            bool
+	oracle           bool
+	verbose          bool
+}
+
 // checkOne runs every pass over one program in one mode and reports
 // whether it is clean.
-func checkOne(name, src string, mode core.Mode, sets, ways, line int, maxSteps int64, verbose bool) bool {
+func checkOne(name, src string, mode core.Mode, run runConfig) bool {
+	sets, ways, line, maxSteps, verbose := run.sets, run.ways, run.line, run.maxSteps, run.verbose
 	label := fmt.Sprintf("%-12s %-12s", name, mode)
 	// Compile without Check so violations surface here with full detail
 	// instead of as a compile error.
@@ -107,12 +143,40 @@ func checkOne(name, src string, mode core.Mode, sets, ways, line int, maxSteps i
 		return false
 	}
 
+	// The exact refinement and its static-vs-dynamic oracle.
+	var rep *exact.Report
+	oracleLine := ""
+	if run.oracle {
+		ores, err := exact.Oracle(src, core.Config{Mode: mode}, ccfg, maxSteps)
+		if err != nil {
+			fmt.Printf("%s ORACLE FAIL: %v\n", label, err)
+			return false
+		}
+		rep = ores.Report
+		oracleLine = "; oracle: " + ores.Summary()
+		if oerr := ores.Err(); oerr != nil {
+			fmt.Printf("%s FAIL  %s\n%v\n", label, oracleLine[2:], oerr)
+			return false
+		}
+	} else if run.exact {
+		rep, err = exact.Analyze(comp.Prog, ccfg, opt)
+		if err != nil {
+			fmt.Printf("%s EXACT FAIL: %v\n", label, err)
+			return false
+		}
+	}
+	exactLine := ""
+	if rep != nil {
+		exactLine = "; exact: " + rep.Summary()
+	}
+
 	ok := len(vs) == 0 && diff.ContradictionCount == 0
 	status := "ok"
 	if !ok {
 		status = "FAIL"
 	}
-	fmt.Printf("%s %-4s  %s; differential: %s\n", label, status, diff.Report.Summary(), diff.Summary())
+	fmt.Printf("%s %-4s  %s; differential: %s%s%s\n", label, status,
+		diff.Report.Summary(), diff.Summary(), exactLine, oracleLine)
 	for _, v := range vs {
 		fmt.Printf("  %s\n", v)
 	}
@@ -121,6 +185,9 @@ func checkOne(name, src string, mode core.Mode, sets, ways, line int, maxSteps i
 	}
 	if verbose {
 		fmt.Print(diff.Report.Report(comp.Prog))
+		if rep != nil {
+			fmt.Print(rep.Render())
+		}
 	}
 	return ok
 }

@@ -178,10 +178,14 @@ func salvage(out string) map[string]sweep.Record {
 		if err != nil {
 			continue
 		}
-		recs, err := sweep.ReadRecords(f)
+		recs, dropped, err := sweep.ReadRecords(f)
 		f.Close()
 		if err != nil {
 			cli.Fatal(tool, "resume", err)
+		}
+		if dropped > 0 {
+			fmt.Fprintf(os.Stderr, "%s: %s: dropped %d damaged record(s) whose key did not re-derive; re-running those units\n",
+				tool, path, dropped)
 		}
 		for k, r := range recs {
 			done[k] = r

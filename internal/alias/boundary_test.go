@@ -1,0 +1,217 @@
+package alias_test
+
+import (
+	"testing"
+
+	"repro/internal/alias"
+	"repro/internal/cache"
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/ir"
+)
+
+// Each case puts one of the paper's five alias classes at an exact-analysis
+// boundary: address-uncertain references inside loops, and values whose
+// last tagged use (a kill) is followed by a reload after the loop. The
+// refinement must cope with every class without ever downgrading a verdict
+// the must/may prefilter already proved.
+var boundaryCases = []struct {
+	name  string
+	class alias.Class
+	src   string
+	// refA/refB select the two sites whose classification the case is
+	// about (first match each, in program order).
+	refA, refB func(*ir.MemRef) bool
+}{
+	{
+		name:  "mutually-exclusive",
+		class: alias.MutuallyExclusive,
+		// s and me_a can never collide; the element refs are
+		// address-uncertain in the loop, s is killed then reloaded after.
+		src: `
+int me_a[8];
+void main() {
+    int s;
+    int i;
+    s = 0;
+    for (i = 0; i < 8; i = i + 1) {
+        me_a[i] = i;
+        s = s + me_a[i];
+    }
+    print(s);
+}`,
+		refA: byElement("me_a"),
+		refB: byScalar("s"),
+	},
+	{
+		name:  "true-alias",
+		class: alias.TrueAlias,
+		// The store of x and its reload after the loop name the same
+		// block; in between, *p (whose only target is x) re-touches it
+		// every iteration.
+		src: `
+int x;
+void main() {
+    int *p;
+    int i;
+    p = &x;
+    x = 0;
+    for (i = 0; i < 8; i = i + 1) {
+        *p = *p + 1;
+    }
+    print(x);
+}`,
+		refA: byScalar("x"),
+		refB: byScalar("x"),
+	},
+	{
+		name:  "intersection-alias",
+		class: alias.IntersectionAlias,
+		// *q resolves to exactly the array object; q walks it while a[i]
+		// names elements directly — the footprints intersect.
+		src: `
+int ia_a[8];
+void main() {
+    int *q;
+    int i;
+    int s;
+    q = &ia_a[0];
+    s = 0;
+    for (i = 0; i < 8; i = i + 1) {
+        ia_a[i] = i;
+        s = s + *q;
+    }
+    print(s);
+}`,
+		refA: byPointer("q"),
+		refB: byElement("ia_a"),
+	},
+	{
+		name:  "sometimes-alias",
+		class: alias.SometimesAlias,
+		// a[i] vs a[j]: same object, indices only sometimes equal.
+		src: `
+int sa_a[8];
+void main() {
+    int i;
+    int s;
+    s = 0;
+    for (i = 0; i < 7; i = i + 1) {
+        sa_a[i] = i;
+        s = s + sa_a[i + 1];
+    }
+    print(s);
+}`,
+		refA: byElement("sa_a"),
+		refB: byElement("sa_a"),
+	},
+	{
+		name:  "ambiguous",
+		class: alias.Ambiguous,
+		// p may point at either u or v, so u and v must stay mutually
+		// suspicious: every reference to one may touch the other.
+		src: `
+int u;
+int v;
+void main() {
+    int *p;
+    int i;
+    p = &u;
+    for (i = 0; i < 8; i = i + 1) {
+        if (i > 3) {
+            p = &v;
+        }
+        *p = i;
+    }
+    print(u + v);
+}`,
+		refA: byScalar("u"),
+		refB: byScalar("v"),
+	},
+}
+
+func byScalar(name string) func(*ir.MemRef) bool {
+	return func(r *ir.MemRef) bool {
+		return r.Kind == ir.RefScalar && r.Obj != nil && r.Obj.Name == name
+	}
+}
+
+func byElement(name string) func(*ir.MemRef) bool {
+	return func(r *ir.MemRef) bool {
+		return r.Kind == ir.RefElement && r.Obj != nil && r.Obj.Name == name
+	}
+}
+
+func byPointer(name string) func(*ir.MemRef) bool {
+	return func(r *ir.MemRef) bool {
+		return r.Kind == ir.RefPointer && r.Ptr != nil && r.Ptr.Name == name
+	}
+}
+
+func findRef(c *core.Compilation, pred func(*ir.MemRef) bool, skip *ir.MemRef) *ir.MemRef {
+	for _, f := range c.Prog.Funcs {
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				if in := &b.Instrs[i]; in.Ref != nil && in.Ref != skip && pred(in.Ref) {
+					return in.Ref
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func TestExactAtAliasClassBoundaries(t *testing.T) {
+	for _, tc := range boundaryCases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, mode := range []core.Mode{core.Unified, core.Conventional} {
+				// Baseline compiler: scalars stay in frame memory, so the
+				// alias structure is visible to the cache analysis.
+				comp, err := core.Compile(tc.src, core.Config{Mode: mode, StackScalars: true, Check: true})
+				if err != nil {
+					t.Fatalf("%s: %v", mode, err)
+				}
+
+				// The program really exhibits the class it claims to.
+				ra := findRef(comp, tc.refA, nil)
+				rb := findRef(comp, tc.refB, ra)
+				if ra == nil || rb == nil {
+					t.Fatalf("%s: reference sites not found", mode)
+				}
+				if got := comp.Alias.ClassifyRefs(ra, rb); got != tc.class {
+					t.Fatalf("%s: ClassifyRefs = %s, want %s", mode, got, tc.class)
+				}
+
+				for _, ccfg := range []cache.Config{cacheFor(mode, cache.LRU), cacheFor(mode, cache.FIFO)} {
+					opt := check.Options{Unified: mode == core.Unified}
+					pre, err := check.AnalyzeCache(comp.Prog, ccfg, opt)
+					if err != nil {
+						t.Fatalf("%s/%s prefilter: %v", mode, ccfg.Policy, err)
+					}
+					rep, err := exact.Analyze(comp.Prog, ccfg, opt)
+					if err != nil {
+						t.Fatalf("%s/%s exact: %v", mode, ccfg.Policy, err)
+					}
+					for ref, v := range pre.Verdicts {
+						if v == check.Unknown {
+							continue
+						}
+						if got := rep.Verdicts[ref]; got != v {
+							t.Errorf("%s/%s: prefilter %s downgraded to %s", mode, ccfg.Policy, v, got)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func cacheFor(mode core.Mode, pol cache.Policy) cache.Config {
+	cfg := cache.DefaultConfig()
+	if mode == core.Conventional {
+		cfg = cache.ConventionalConfig()
+	}
+	cfg.Policy = pol
+	return cfg
+}

@@ -171,7 +171,9 @@ func runKey(k Key, cfg vm.Config) string {
 // their injector state.
 func (c *Cache) Run(art *Artifact, cfg vm.Config) (*vm.Result, error) {
 	cfg = cfg.Normalized()
-	if cfg.Cache.Injector != nil || (cfg.ICache != nil && cfg.ICache.Injector != nil) {
+	if cfg.Cache.Injector != nil || (cfg.ICache != nil && cfg.ICache.Injector != nil) || cfg.OnRef != nil {
+		// Injector state and OnRef observation are side effects a memoized
+		// result would silently skip: always execute.
 		return vm.Run(art.Prog, cfg)
 	}
 	key := runKey(art.Key, cfg)

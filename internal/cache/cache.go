@@ -264,6 +264,20 @@ func (c Config) Validate() error {
 // Lines returns the total line count.
 func (c Config) Lines() int { return c.Sets * c.Ways }
 
+// DeadKillsResidency reports whether a Last-tagged reference revokes the
+// target line's replacement protection: under any dead-marking mode the
+// line is either invalidated or demoted to preferred victim, so no static
+// analysis may keep treating it as safely resident afterwards.
+func (c Config) DeadKillsResidency() bool { return c.Dead != DeadOff }
+
+// DeadKillsMembership reports whether a Last-tagged reference definitely
+// leaves the target line uncached. Only invalidating dead-marking with
+// one-word lines discards unconditionally — a dirty multi-word line is
+// demoted instead of dropped to protect live sibling words (see deadMark).
+func (c Config) DeadKillsMembership() bool {
+	return c.Dead == DeadInvalidate && c.LineWords == 1
+}
+
 // Stats is the word-exact traffic accounting of one run. "Memory traffic"
 // in the paper's Figure 5 sense is MemTrafficWords.
 type Stats struct {

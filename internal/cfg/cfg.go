@@ -29,6 +29,21 @@ func ReversePostorder(f *ir.Func) []*ir.Block {
 	return post
 }
 
+// RPOIndex returns block ID -> position in ReversePostorder(f), or -1 for
+// unreachable blocks. Worklist solvers use it both as iteration priority
+// and to recognize back edges (a successor whose index does not increase),
+// which is where widening should be applied.
+func RPOIndex(f *ir.Func) []int {
+	idx := make([]int, len(f.Blocks))
+	for i := range idx {
+		idx[i] = -1
+	}
+	for i, b := range ReversePostorder(f) {
+		idx[b.ID] = i
+	}
+	return idx
+}
+
 // Dominators computes the immediate dominator of every block using the
 // Cooper-Harvey-Kennedy iterative algorithm. idom[entry] == entry;
 // unreachable blocks get idom nil.

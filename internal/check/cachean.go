@@ -47,7 +47,20 @@ type CacheReport struct {
 	Config   cache.Config
 	Verdicts map[*ir.MemRef]Verdict
 
+	// MustHalf records whether the must (always-hit) half actually ran:
+	// age bounds are only sound under LRU, so for FIFO/Random/MIN the
+	// analysis is may-only and can never produce an always-hit verdict.
+	MustHalf bool
+
 	Hit, Miss, Unk, Byp int // verdict counts over all sites
+}
+
+// Halves names the analysis halves that ran, for report headers.
+func (r *CacheReport) Halves() string {
+	if r.MustHalf {
+		return "must+may"
+	}
+	return fmt.Sprintf("may-only: no always-hit under %s", r.Config.Policy)
 }
 
 func (r *CacheReport) count() {
@@ -75,8 +88,8 @@ func (r *CacheReport) Summary() string {
 // Report renders per-function verdicts for every classified site.
 func (r *CacheReport) Report(p *ir.Program) string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "cache analysis (%d sets x %d ways, line %d, %s): %s\n",
-		r.Config.Sets, r.Config.Ways, r.Config.LineWords, r.Config.Policy, r.Summary())
+	fmt.Fprintf(&sb, "cache analysis (%d sets x %d ways, line %d, %s; %s): %s\n",
+		r.Config.Sets, r.Config.Ways, r.Config.LineWords, r.Config.Policy, r.Halves(), r.Summary())
 	for _, f := range p.Funcs {
 		var lines []string
 		for _, b := range f.Blocks {
@@ -166,6 +179,23 @@ const globalBase int64 = 64
 // indexing) and trust the alias sets; Differential cross-validates both
 // against the production cache model.
 func AnalyzeCache(p *ir.Program, ccfg cache.Config, opt Options) (*CacheReport, error) {
+	a, err := newAnalyzer(p, ccfg, opt)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &CacheReport{Config: ccfg, Verdicts: make(map[*ir.MemRef]Verdict), MustHalf: a.mustOK}
+	for _, f := range p.Funcs {
+		a.analyzeFunc(f, rep)
+	}
+	rep.count()
+	return rep, nil
+}
+
+// newAnalyzer validates the configuration and precomputes the program-wide
+// facts both AnalyzeCache and the exact refinement's SiteModel rely on:
+// absolute lines of one-word globals and whether main is ever re-entered.
+func newAnalyzer(p *ir.Program, ccfg cache.Config, opt Options) (*analyzer, error) {
 	probe := ccfg
 	if probe.Policy == cache.MIN {
 		probe.Policy = cache.LRU
@@ -196,13 +226,7 @@ func AnalyzeCache(p *ir.Program, ccfg cache.Config, opt Options) (*CacheReport, 
 			}
 		}
 	}
-
-	rep := &CacheReport{Config: ccfg, Verdicts: make(map[*ir.MemRef]Verdict)}
-	for _, f := range p.Funcs {
-		a.analyzeFunc(f, rep)
-	}
-	rep.count()
-	return rep, nil
+	return a, nil
 }
 
 type analyzer struct {
@@ -213,10 +237,8 @@ type analyzer struct {
 	mainCalled bool
 }
 
-func (a *analyzer) killsMust() bool { return a.cfg.Dead != cache.DeadOff }
-func (a *analyzer) killsMay() bool {
-	return a.cfg.Dead == cache.DeadInvalidate && a.cfg.LineWords == 1
-}
+func (a *analyzer) killsMust() bool { return a.cfg.DeadKillsResidency() }
+func (a *analyzer) killsMay() bool  { return a.cfg.DeadKillsMembership() }
 
 // access is one resolved reference site.
 type access struct {

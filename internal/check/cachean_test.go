@@ -1,6 +1,7 @@
 package check_test
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/cache"
@@ -89,6 +90,43 @@ func TestNonLRUPolicyProducesNoMustHits(t *testing.T) {
 	}
 	if rep.Miss == 0 {
 		t.Error("FIFO: always-miss verdicts should survive (membership is policy-independent)")
+	}
+}
+
+// The report header must say which analysis halves actually ran: under
+// FIFO/Random the must half is disabled, and wording that implies an LRU
+// age argument ran would overstate what was proven.
+func TestReportNamesAnalysisHalves(t *testing.T) {
+	c := compile(t, counterSrc, core.Config{Mode: core.Conventional})
+
+	lru, err := check.AnalyzeCache(c.Prog, cache.ConventionalConfig(), opts(core.Conventional))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lru.MustHalf {
+		t.Error("LRU: MustHalf = false, want true")
+	}
+	if got := lru.Report(c.Prog); !strings.Contains(got, "must+may") {
+		t.Errorf("LRU report header does not name both halves:\n%s", got)
+	}
+
+	for _, pol := range []cache.Policy{cache.FIFO, cache.Random} {
+		cfg := cache.ConventionalConfig()
+		cfg.Policy = pol
+		rep, err := check.AnalyzeCache(c.Prog, cfg, opts(core.Conventional))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.MustHalf {
+			t.Errorf("%s: MustHalf = true, want false", pol)
+		}
+		got := rep.Report(c.Prog)
+		if !strings.Contains(got, "may-only") || !strings.Contains(got, pol.String()) {
+			t.Errorf("%s report header does not say the must half was off:\n%s", pol, got)
+		}
+		if strings.Contains(got, "must+may") {
+			t.Errorf("%s report claims the must half ran:\n%s", pol, got)
+		}
 	}
 }
 

@@ -36,6 +36,25 @@ const GlobalBase int64 = 64
 
 // Generate lowers a compilation to a linked UM program.
 func Generate(c *core.Compilation) (*isa.Program, error) {
+	prog, _, err := lower(c, false)
+	return prog, err
+}
+
+// SiteTable maps the machine PC of every LW/SW emitted for an IR-level
+// reference site to that site's MemRef. Prologue/epilogue saves, argument
+// staging and parameter spilling carry no MemRef and are absent — they are
+// machine-invented traffic, not classified sites.
+type SiteTable map[int]*ir.MemRef
+
+// GenerateWithSites lowers a compilation and additionally reports where
+// every classified reference site landed in the instruction stream, so
+// trace-level oracles can match dynamic references back to static
+// verdicts.
+func GenerateWithSites(c *core.Compilation) (*isa.Program, SiteTable, error) {
+	return lower(c, true)
+}
+
+func lower(c *core.Compilation, withSites bool) (*isa.Program, SiteTable, error) {
 	g := &generator{
 		comp: c,
 		prog: &isa.Program{
@@ -45,6 +64,9 @@ func Generate(c *core.Compilation) (*isa.Program, error) {
 			GlobalBase: GlobalBase,
 		},
 		globalAddr: make(map[*sem.Object]int64),
+	}
+	if withSites {
+		g.sites = make(SiteTable)
 	}
 
 	// Global data layout.
@@ -66,22 +88,23 @@ func Generate(c *core.Compilation) (*isa.Program, error) {
 
 	for _, f := range c.Prog.Funcs {
 		if err := g.genFunc(f); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	if err := g.resolve(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := g.prog.Validate(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return g.prog, nil
+	return g.prog, g.sites, nil
 }
 
 type generator struct {
 	comp       *core.Compilation
 	prog       *isa.Program
 	globalAddr map[*sem.Object]int64
+	sites      SiteTable // nil unless site recording was requested
 
 	// Per-function state.
 	f         *ir.Func
@@ -101,6 +124,15 @@ type frameLayout struct {
 }
 
 func (g *generator) emit(in isa.Instr) { g.prog.Instrs = append(g.prog.Instrs, in) }
+
+// site records that the next emitted instruction implements the given
+// IR-level reference. Emission order makes the PC len(Instrs); resolve
+// only patches operands, so PCs are final.
+func (g *generator) site(ref *ir.MemRef) {
+	if g.sites != nil {
+		g.sites[len(g.prog.Instrs)] = ref
+	}
+}
 
 func (g *generator) label(name string) { g.prog.Labels[name] = len(g.prog.Instrs) }
 
@@ -360,6 +392,7 @@ func (g *generator) genInstr(in *ir.Instr, next *ir.Block) error {
 			return err
 		}
 		if in.Ref.Kind == ir.RefSpill {
+			g.site(in.Ref)
 			g.emit(isa.Instr{Op: isa.LW, Rd: rd, Rs: isa.SP,
 				Imm:    g.frame.spillBase + int64(in.Ref.Slot),
 				Bypass: in.Ref.Bypass, Last: in.Ref.Last})
@@ -369,6 +402,7 @@ func (g *generator) genInstr(in *ir.Instr, next *ir.Block) error {
 		if err != nil {
 			return err
 		}
+		g.site(in.Ref)
 		g.emit(isa.Instr{Op: isa.LW, Rd: rd, Rs: rs,
 			Bypass: in.Ref.Bypass, Last: in.Ref.Last})
 
@@ -378,6 +412,7 @@ func (g *generator) genInstr(in *ir.Instr, next *ir.Block) error {
 			return err
 		}
 		if in.Ref.Kind == ir.RefSpill {
+			g.site(in.Ref)
 			g.emit(isa.Instr{Op: isa.SW, Rs: isa.SP, Rt: rt,
 				Imm:    g.frame.spillBase + int64(in.Ref.Slot),
 				Bypass: in.Ref.Bypass, Last: in.Ref.Last})
@@ -387,6 +422,7 @@ func (g *generator) genInstr(in *ir.Instr, next *ir.Block) error {
 		if err != nil {
 			return err
 		}
+		g.site(in.Ref)
 		g.emit(isa.Instr{Op: isa.SW, Rs: rs, Rt: rt,
 			Bypass: in.Ref.Bypass, Last: in.Ref.Last})
 

@@ -1,0 +1,28 @@
+package dataflow
+
+import "math/bits"
+
+// Word is a fixed 64-slot bitset. Unlike BitSet it is a value type —
+// comparable with == and usable as a map key — which is what abstract
+// domains whose states must hash (the exact cache analysis's state sets)
+// need. Slots beyond 63 do not fit; callers must fall back to a coarser
+// representation for overflow.
+type Word uint64
+
+// WordBits is the slot capacity of a Word.
+const WordBits = 64
+
+// Has reports whether slot i is present.
+func (w Word) Has(i int) bool { return w&(1<<uint(i)) != 0 }
+
+// With returns w with slot i added.
+func (w Word) With(i int) Word { return w | 1<<uint(i) }
+
+// Union returns the union of w and o.
+func (w Word) Union(o Word) Word { return w | o }
+
+// Contains reports whether every slot of o is in w.
+func (w Word) Contains(o Word) bool { return w&o == o }
+
+// Count returns the number of slots present.
+func (w Word) Count() int { return bits.OnesCount64(uint64(w)) }

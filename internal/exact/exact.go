@@ -1,0 +1,682 @@
+// Package exact resolves the must/may analysis's "unknown" class into
+// always-hit / always-miss / definitely-unknown by a focused fixed point
+// over concrete cache-set states, in the style of Touzeau et al.
+// ("Ascertaining Uncertainty for Efficient Exact Cache Analysis", CAV 2017;
+// "Fast and exact analysis for LRU caches", POPL 2019): the abstract
+// prefilter (check.AnalyzeCache) decides the cheap sites, and only the
+// residue is re-analyzed, one focused block at a time, tracking the sets of
+// replacement-order valuations that block can actually reach.
+//
+// The refinement is fully aware of the paper's unified-management
+// semantics: bypassed (UmAm) references never allocate but a bypass hit
+// refreshes the line's recency, Last-tagged references kill or demote
+// resident lines (so a bypass+Last reference definitely leaves its block
+// uncached under invalidating dead-marking), and spill stores allocate
+// through the cache. Per state the analysis keeps, for the focused block
+// since its last refresh: an upper bound on the distinct conflicting blocks
+// referenced (names + anon, proving residency under LRU while below the
+// associativity, and under any policy while zero), a lower bound on the
+// definitely-distinct definitely-same-set blocks brought through the cache
+// (dnames, proving eviction under LRU once it reaches the associativity,
+// unless a dead-marking kill freed a way in between — "freed"), giving
+// always-hit and always-miss theorems the abstract halves cannot reach.
+package exact
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/cfg"
+	"repro/internal/check"
+	"repro/internal/dataflow"
+	"repro/internal/ir"
+)
+
+// DecidedBy records which stage of the pipeline produced a site's final
+// verdict.
+type DecidedBy int
+
+// Stages.
+const (
+	// ByMustMay: the abstract must/may prefilter already decided the site.
+	ByMustMay DecidedBy = iota
+	// ByExact: the focused exact refinement decided a prefilter-unknown site.
+	ByExact
+	// ByIrreducible: the refinement ran and the site remains unknown — the
+	// uncertainty is real (modulo path feasibility), not analysis slack.
+	ByIrreducible
+	// ByBypass: the site skips the cache; hit/miss classification does not
+	// apply and the refinement leaves it alone.
+	ByBypass
+)
+
+func (d DecidedBy) String() string {
+	switch d {
+	case ByMustMay:
+		return "must-may"
+	case ByExact:
+		return "exact"
+	case ByIrreducible:
+		return "irreducible"
+	}
+	return "bypass"
+}
+
+// SiteVerdict is the final classification of one reference site.
+type SiteVerdict struct {
+	Func    string
+	Block   int
+	Index   int // instruction index within the block
+	Key     string
+	Text    string // instruction rendering
+	Verdict check.Verdict
+	By      DecidedBy
+}
+
+// Report holds the combined prefilter + refinement result.
+type Report struct {
+	Config cache.Config
+	Pre    *check.CacheReport
+	// Verdicts is the final per-site classification: the prefilter's
+	// verdict where it decided, the exact one where it refined. The
+	// refinement never downgrades — a prefilter hit/miss is final.
+	Verdicts map[*ir.MemRef]check.Verdict
+	Sites    []SiteVerdict // deterministic program order
+
+	// Summary counts over all classified sites.
+	Total, Bypassed     int
+	PreHit, PreMiss     int
+	ExactHit, ExactMiss int
+	Irreducible         int
+}
+
+// Analyze runs the prefilter and then the focused refinement on every site
+// the prefilter left unknown.
+func Analyze(p *ir.Program, ccfg cache.Config, opt check.Options) (*Report, error) {
+	pre, err := check.AnalyzeCache(p, ccfg, opt)
+	if err != nil {
+		return nil, err
+	}
+	sm, err := check.NewSiteModel(p, ccfg, opt)
+	if err != nil {
+		return nil, err
+	}
+
+	r := &Report{Config: ccfg, Pre: pre, Verdicts: make(map[*ir.MemRef]check.Verdict, len(pre.Verdicts))}
+	refined := make(map[*ir.MemRef]bool)
+	for ref, v := range pre.Verdicts {
+		r.Verdicts[ref] = v
+	}
+
+	for _, f := range p.Funcs {
+		fs := sm.Func(f)
+		// Group the prefilter-unknown sites by focused block, in
+		// first-appearance order.
+		type unkSite struct {
+			in *ir.Instr
+			si check.SiteInfo
+		}
+		var order []check.SiteKey
+		groups := make(map[check.SiteKey][]unkSite)
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				si, ok := fs.Resolve(in)
+				if !ok {
+					continue
+				}
+				if v, classified := pre.Verdicts[in.Ref]; !classified || v != check.Unknown {
+					continue
+				}
+				if _, seen := groups[si.Key]; !seen {
+					order = append(order, si.Key)
+				}
+				groups[si.Key] = append(groups[si.Key], unkSite{in, si})
+			}
+		}
+		for _, k := range order {
+			sites := groups[k]
+			fo := newFocus(sm, fs, f, sites[0].si, ccfg)
+			wanted := make(map[*ir.Instr]bool, len(sites))
+			for _, s := range sites {
+				wanted[s.in] = true
+			}
+			verdicts := fo.solve(wanted)
+			for _, s := range sites {
+				if v, ok := verdicts[s.in]; ok && v != check.Unknown {
+					r.Verdicts[s.in.Ref] = v
+					refined[s.in.Ref] = true
+				}
+			}
+		}
+	}
+
+	// Per-site report and summary, in program order.
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				if in.Ref == nil || (in.Op != ir.OpLoad && in.Op != ir.OpStore) {
+					continue
+				}
+				preV, classified := pre.Verdicts[in.Ref]
+				if !classified {
+					continue // unreachable site: the prefilter skipped it
+				}
+				v := r.Verdicts[in.Ref]
+				var by DecidedBy
+				switch {
+				case v == check.Bypassed:
+					by = ByBypass
+					r.Bypassed++
+				case refined[in.Ref]:
+					by = ByExact
+					if v == check.AlwaysHit {
+						r.ExactHit++
+					} else {
+						r.ExactMiss++
+					}
+				case preV == check.Unknown:
+					by = ByIrreducible
+					r.Irreducible++
+				default:
+					by = ByMustMay
+					if v == check.AlwaysHit {
+						r.PreHit++
+					} else {
+						r.PreMiss++
+					}
+				}
+				r.Total++
+				si, _ := sm.Func(f).Resolve(in)
+				r.Sites = append(r.Sites, SiteVerdict{
+					Func:    f.Name,
+					Block:   b.ID,
+					Index:   i,
+					Key:     si.Key.String(),
+					Text:    in.String(),
+					Verdict: v,
+					By:      by,
+				})
+			}
+		}
+	}
+	return r, nil
+}
+
+// ---- focused state domain ----
+
+// State kinds for the focused block.
+const (
+	sNC    int8 = iota // definitely not cached
+	sMaybe             // no information
+	sRes               // resident at its last refresh; counters since then
+)
+
+// state is one reachable replacement-order valuation of the focused block.
+// It is a comparable value type so state sets can be hashed.
+type state struct {
+	kind int8
+	// names: definitely-distinct named blocks that may conflict with the
+	// focus and were referenced since its last refresh (upper-bound side).
+	names dataflow.Word
+	// dnames ⊆ names: blocks additionally brought *through* the cache, not
+	// killed by that access, and definitely mapping to the focus's set
+	// (lower-bound side, for eviction proofs under LRU).
+	dnames dataflow.Word
+	// anon: possibly-conflicting references that cannot be named (address
+	// uncertain, or beyond the 64 named-block slots); each counts as a
+	// potentially distinct block on the upper-bound side.
+	anon uint8
+	// freed: some dead-marking kill may have freed or demoted a way in the
+	// focus's set since the refresh, so fills can be absorbed without
+	// evicting anything — the dnames eviction argument no longer holds.
+	freed bool
+}
+
+var (
+	ncState    = state{kind: sNC}
+	maybeState = state{kind: sMaybe}
+	resFresh   = state{kind: sRes}
+)
+
+type stateSet map[state]struct{}
+
+// maxStates caps a state set's size; beyond it the set collapses to the
+// uninformative top. Widening in the classical sense is unnecessary — the
+// domain is finite — but the cap bounds the constant.
+const maxStates = 32
+
+func single(s state) stateSet { return stateSet{s: {}} }
+
+func cloneSet(ss stateSet) stateSet {
+	c := make(stateSet, len(ss))
+	for s := range ss {
+		c[s] = struct{}{}
+	}
+	return c
+}
+
+// subsumes reports whether keeping only w loses nothing a verdict or a
+// transfer could use from s: w is the weaker valuation (larger upper
+// bound, smaller lower bound, freed at least as much).
+func subsumes(w, s state) bool {
+	if w == s {
+		return true
+	}
+	if w.kind == sMaybe {
+		return true
+	}
+	if w.kind != sRes || s.kind != sRes {
+		return false
+	}
+	return w.names.Contains(s.names) && w.anon >= s.anon &&
+		s.dnames.Contains(w.dnames) && (w.freed || !s.freed)
+}
+
+// reduce canonicalizes a set: collapse on top, drop subsumed states, cap.
+func reduce(ss stateSet) stateSet {
+	if _, ok := ss[maybeState]; ok && len(ss) > 1 {
+		return single(maybeState)
+	}
+	if len(ss) > 1 {
+		for s := range ss {
+			for w := range ss {
+				if w != s && subsumes(w, s) {
+					delete(ss, s)
+					break
+				}
+			}
+		}
+	}
+	if len(ss) > maxStates {
+		return single(maybeState)
+	}
+	return ss
+}
+
+func setsEqual(a, b stateSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for s := range a {
+		if _, ok := b[s]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// ---- focused solver ----
+
+// accessRel is the precomputed relation of one reference site to the
+// focused block.
+type accessRel struct {
+	defFocus bool // definitely the focus block
+	mayFocus bool // may be the focus block
+	conflict bool // may map to the focus's set
+	nameBit  int  // slot in names for the site's key, -1 if unnameable
+	mustConf bool // definitely maps to the focus's set
+	through  bool // goes through the cache (no bypass, or bypass unhonored)
+	killMem  bool // Last + invalidating dead-marking: leaves block uncached
+	killRes  bool // Last + any dead-marking: revokes residency protection
+}
+
+type focus struct {
+	fs        *check.FuncSites
+	f         *ir.Func
+	k         check.SiteInfo
+	cfg       cache.Config
+	mustOK    bool // LRU: age reasoning and eviction proofs are sound
+	lineExact bool // one-word lines: distinct blocks are distinct lines
+	cold      bool
+	nameIdx   map[check.SiteKey]int
+	rels      map[*ir.Instr]accessRel
+}
+
+func newFocus(sm *check.SiteModel, fs *check.FuncSites, f *ir.Func, k check.SiteInfo, ccfg cache.Config) *focus {
+	fo := &focus{
+		fs:        fs,
+		f:         f,
+		k:         k,
+		cfg:       ccfg,
+		mustOK:    sm.MustHalf(),
+		lineExact: ccfg.LineWords == 1,
+		nameIdx:   make(map[check.SiteKey]int),
+		rels:      make(map[*ir.Instr]accessRel),
+	}
+	// A cold entry only stays cold at the machine level when lines are one
+	// word: wider lines let prologue traffic fetch neighbors of the focus.
+	fo.cold = sm.ColdEntry(f) && fo.lineExact
+	for i, nk := range fs.NamedKeys() {
+		if i >= dataflow.WordBits {
+			break // overflow blocks are counted as anon
+		}
+		fo.nameIdx[nk] = i
+	}
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if si, ok := fs.Resolve(in); ok {
+				fo.rels[in] = fo.relate(si)
+			}
+		}
+	}
+	return fo
+}
+
+func (fo *focus) relate(si check.SiteInfo) accessRel {
+	rel := accessRel{
+		defFocus: si.Key == fo.k.Key,
+		through:  !si.Bypass || !fo.cfg.HonorBypass,
+		killMem:  si.Last && fo.cfg.DeadKillsMembership(),
+		killRes:  si.Last && fo.cfg.DeadKillsResidency(),
+		nameBit:  -1,
+	}
+	rel.mayFocus = rel.defFocus || fo.fs.MayBe(si, fo.k)
+	if !si.Uncertain && !fo.k.Uncertain {
+		rel.conflict = fo.fs.MayConflict(si.Key, fo.k.Key)
+		rel.mustConf = fo.fs.MustConflict(si.Key, fo.k.Key)
+	} else {
+		rel.conflict = true
+	}
+	if !si.Uncertain && !rel.defFocus {
+		if idx, ok := fo.nameIdx[si.Key]; ok {
+			rel.nameBit = idx
+		}
+	}
+	return rel
+}
+
+func (fo *focus) count(s state) int { return s.names.Count() + int(s.anon) }
+
+// residencyGuaranteed: under LRU the focus is resident while fewer than
+// Ways possibly-conflicting blocks were referenced since its refresh (dead
+// or invalid lines only absorb fills, they never force the focus out).
+// Under FIFO/Random/MIN only the absence of any possibly-conflicting fill
+// proves residency — nothing entered the set, so nothing was evicted.
+func (fo *focus) residencyGuaranteed(s state) bool {
+	if s.kind != sRes {
+		return false
+	}
+	if fo.mustOK {
+		return fo.count(s) < fo.cfg.Ways
+	}
+	return fo.count(s) == 0
+}
+
+// normalize applies the eviction proof and collapses informationless
+// valuations.
+func (fo *focus) normalize(s state) state {
+	if s.kind != sRes {
+		return s
+	}
+	// Ways definitely-distinct same-set blocks came through the cache with
+	// no way freed in between: by the LRU stack argument they co-reside
+	// and are all younger than the focus, which therefore was evicted.
+	if fo.mustOK && !s.freed && s.dnames.Count() >= fo.cfg.Ways {
+		return ncState
+	}
+	hitDead := fo.count(s) > 0
+	if fo.mustOK {
+		hitDead = fo.count(s) >= fo.cfg.Ways
+	}
+	missDead := !fo.mustOK || s.freed
+	if hitDead && missDead {
+		return maybeState
+	}
+	return s
+}
+
+// caseFocus transfers an access that (on this branch) definitely touches
+// the focus block.
+func (fo *focus) caseFocus(rel accessRel, s state) []state {
+	// Result when the block is resident at the access: the reference hits,
+	// refreshes, and then dead-marking applies.
+	onHit := resFresh
+	switch {
+	case rel.killMem:
+		onHit = ncState
+	case rel.killRes:
+		onHit = maybeState // demoted: cached, but preferred victim
+	}
+	if rel.through {
+		// Hit or fill: resident (counters reset), then dead-marking.
+		return []state{onHit}
+	}
+	// Bypass: a hit refreshes (and possibly kills) the line; a miss reads
+	// memory and allocates nothing.
+	switch s.kind {
+	case sNC:
+		return []state{ncState}
+	case sRes:
+		if fo.residencyGuaranteed(s) {
+			return []state{onHit}
+		}
+		return []state{onHit, ncState}
+	default:
+		if onHit == maybeState {
+			return []state{maybeState}
+		}
+		// Note bypass+Last under invalidating dead-marking: resident or
+		// not, the block is definitely uncached afterwards.
+		return []state{onHit, ncState}
+	}
+}
+
+// caseOther transfers an access that (on this branch) touches some block
+// other than the focus but may map to its set.
+func (fo *focus) caseOther(rel accessRel, s state) []state {
+	if s.kind != sRes {
+		if s.kind == sNC && rel.through && !fo.lineExact {
+			// A wider line fetched for a neighbor may carry the focus.
+			return []state{maybeState}
+		}
+		return []state{s}
+	}
+	if rel.through && !fo.lineExact {
+		return []state{maybeState}
+	}
+	ns := s
+	// LRU order is disturbed by any reference that may touch the set (a
+	// bypass hit refreshes the line's recency); FIFO/Random/MIN order only
+	// changes on fills, so bypass references cannot age the focus there.
+	if rel.through || fo.mustOK {
+		if rel.nameBit >= 0 {
+			ns.names = ns.names.With(rel.nameBit)
+			if fo.mustOK && rel.through && !rel.killRes && rel.mustConf {
+				ns.dnames = ns.dnames.With(rel.nameBit)
+			}
+		} else if ns.anon < 255 {
+			ns.anon++
+		}
+	}
+	if rel.killRes {
+		ns.freed = true
+	}
+	return []state{fo.normalize(ns)}
+}
+
+// transferAccess maps one input state through a reference site.
+func (fo *focus) transferAccess(rel accessRel, s state) []state {
+	if !rel.mayFocus {
+		if !rel.conflict {
+			return []state{s}
+		}
+		return fo.caseOther(rel, s)
+	}
+	if rel.defFocus {
+		return fo.caseFocus(rel, s)
+	}
+	// May or may not be the focus: both branches are reachable.
+	return append(fo.caseFocus(rel, s), fo.caseOther(rel, s)...)
+}
+
+// callState models an OpCall: callee references may fill, refresh and kill
+// arbitrarily. Only a definitely-uncached compiler-private block is safe —
+// with one-word lines no callee can fetch or name it.
+func (fo *focus) callState(s state) []state {
+	if s.kind == sNC && fo.lineExact && !fo.k.Uncertain && fo.k.Key.Private() {
+		return []state{s}
+	}
+	return []state{maybeState}
+}
+
+// argState models an OpArg: staging an argument beyond the register window
+// stores through the cache into the outgoing-args frame area — a word that
+// is definitely not the focus block (the area is never address-taken and
+// distinct from every named frame offset) but may conflict with it.
+func (fo *focus) argState(s state) []state {
+	switch {
+	case s.kind == sRes && fo.lineExact:
+		ns := s
+		if ns.anon < 255 {
+			ns.anon++
+		}
+		return []state{fo.normalize(ns)}
+	case s.kind != sMaybe && !fo.lineExact:
+		return []state{maybeState}
+	}
+	return []state{s}
+}
+
+func (fo *focus) transferInstr(in *ir.Instr, ss stateSet) stateSet {
+	var mapped func(state) []state
+	switch {
+	case in.Op == ir.OpCall:
+		mapped = fo.callState
+	case in.Op == ir.OpArg:
+		mapped = fo.argState
+	default:
+		if rel, ok := fo.rels[in]; ok {
+			mapped = func(s state) []state { return fo.transferAccess(rel, s) }
+		}
+	}
+	out := ss
+	if mapped != nil {
+		out = make(stateSet, len(ss))
+		for s := range ss {
+			for _, ns := range mapped(s) {
+				out[ns] = struct{}{}
+			}
+		}
+		out = reduce(out)
+	}
+	// Redefining the focus pseudo-register retires the block: the register
+	// now names some other line, about which nothing is known.
+	if fo.k.Key.Pseudo() && in.Def() == fo.k.Key.PseudoReg() {
+		return single(maybeState)
+	}
+	return out
+}
+
+// solve runs the fixed point and returns the verdict at every wanted site.
+func (fo *focus) solve(wanted map[*ir.Instr]bool) map[*ir.Instr]check.Verdict {
+	f := fo.f
+	in := make([]stateSet, len(f.Blocks))
+	rpo := cfg.ReversePostorder(f)
+	idx := cfg.RPOIndex(f)
+	entry := f.Entry().ID
+	if fo.cold {
+		in[entry] = single(ncState)
+	} else {
+		in[entry] = single(maybeState)
+	}
+
+	// Worklist sweep in reverse postorder; guard against pathological
+	// non-convergence by degrading to top.
+	const maxPasses = 1 << 12
+	for pass, changed := 0, true; changed; pass++ {
+		changed = false
+		for _, b := range rpo {
+			ss := in[b.ID]
+			if ss == nil {
+				continue
+			}
+			cur := cloneSet(ss)
+			for i := range b.Instrs {
+				cur = fo.transferInstr(&b.Instrs[i], cur)
+			}
+			for _, succ := range b.Succs {
+				merged := cloneSet(cur)
+				if prev := in[succ.ID]; prev != nil {
+					for s := range prev {
+						merged[s] = struct{}{}
+					}
+				}
+				merged = reduce(merged)
+				// Back edges (non-increasing RPO index) are where loop
+				// states accumulate; widen there with a tighter cap so
+				// deep loops converge in few passes.
+				if idx[succ.ID] >= 0 && idx[succ.ID] <= idx[b.ID] && len(merged) > maxStates/2 {
+					merged = single(maybeState)
+				}
+				if in[succ.ID] == nil || !setsEqual(merged, in[succ.ID]) {
+					in[succ.ID] = merged
+					changed = true
+				}
+			}
+		}
+		if pass > maxPasses {
+			for i := range in {
+				if in[i] != nil {
+					in[i] = single(maybeState)
+				}
+			}
+			break
+		}
+	}
+
+	// Replay once from the stable in-states, sampling the wanted sites.
+	out := make(map[*ir.Instr]check.Verdict, len(wanted))
+	for _, b := range f.Blocks {
+		ss := in[b.ID]
+		if ss == nil {
+			continue
+		}
+		cur := cloneSet(ss)
+		for i := range b.Instrs {
+			instr := &b.Instrs[i]
+			if wanted[instr] {
+				out[instr] = fo.verdictOf(cur)
+			}
+			cur = fo.transferInstr(instr, cur)
+		}
+	}
+	return out
+}
+
+// verdictOf classifies the focus block's own access given its reachable
+// pre-states: every state must agree for a definite verdict.
+func (fo *focus) verdictOf(ss stateSet) check.Verdict {
+	if len(ss) == 0 {
+		return check.Unknown
+	}
+	hit, miss := true, true
+	for s := range ss {
+		switch {
+		case s.kind == sNC:
+			hit = false
+		case fo.residencyGuaranteed(s):
+			miss = false
+		default:
+			return check.Unknown
+		}
+	}
+	switch {
+	case hit:
+		return check.AlwaysHit
+	case miss:
+		return check.AlwaysMiss
+	}
+	return check.Unknown
+}
+
+// Summary renders one line of combined counts.
+func (r *Report) Summary() string {
+	return fmt.Sprintf("%d sites: %d bypass, %d decided by must/may (%d hit, %d miss), %d by exact (%d hit, %d miss), %d irreducible",
+		r.Total, r.Bypassed,
+		r.PreHit+r.PreMiss, r.PreHit, r.PreMiss,
+		r.ExactHit+r.ExactMiss, r.ExactHit, r.ExactMiss,
+		r.Irreducible)
+}

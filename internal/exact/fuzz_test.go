@@ -1,0 +1,72 @@
+package exact_test
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/mcgen"
+)
+
+// FuzzExact cross-checks the exact classifier against concrete execution:
+// every generated program is classified and then replayed on the
+// production VM, and any always-hit site that misses (or always-miss site
+// that hits) fails the target. Programs come from mcgen, which generates
+// deterministic, terminating, UB-free MC sources, so a failure is always
+// an analysis soundness bug, never a bad program.
+func FuzzExact(f *testing.F) {
+	for seed := int64(0); seed < 8; seed++ {
+		f.Add(seed)
+	}
+	geoms := []cache.Config{
+		{Sets: 32, Ways: 2, LineWords: 1, Policy: cache.LRU},
+		{Sets: 8, Ways: 1, LineWords: 1, Policy: cache.LRU},
+		{Sets: 4, Ways: 2, LineWords: 1, Policy: cache.FIFO},
+		{Sets: 8, Ways: 2, LineWords: 1, Policy: cache.Random},
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		src := mcgen.Program(seed)
+		g := geoms[uint64(seed)%uint64(len(geoms))]
+		for _, mode := range []core.Mode{core.Unified, core.Conventional} {
+			ccfg := g
+			ccfg.Seed = 1
+			if mode == core.Unified {
+				ccfg.Dead, ccfg.HonorBypass = cache.DeadInvalidate, true
+			}
+			for _, stack := range []bool{true, false} {
+				res, err := exact.Oracle(src, core.Config{Mode: mode, StackScalars: stack, Check: true}, ccfg, 2_000_000)
+				if err != nil {
+					// Budget or resource exhaustion is an ordinary outcome
+					// for a generated program; only unsoundness fails.
+					continue
+				}
+				if verr := res.Err(); verr != nil {
+					t.Errorf("seed %d %s/%s stack=%v:\n%v\nsource:\n%s", seed, mode, ccfg.Policy, stack, verr, src)
+				}
+			}
+		}
+	})
+}
+
+// Regression seeds: programs the fuzzer (or development) found interesting
+// enough to pin — they exercise kills, bypass, and spill traffic through
+// the classifier on every test run, not only under -fuzz.
+func TestExactOracleGeneratedPrograms(t *testing.T) {
+	for seed := int64(0); seed < 24; seed++ {
+		src := mcgen.Program(seed)
+		for _, mode := range []core.Mode{core.Unified, core.Conventional} {
+			ccfg := cache.DefaultConfig()
+			if mode == core.Conventional {
+				ccfg = cache.ConventionalConfig()
+			}
+			res, err := exact.Oracle(src, core.Config{Mode: mode, StackScalars: true, Check: true}, ccfg, 2_000_000)
+			if err != nil {
+				continue
+			}
+			if verr := res.Err(); verr != nil {
+				t.Errorf("seed %d %s:\n%v\nsource:\n%s", seed, mode, verr, src)
+			}
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package exact
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cache"
+	"repro/internal/check"
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/vm"
+)
+
+// OracleViolation is one dynamic reference contradicting a static verdict —
+// by construction a soundness bug in check or exact, never in the program.
+type OracleViolation struct {
+	RefIndex int64  // position in the checked dynamic reference stream
+	PC       int    // machine program counter of the reference
+	Site     string // static site: function, block, index, abstract block
+	Msg      string // what went wrong
+}
+
+func (v OracleViolation) String() string {
+	return fmt.Sprintf("ref %d (pc %d) at %s: %s", v.RefIndex, v.PC, v.Site, v.Msg)
+}
+
+// OracleResult is the outcome of replaying one program's execution against
+// its static classification.
+type OracleResult struct {
+	Report *Report // the static classification that was checked
+	Output string  // program output (callers may compare to an expectation)
+
+	Refs            int64 // dynamic references at classified sites
+	Unmatched       int64 // machine-invented traffic without a site (frames, args)
+	BypassConfirmed int64 // references at bypassed sites that did bypass
+	HitsConfirmed   int64 // references at always-hit sites that did hit
+	MissesConfirmed int64 // references at always-miss sites that did miss
+
+	ViolationCount int64
+	Violations     []OracleViolation // first few, for the report
+}
+
+// maxOracleViolations bounds the retained details; the count is exact.
+const maxOracleViolations = 16
+
+// Err returns a non-nil error when any verdict was contradicted.
+func (r *OracleResult) Err() error {
+	if r.ViolationCount == 0 {
+		return nil
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "exact oracle: %d violation(s) in %d checked refs", r.ViolationCount, r.Refs)
+	for _, v := range r.Violations {
+		sb.WriteString("\n  ")
+		sb.WriteString(v.String())
+	}
+	if int64(len(r.Violations)) < r.ViolationCount {
+		fmt.Fprintf(&sb, "\n  ... and %d more", r.ViolationCount-int64(len(r.Violations)))
+	}
+	return fmt.Errorf("%s", sb.String())
+}
+
+// Summary renders one line of confirmation counts.
+func (r *OracleResult) Summary() string {
+	status := "ok"
+	if r.ViolationCount > 0 {
+		status = fmt.Sprintf("%d VIOLATIONS", r.ViolationCount)
+	}
+	return fmt.Sprintf("%d refs checked (%d hit-confirmed, %d miss-confirmed, %d bypass, %d unclassified traffic): %s",
+		r.Refs, r.HitsConfirmed, r.MissesConfirmed, r.BypassConfirmed, r.Unmatched, status)
+}
+
+// Oracle compiles src under ccore, classifies every reference site under
+// ccfg (prefilter + exact refinement), executes the program on the
+// production VM, and asserts that no always-hit site ever misses, no
+// always-miss site ever hits, and bypassed sites (and only they) bypass.
+// Machine-invented traffic — prologue/epilogue saves, argument staging —
+// carries no site and is counted but not judged.
+func Oracle(src string, ccore core.Config, ccfg cache.Config, maxSteps int64) (*OracleResult, error) {
+	comp, err := core.Compile(src, ccore)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := Analyze(comp.Prog, ccfg, check.Options{Unified: ccore.Mode == core.Unified, MaxSteps: maxSteps})
+	if err != nil {
+		return nil, err
+	}
+	prog, sites, err := codegen.GenerateWithSites(comp)
+	if err != nil {
+		return nil, err
+	}
+
+	// Static positions for violation messages.
+	pos := make(map[*ir.MemRef]string)
+	for _, f := range comp.Prog.Funcs {
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				if in := &b.Instrs[i]; in.Ref != nil {
+					pos[in.Ref] = fmt.Sprintf("%s b%d i%d (%s)", f.Name, b.ID, i, in)
+				}
+			}
+		}
+	}
+
+	o := &OracleResult{Report: rep}
+	violate := func(ref *ir.MemRef, ev vm.RefEvent, msg string) {
+		o.ViolationCount++
+		if len(o.Violations) < maxOracleViolations {
+			o.Violations = append(o.Violations, OracleViolation{
+				RefIndex: o.Refs, PC: ev.PC, Site: pos[ref], Msg: msg,
+			})
+		}
+	}
+	onRef := func(ev vm.RefEvent) {
+		ref, ok := sites[ev.PC]
+		if !ok {
+			o.Unmatched++
+			return
+		}
+		v, classified := rep.Verdicts[ref]
+		if !classified {
+			// A site the analysis deemed unreachable just executed.
+			violate(ref, ev, "site executed but was not classified (analysis thought it unreachable)")
+			return
+		}
+		o.Refs++
+		if (v == check.Bypassed) != ev.Bypassed {
+			violate(ref, ev, fmt.Sprintf("static %s but dynamic bypass=%v", v, ev.Bypassed))
+			return
+		}
+		switch v {
+		case check.Bypassed:
+			o.BypassConfirmed++
+		case check.AlwaysHit:
+			if !ev.Hit {
+				violate(ref, ev, "always-hit site missed")
+			} else {
+				o.HitsConfirmed++
+			}
+		case check.AlwaysMiss:
+			if ev.Hit {
+				violate(ref, ev, "always-miss site hit")
+			} else {
+				o.MissesConfirmed++
+			}
+		}
+	}
+
+	res, err := vm.Run(prog, vm.Config{Cache: ccfg, MaxSteps: maxSteps, OnRef: onRef})
+	if err != nil {
+		return nil, err
+	}
+	o.Output = res.Output
+	return o, nil
+}

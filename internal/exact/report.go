@@ -1,0 +1,125 @@
+package exact
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// JSONSchema identifies the exact-report artifact format.
+const JSONSchema = "unicache-exact/v1"
+
+// jsonReport is the machine-readable rendering of a Report.
+type jsonReport struct {
+	Schema  string     `json:"schema"`
+	Config  jsonConfig `json:"config"`
+	Summary struct {
+		Sites       int `json:"sites"`
+		Bypass      int `json:"bypass"`
+		PreHit      int `json:"pre_hit"`
+		PreMiss     int `json:"pre_miss"`
+		ExactHit    int `json:"exact_hit"`
+		ExactMiss   int `json:"exact_miss"`
+		Irreducible int `json:"irreducible"`
+	} `json:"summary"`
+	Sites []jsonSite `json:"sites"`
+}
+
+type jsonConfig struct {
+	Sets        int    `json:"sets"`
+	Ways        int    `json:"ways"`
+	LineWords   int    `json:"line_words"`
+	Policy      string `json:"policy"`
+	Dead        string `json:"dead"`
+	HonorBypass bool   `json:"honor_bypass"`
+}
+
+type jsonSite struct {
+	Func    string `json:"func"`
+	Block   int    `json:"block"`
+	Index   int    `json:"index"`
+	Key     string `json:"key"`
+	Text    string `json:"text"`
+	Verdict string `json:"verdict"`
+	By      string `json:"by"`
+}
+
+// WriteJSON emits the per-site report and precision summary as one JSON
+// document. The encoding is deterministic: sites are in program order and
+// no maps are marshaled.
+func (r *Report) WriteJSON(w io.Writer) error {
+	doc := jsonReport{
+		Schema: JSONSchema,
+		Config: jsonConfig{
+			Sets:        r.Config.Sets,
+			Ways:        r.Config.Ways,
+			LineWords:   r.Config.LineWords,
+			Policy:      r.Config.Policy.String(),
+			Dead:        r.Config.Dead.String(),
+			HonorBypass: r.Config.HonorBypass,
+		},
+	}
+	doc.Summary.Sites = r.Total
+	doc.Summary.Bypass = r.Bypassed
+	doc.Summary.PreHit = r.PreHit
+	doc.Summary.PreMiss = r.PreMiss
+	doc.Summary.ExactHit = r.ExactHit
+	doc.Summary.ExactMiss = r.ExactMiss
+	doc.Summary.Irreducible = r.Irreducible
+	for _, s := range r.Sites {
+		doc.Sites = append(doc.Sites, jsonSite{
+			Func:    s.Func,
+			Block:   s.Block,
+			Index:   s.Index,
+			Key:     s.Key,
+			Text:    s.Text,
+			Verdict: s.Verdict.String(),
+			By:      s.By.String(),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}
+
+// Classified is the number of sites the refinement is responsible for:
+// everything except bypassed sites.
+func (r *Report) Classified() int { return r.Total - r.Bypassed }
+
+// Precision returns the percentage of classified sites decided by the
+// must/may prefilter, by the exact refinement, and left irreducibly
+// unknown. The three sum to 100 (up to rounding) when any site exists.
+func (r *Report) Precision() (mustMay, exactPct, irreducible float64) {
+	n := r.Classified()
+	if n == 0 {
+		return 0, 0, 0
+	}
+	pct := func(c int) float64 { return 100 * float64(c) / float64(n) }
+	return pct(r.PreHit + r.PreMiss), pct(r.ExactHit + r.ExactMiss), pct(r.Irreducible)
+}
+
+// Render writes the human-readable refinement report: the summary line
+// followed by every site the exact pass decided or left irreducible
+// (prefilter-decided sites appear in the prefilter's own report).
+func (r *Report) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "exact refinement (%d sets x %d ways, line %d, %s): %s\n",
+		r.Config.Sets, r.Config.Ways, r.Config.LineWords, r.Config.Policy, r.Summary())
+	lastFunc := ""
+	for _, s := range r.Sites {
+		if s.By != ByExact && s.By != ByIrreducible {
+			continue
+		}
+		if s.Func != lastFunc {
+			fmt.Fprintf(&sb, "func %s:\n", s.Func)
+			lastFunc = s.Func
+		}
+		verdict := s.Verdict.String()
+		if s.By == ByIrreducible {
+			verdict = "unknown*" // irreducible: real uncertainty, not slack
+		}
+		fmt.Fprintf(&sb, "  b%d i%d %-11s %s (%s)\n", s.Block, s.Index, verdict, s.Text, s.Key)
+	}
+	return sb.String()
+}

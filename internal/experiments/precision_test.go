@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/sweep"
+)
+
+// The acceptance bar for the exact refinement: it must strictly reduce
+// the number of unknown sites relative to the must/may prefilter. The
+// guaranteed territory is the FIFO geometry — there the must half is off
+// entirely, so every always-hit in the table belongs to the exact pass.
+func TestPrecisionRefinesUnknowns(t *testing.T) {
+	recs, err := RecordsPrecision()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("no precision records")
+	}
+	fifoWins := map[string]bool{}
+	for _, r := range recs {
+		if r.PreHit+r.PreMiss+r.ExactHit+r.ExactMiss+r.Irreducible+r.StaticBypass != r.StaticSites {
+			t.Errorf("%s: classification buckets do not sum to %d sites", r.Key, r.StaticSites)
+		}
+		if r.Policy == cache.FIFO.String() {
+			if r.PreHit != 0 {
+				t.Errorf("%s: prefilter claims %d always-hits under FIFO", r.Key, r.PreHit)
+			}
+			if r.Mode == sweep.ModeConventional && r.ExactHit+r.ExactMiss > 0 {
+				fifoWins[r.Bench] = true
+			}
+		}
+	}
+	for _, name := range []string{"bubble", "intmm", "puzzle", "queen", "sieve", "towers"} {
+		if !fifoWins[name] {
+			t.Errorf("%s: exact refinement resolved no unknowns under FIFO", name)
+		}
+	}
+}
+
+// The table must render deterministically (it is diffed against a golden
+// file in CI) and group rows under one header per geometry.
+func TestPrecisionTableDeterministic(t *testing.T) {
+	a, err := Precision()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Precision()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("precision table is not deterministic")
+	}
+	if got := strings.Count(a.String(), "cache "); got != len(precisionGeometries()) {
+		t.Errorf("table has %d geometry groups, want %d", got, len(precisionGeometries()))
+	}
+}

@@ -53,11 +53,17 @@ func (r Record) MarshalLine() ([]byte, error) {
 
 // ReadRecords leniently salvages records from a sweep artifact that may be
 // truncated or half-written: every line holding one complete record is
-// kept (keyed for resume), everything else — headers, a cut-off final
-// line — is skipped. A file with no salvageable records yields an empty
-// map, which simply resumes nothing.
-func ReadRecords(r io.Reader) (map[string]Record, error) {
+// kept (keyed for resume), and headers or a cut-off final line are
+// skipped. A line can be valid JSON yet still be damaged — a record cut
+// mid-field parses but carries a key its remaining fields do not derive.
+// Resuming such a record would silently trust half a measurement, so every
+// salvaged record's key is re-derived and mismatches are dropped; the
+// returned count tells the caller how many, for a visible warning. A file
+// with no salvageable records yields an empty map, which simply resumes
+// nothing.
+func ReadRecords(r io.Reader) (map[string]Record, int, error) {
 	out := make(map[string]Record)
+	dropped := 0
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
 	for sc.Scan() {
@@ -69,11 +75,15 @@ func ReadRecords(r io.Reader) (map[string]Record, error) {
 		if err := json.Unmarshal([]byte(line), &rec); err != nil {
 			continue // truncated tail
 		}
-		if rec.Key != "" {
-			out[rec.Key] = rec
+		want := rec
+		want.SetKey()
+		if rec.Key == "" || rec.Key != want.Key {
+			dropped++
+			continue
 		}
+		out[rec.Key] = rec
 	}
-	return out, sc.Err()
+	return out, dropped, sc.Err()
 }
 
 // Verify strictly parses a complete sweep artifact: schema and unit count

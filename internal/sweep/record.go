@@ -50,6 +50,16 @@ type Record struct {
 	StaticBypassPct float64 `json:"static_bypass_pct,omitempty"`
 	SpilledWebs     int     `json:"spilled_webs,omitempty"`
 
+	// Exact hit/miss classification of the compilation's reference sites
+	// (the precision experiment; zero elsewhere). PreHit/PreMiss count
+	// sites the must/may prefilter decided, ExactHit/ExactMiss sites only
+	// the exact refinement could decide, Irreducible sites neither could.
+	PreHit      int `json:"pre_hit,omitempty"`
+	PreMiss     int `json:"pre_miss,omitempty"`
+	ExactHit    int `json:"exact_hit,omitempty"`
+	ExactMiss   int `json:"exact_miss,omitempty"`
+	Irreducible int `json:"irreducible,omitempty"`
+
 	// Dynamic counters. Instructions is zero for trace replays (the
 	// address stream was recorded by an earlier execution).
 	Instructions   int64 `json:"instructions,omitempty"`

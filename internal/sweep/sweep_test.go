@@ -138,7 +138,7 @@ func TestResumeFromTruncatedFile(t *testing.T) {
 
 	// Truncate at 60% — inside the record stream, mid-line.
 	cut := art[:len(art)*6/10]
-	done, err := ReadRecords(bytes.NewReader(cut))
+	done, _, err := ReadRecords(bytes.NewReader(cut))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,6 +152,51 @@ func TestResumeFromTruncatedFile(t *testing.T) {
 	}
 	if got := encode(t, resumed); !bytes.Equal(got, art) {
 		t.Error("resumed artifact differs from the full run")
+	}
+}
+
+// TestSalvageDropsDamagedKeyLines feeds ReadRecords a line that is valid
+// JSON but whose key no longer derives from its fields — the shape a
+// record cut mid-field (or bit-flipped) can take while still parsing.
+// Lenient salvage must drop it, count it, and keep intact neighbors.
+func TestSalvageDropsDamagedKeyLines(t *testing.T) {
+	good := Record{Bench: "queen", Compiler: CompilerBaseline, Mode: ModeConventional,
+		Sets: 8, Ways: 1, LineWords: 1, Policy: "lru", Dead: "off"}
+	good.SetKey()
+	goodLine, err := good.MarshalLine()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same key, different fields: the key does not re-derive.
+	damaged := good
+	damaged.Sets = 32
+	damagedLine, err := damaged.MarshalLine()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A record whose key field survived as the empty string.
+	empty := good
+	empty.Key = ""
+	emptyLine, err := empty.MarshalLine()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	in := string(goodLine) + ",\n" + string(damagedLine) + ",\n" + string(emptyLine) + "\n"
+	recs, dropped, err := ReadRecords(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 2 {
+		t.Errorf("dropped = %d, want 2 (mismatched key + empty key)", dropped)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("salvaged %d records, want 1", len(recs))
+	}
+	if rec, ok := recs[good.Key]; !ok || rec.Sets != 8 {
+		t.Errorf("intact record not salvaged: %+v", recs)
 	}
 }
 

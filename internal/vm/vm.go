@@ -30,6 +30,22 @@ type Config struct {
 	// class — always through the cache, §4.2). Statistics land in
 	// Result.ICacheStats.
 	ICache *cache.Config
+
+	// OnRef, when non-nil, observes every executed data reference with its
+	// dynamic bypass/hit outcome — the seam the static-vs-dynamic oracle
+	// (internal/exact) replays verdicts against. The hook sees references
+	// in execution order. Runs with a hook are never memoized by the
+	// artifact cache.
+	OnRef func(RefEvent)
+}
+
+// RefEvent is one executed data reference, as observed by Config.OnRef.
+type RefEvent struct {
+	PC       int   // program counter of the LW/SW
+	Store    bool  // true for SW
+	Addr     int64 // effective word address
+	Bypassed bool  // the reference skipped the cache (UmAm, bypass honored)
+	Hit      bool  // through-cache reference that hit (false for bypassed refs)
 }
 
 // Normalized returns the configuration with the defaults Run applies
@@ -214,11 +230,21 @@ func Run(p *isa.Program, cfg Config) (*Result, error) {
 			if addr < 0 || addr >= int64(cfg.MemWords) {
 				return nil, fmt.Errorf("vm: load address %d out of range at pc %d (%s)", addr, pc, in)
 			}
+			var before cache.Stats
+			if cfg.OnRef != nil {
+				before = mem.Stats()
+			}
 			regs[in.Rd] = mem.Load(addr, in.Bypass, in.Last)
 			if err := mem.FaultErr(); err != nil {
 				return nil, fmt.Errorf("vm: at %s: %w", site(pc, p.FuncAt(pc)), err)
 			}
 			res.Loads++
+			if cfg.OnRef != nil {
+				after := mem.Stats()
+				cfg.OnRef(RefEvent{PC: pc, Addr: addr,
+					Bypassed: after.CachedRefs == before.CachedRefs,
+					Hit:      after.Hits > before.Hits})
+			}
 			if cfg.RecordTrace {
 				res.Trace = append(res.Trace, trace.Rec{Addr: addr, Kind: trace.Load,
 					Bypass: in.Bypass, Last: in.Last})
@@ -228,11 +254,21 @@ func Run(p *isa.Program, cfg Config) (*Result, error) {
 			if addr < 0 || addr >= int64(cfg.MemWords) {
 				return nil, fmt.Errorf("vm: store address %d out of range at pc %d (%s)", addr, pc, in)
 			}
+			var before cache.Stats
+			if cfg.OnRef != nil {
+				before = mem.Stats()
+			}
 			mem.Store(addr, regs[in.Rt], in.Bypass, in.Last)
 			if err := mem.FaultErr(); err != nil {
 				return nil, fmt.Errorf("vm: at %s: %w", site(pc, p.FuncAt(pc)), err)
 			}
 			res.Stores++
+			if cfg.OnRef != nil {
+				after := mem.Stats()
+				cfg.OnRef(RefEvent{PC: pc, Store: true, Addr: addr,
+					Bypassed: after.CachedRefs == before.CachedRefs,
+					Hit:      after.Hits > before.Hits})
+			}
 			if cfg.RecordTrace {
 				res.Trace = append(res.Trace, trace.Rec{Addr: addr, Kind: trace.Store,
 					Bypass: in.Bypass, Last: in.Last})

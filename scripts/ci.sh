@@ -31,6 +31,19 @@ echo "== fuzz smoke (10s per target) =="
 go test -run 'xxx^' -fuzz 'FuzzCompile$' -fuzztime 10s .
 go test -run 'xxx^' -fuzz 'FuzzAsmRoundTrip$' -fuzztime 10s ./internal/isa
 go test -run 'xxx^' -fuzz 'FuzzCacheModel$' -fuzztime 10s ./internal/cache
+go test -run 'xxx^' -fuzz 'FuzzExact$' -fuzztime 10s ./internal/exact
+
+echo "== exact-smoke (refinement + static-vs-dynamic oracle) =="
+# The refinement must run clean over the examples and the benchmark
+# suite, the precision table must stay byte-identical to the checked-in
+# golden, and the oracle must confirm every verdict on the two smallest
+# benchmarks by replaying them on the production VM.
+go run ./cmd/unicheck -exact examples/mc/*.mc
+go run ./cmd/unicheck -exact
+go run ./cmd/unibench -experiment precision > /tmp/precision-ci.txt
+diff -u BENCH_precision.txt /tmp/precision-ci.txt
+rm -f /tmp/precision-ci.txt
+go run ./cmd/unicheck -oracle -bench queen,sieve
 
 echo "== fault campaigns (bubble, sieve) =="
 go run ./cmd/unibench -experiment resilience -bench bubble,sieve

@@ -1,0 +1,117 @@
+// Command unidiff is the differential conformance front end: it generates
+// seeded random MC programs (internal/progen), establishes their
+// ground-truth behavior with the naive reference interpreter
+// (internal/refint), and compares every compile configuration × cache
+// geometry against it (internal/difftest). Any divergence is minimized to
+// a small reproducer and written to the corpus directory.
+//
+// Usage:
+//
+//	unidiff [flags] [file.mc ...]
+//
+// With no files, -n seeded programs starting at -seed are generated and
+// checked; with files, each is differential-tested as-is (regression
+// mode). The exit status is 1 if any mismatch was found.
+//
+//	-seed N      first generator seed (default 1)
+//	-n N         number of generated programs (default 200)
+//	-out DIR     write full and minimized reproducers to DIR
+//	-refsteps N  reference interpreter budget (default 2000000)
+//	-vmsteps N   per-run VM budget (default 50000000)
+//	-q           suppress the progress line
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cli"
+	"repro/internal/difftest"
+)
+
+const tool = "unidiff"
+
+func main() {
+	defer cli.Trap(tool)
+	seed := flag.Int64("seed", 1, "first generator seed")
+	n := flag.Int("n", 200, "number of generated programs")
+	out := flag.String("out", "", "corpus directory for reproducers")
+	refSteps := flag.Int64("refsteps", 0, "reference interpreter step budget; 0 means the default")
+	vmSteps := flag.Int64("vmsteps", 0, "VM step budget per run; 0 means the default")
+	quiet := flag.Bool("q", false, "suppress progress output")
+	flag.Usage = func() {
+		cli.Usage(tool+" [flags] [file.mc ...]", flag.PrintDefaults)
+	}
+	flag.Parse()
+
+	if flag.NArg() > 0 {
+		checkFiles(flag.Args(), *refSteps, *vmSteps)
+		return
+	}
+
+	opts := difftest.Options{
+		Seed:      *seed,
+		N:         *n,
+		RefSteps:  *refSteps,
+		VMSteps:   *vmSteps,
+		CorpusDir: *out,
+	}
+	if !*quiet {
+		opts.Progress = func(done, total, mismatches int) {
+			fmt.Fprintf(os.Stderr, "\runidiff: %d/%d programs, %d mismatches", done, total, mismatches)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	rep, err := difftest.Run(opts)
+	if err != nil {
+		cli.Fatal(tool, "harness", err)
+	}
+	fmt.Printf("programs %d  compared %d  runs %d  skipped %d (budget %d, trap %d, invalid %d)  mismatches %d\n",
+		rep.Programs, rep.Compared, rep.Runs,
+		rep.SkippedBudget+rep.SkippedTrap+rep.SkippedInvalid,
+		rep.SkippedBudget, rep.SkippedTrap, rep.SkippedInvalid, len(rep.Mismatches))
+	if rep.SkippedInvalid > 0 {
+		cli.Fatalf(tool, "generate", "%d generated programs were invalid — generator safety bug", rep.SkippedInvalid)
+	}
+	if len(rep.Mismatches) > 0 {
+		for _, mm := range rep.Mismatches {
+			fmt.Printf("MISMATCH seed=%d config=%s geometry=%s\n", mm.Seed, mm.Config, mm.Geometry)
+			if mm.Minimized != "" {
+				fmt.Printf("minimized reproducer (%d lines):\n%s\n", mm.MinLines, mm.Minimized)
+			}
+		}
+		cli.Fatalf(tool, "diff", "%d mismatches across %d runs", len(rep.Mismatches), rep.Runs)
+	}
+}
+
+// checkFiles differential-tests explicit source files (shrunk reproducers
+// checked in as regressions, or suspect programs under investigation).
+func checkFiles(paths []string, refSteps, vmSteps int64) {
+	bad := 0
+	for _, p := range paths {
+		src, err := os.ReadFile(p)
+		if err != nil {
+			cli.Fatal(tool, "read", err)
+		}
+		mms, err := difftest.CheckSource(string(src), difftest.Options{
+			RefSteps: refSteps, VMSteps: vmSteps})
+		if err != nil {
+			cli.Fatalf(tool, "check", "%s: %v", p, err)
+		}
+		if len(mms) > 0 {
+			bad++
+			for _, mm := range mms {
+				fmt.Printf("MISMATCH %s config=%s geometry=%s\nwant: %q\ngot:  %q\n",
+					p, mm.Config, mm.Geometry, mm.Want, mm.Got)
+			}
+		} else {
+			fmt.Printf("ok %s\n", p)
+		}
+	}
+	if bad > 0 {
+		cli.Fatalf(tool, "diff", "%d of %d files diverge", bad, len(paths))
+	}
+}

@@ -1,0 +1,96 @@
+//go:build ignore
+
+// gencorpus regenerates the checked-in seed corpora under testdata/fuzz/
+// from the typed program generator: MC sources for FuzzCompile, their
+// compiled assembly for FuzzAsmRoundTrip, and access-pattern bytes for
+// FuzzCacheModel. Run from the repo root:
+//
+//	go run gencorpus.go
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/progen"
+)
+
+func main() {
+	smallKnobs := progen.DefaultKnobs()
+	smallKnobs.Funcs = 2
+	smallKnobs.MaxStmts = 4
+	smallKnobs.MaxNest = 2
+
+	// MC sources: compact generated programs plus the reproducers the
+	// harness has actually minimized (see examples/difftest).
+	var sources []string
+	for seed := int64(1); seed <= 8; seed++ {
+		sources = append(sources, progen.Source(seed, smallKnobs))
+	}
+	repros, _ := filepath.Glob("examples/difftest/*.mc")
+	for _, p := range repros {
+		b, err := os.ReadFile(p)
+		check(err)
+		sources = append(sources, string(b))
+	}
+	for i, src := range sources {
+		writeCorpus(filepath.Join("testdata", "fuzz", "FuzzCompile"),
+			fmt.Sprintf("progen_%02d", i), "string("+strconv.Quote(src)+")")
+	}
+
+	// Assembly round-trip corpus: the same programs compiled under both
+	// management modes, so the fuzzer starts from realistic instruction
+	// mixes (bypass/last-tagged memory ops, calls, branches).
+	n := 0
+	for seed := int64(1); seed <= 4; seed++ {
+		src := progen.Source(seed, smallKnobs)
+		for _, cfg := range []core.Config{
+			{Mode: core.Unified, Optimize: true},
+			{Mode: core.Conventional},
+		} {
+			c, err := core.Compile(src, cfg)
+			check(err)
+			p, err := codegen.Generate(c)
+			check(err)
+			writeCorpus(filepath.Join("internal", "isa", "testdata", "fuzz", "FuzzAsmRoundTrip"),
+				fmt.Sprintf("progen_%02d", n), "string("+strconv.Quote(p.Save())+")")
+			n++
+		}
+	}
+
+	// Cache-model corpus: access patterns chosen to stress each geometry —
+	// a same-set conflict sweep, a tight reuse loop, a bypass-heavy burst,
+	// and address wraparound.
+	patterns := []struct {
+		ops []byte
+		cfg uint8
+	}{
+		{[]byte{0x00, 0x40, 0x80, 0xc0, 0x00, 0x40, 0x80, 0xc0}, 0},
+		{[]byte{0x10, 0x10, 0x11, 0x11, 0x10, 0x90, 0x10}, 1},
+		{[]byte{0xff, 0xbf, 0x7f, 0x3f, 0xff, 0xbf, 0x7f, 0x3f, 0x01}, 2},
+		{[]byte{0x00, 0xff, 0x00, 0xff, 0x80, 0x7f, 0x80, 0x7f}, 3},
+	}
+	for i, p := range patterns {
+		body := fmt.Sprintf("[]byte(%s)\nuint8(%d)", strconv.Quote(string(p.ops)), p.cfg)
+		writeCorpus(filepath.Join("internal", "cache", "testdata", "fuzz", "FuzzCacheModel"),
+			fmt.Sprintf("pattern_%02d", i), body)
+	}
+	fmt.Println("corpora regenerated")
+}
+
+func writeCorpus(dir, name, body string) {
+	check(os.MkdirAll(dir, 0o755))
+	check(os.WriteFile(filepath.Join(dir, name),
+		[]byte("go test fuzz v1\n"+body+"\n"), 0o644))
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gencorpus:", err)
+		os.Exit(1)
+	}
+}

@@ -654,6 +654,16 @@ func (a *Analysis) annotateRef(ref *ir.MemRef) {
 				ref.Ambiguous = true
 				return
 			}
+			// Empty points-to set: no address can flow to this pointer
+			// (typically a parameter of a never-called function), so the
+			// access cannot execute in a defined run. Keep it ambiguous —
+			// it still takes the cache path if it somehow runs — but mark
+			// it unreachable so soundness censuses don't treat it as a
+			// store that could clobber arbitrary address-taken objects.
+			ref.AliasSet = -1
+			ref.Ambiguous = true
+			ref.Unreachable = true
+			return
 		}
 		ref.AliasSet = -1
 		ref.Ambiguous = true

@@ -431,3 +431,63 @@ void main() {
 		t.Error("unknown-base deref must pessimize address-taken objects")
 	}
 }
+
+// TestEmptyPointsToMarkedUnreachable: a dereference through a pointer
+// with an empty points-to set (here, a parameter of a never-called
+// function) cannot execute in a defined run. It must stay ambiguous —
+// conservatively through-cache if it somehow runs — but be flagged
+// Unreachable so whole-program soundness censuses don't treat it as a
+// store that could clobber arbitrary address-taken objects. Surfaced by
+// the differential harness (seed 47): the static verifier rejected a
+// valid program because a dead function's pointer store vetoed
+// dead-marking in main.
+func TestEmptyPointsToMarkedUnreachable(t *testing.T) {
+	src := `
+int g;
+int *gp;
+void dead(int *p) { p[0] = 0; }
+void main() {
+    gp = &g;
+    *gp = 1;
+}`
+	f, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := sem.Check(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := irgen.Build(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Analyze(info)
+	a.Annotate(prog)
+
+	var sawDeadDeref, sawLiveDeref bool
+	for _, ref := range prog.Lookup("dead").Refs() {
+		if ref.Kind != ir.RefPointer {
+			continue
+		}
+		sawDeadDeref = true
+		if !ref.Unreachable {
+			t.Error("deref of empty-points-to parameter must be marked Unreachable")
+		}
+		if !ref.Ambiguous {
+			t.Error("unreachable deref must stay ambiguous (cache path) for runtime conservatism")
+		}
+	}
+	for _, ref := range prog.Lookup("main").Refs() {
+		if ref.Kind != ir.RefPointer {
+			continue
+		}
+		sawLiveDeref = true
+		if ref.Unreachable {
+			t.Error("deref of a pointer with real targets must not be Unreachable")
+		}
+	}
+	if !sawDeadDeref || !sawLiveDeref {
+		t.Fatalf("test program shape broken: dead deref seen=%v live deref seen=%v", sawDeadDeref, sawLiveDeref)
+	}
+}

@@ -234,7 +234,16 @@ func (p *printer) expr(e Expr, min int) {
 			p.buf.WriteByte('(')
 		}
 		p.buf.WriteString(e.Op.String())
-		p.expr(e.X, unaryPrec)
+		// A unary operand that is itself unary must be parenthesized so
+		// adjacent operators don't merge into one token: - -x would scan
+		// as --, & &x as &&.
+		if _, nested := e.X.(*Unary); nested {
+			p.buf.WriteByte('(')
+			p.expr(e.X, 0)
+			p.buf.WriteByte(')')
+		} else {
+			p.expr(e.X, unaryPrec)
+		}
 		if min > unaryPrec {
 			p.buf.WriteByte(')')
 		}

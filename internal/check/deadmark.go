@@ -48,6 +48,11 @@ func DeadMarking(p *ir.Program, opt Options) []Violation {
 					in.Ref.Kind == ir.RefSpill {
 					continue
 				}
+				// A store whose base pointer has an empty points-to set
+				// cannot execute in a defined run; it threatens nothing.
+				if in.Ref.Unreachable {
+					continue
+				}
 				where := fmt.Sprintf("%s b%d i%d", f.Name, b.ID, i)
 				if in.Ref.AliasSet >= 0 {
 					if _, ok := cachedStoreBySet[in.Ref.AliasSet]; !ok {

@@ -1,0 +1,432 @@
+// Package difftest is the end-to-end differential conformance harness.
+//
+// For each seeded random program from internal/progen it establishes the
+// ground-truth observable behavior with internal/refint (the naive
+// AST-level reference interpreter — no registers, no cache, no
+// optimizer), then compiles the program under every configuration the
+// repository supports (conventional vs unified management, optimization
+// levels, allocator strategies, stack-resident scalars) and executes each
+// compilation on the UM machine under several cache geometries
+// (LRU/FIFO/random, direct-mapped and set-associative, dead-marking
+// invalidate/demote/off, bypass honored or ignored). Every run must
+// produce output byte-identical to the reference: the paper's unified
+// strategy is only admissible if bypass, dead-marking, and liveness hints
+// are semantics-preserving, so *any* divergence — between modes, between
+// optimization levels, or between cache geometries — is a bug by
+// definition.
+//
+// The geometry sweep doubles as a metamorphic test: cache shape and hint
+// handling may change hit rates and traffic but never program output, so
+// the harness compares every (config, geometry) run against the same
+// reference bytes rather than pairwise.
+//
+// On mismatch the harness shrinks the program with delta debugging
+// (see shrink.go) to a minimal reproducer and, when a corpus directory is
+// configured, writes both the original and minimized sources there for
+// regression seeding.
+package difftest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/cache"
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/irinterp"
+	"repro/internal/isa"
+	"repro/internal/parser"
+	"repro/internal/progen"
+	"repro/internal/refint"
+	"repro/internal/regalloc"
+	"repro/internal/sem"
+	"repro/internal/vm"
+)
+
+// CompileConfig is one point in the compiler's option space.
+type CompileConfig struct {
+	Name string
+	Cfg  core.Config
+}
+
+// Geometry is one cache shape. Overlay mutates the mode's base cache
+// config (DefaultConfig for unified, ConventionalConfig for conventional,
+// mirroring the public API) so hint handling stays consistent with the
+// compiled code unless the geometry deliberately perturbs it.
+type Geometry struct {
+	Name    string
+	Overlay func(cache.Config) cache.Config
+}
+
+// Configs is the compile matrix every generated program goes through.
+// Check is enabled on one config per mode so the static verifier audits
+// the harness traffic without doubling the cost of every compile.
+func Configs() []CompileConfig {
+	return []CompileConfig{
+		{"uni-O0", core.Config{Mode: core.Unified}},
+		{"conv-O0", core.Config{Mode: core.Conventional}},
+		{"uni-opt", core.Config{Mode: core.Unified, Optimize: true}},
+		{"conv-opt", core.Config{Mode: core.Conventional, Optimize: true, Check: true}},
+		{"uni-full", core.Config{Mode: core.Unified, Optimize: true, Inline: true, PromoteGlobals: true, Check: true}},
+		{"conv-full", core.Config{Mode: core.Conventional, Optimize: true, Inline: true, PromoteGlobals: true}},
+		{"uni-stack", core.Config{Mode: core.Unified, StackScalars: true}},
+		{"uni-uc", core.Config{Mode: core.Unified, Strategy: regalloc.UsageCount, Optimize: true}},
+	}
+}
+
+// Geometries is the cache matrix. The last entry ignores the compiler's
+// bypass and dead-marking hints entirely — the strongest metamorphic
+// check: hints may only change performance, never output.
+func Geometries() []Geometry {
+	return []Geometry{
+		{"g-default", func(c cache.Config) cache.Config { return c }},
+		{"g-direct", func(c cache.Config) cache.Config { c.Sets, c.Ways = 8, 1; return c }},
+		{"g-fifo-wide", func(c cache.Config) cache.Config {
+			c.Sets, c.Ways, c.LineWords, c.Policy = 4, 4, 2, cache.FIFO
+			return c
+		}},
+		{"g-rand-demote", func(c cache.Config) cache.Config {
+			c.Sets, c.Ways, c.Policy, c.Seed, c.Dead = 16, 2, cache.Random, 7, cache.DeadDemote
+			return c
+		}},
+		{"g-no-hints", func(c cache.Config) cache.Config { c.HonorBypass, c.Dead = false, cache.DeadOff; return c }},
+	}
+}
+
+// Options configures a harness run.
+type Options struct {
+	Seed  int64        // first generator seed; program i uses Seed+i
+	N     int          // number of programs
+	Knobs progen.Knobs // generator shape (zero value: DefaultKnobs)
+
+	RefSteps int64 // reference interpreter budget (default 2M)
+	VMSteps  int64 // per-run VM budget (default 50M)
+	MemWords int   // VM/irinterp memory (default 1<<16)
+
+	CorpusDir string // when set, write mismatch reproducers here
+
+	// Mutate, when set, is applied to every generated machine program
+	// before execution. It exists so tests can plant a codegen fault and
+	// prove the harness plus shrinker catch it.
+	Mutate func(*isa.Program)
+
+	// Progress, when set, is called after each program with running
+	// totals.
+	Progress func(done, total, mismatches int)
+}
+
+func (o Options) withDefaults() Options {
+	if o.N == 0 {
+		o.N = 1
+	}
+	if o.Knobs == (progen.Knobs{}) {
+		o.Knobs = progen.DefaultKnobs()
+	}
+	if o.RefSteps == 0 {
+		o.RefSteps = 2_000_000
+	}
+	if o.VMSteps == 0 {
+		o.VMSteps = 50_000_000
+	}
+	if o.MemWords == 0 {
+		o.MemWords = 1 << 16
+	}
+	return o
+}
+
+// Mismatch is one confirmed divergence from the reference behavior.
+type Mismatch struct {
+	Seed      int64
+	Config    string // compile config name; "irinterp/<config>" for IR-level runs
+	Geometry  string // empty for IR-level runs
+	Want, Got string
+	Source    string // full generated program
+	Minimized string // shrunk reproducer ("" if shrinking failed)
+	MinLines  int    // non-blank source lines of Minimized
+}
+
+// Report summarizes a harness run.
+type Report struct {
+	Programs       int // generated
+	Compared       int // executed against the reference
+	SkippedBudget  int // reference ran out of steps
+	SkippedTrap    int // reference trapped (division by zero)
+	SkippedInvalid int // reference found the program invalid (generator bug)
+	Runs           int // individual compiled executions compared
+	Mismatches     []Mismatch
+}
+
+// Run generates o.N programs and differential-tests each one. The error
+// return covers harness-level failures (corpus dir unwritable); program
+// divergences are reported in Report.Mismatches, not as errors.
+func Run(o Options) (*Report, error) {
+	o = o.withDefaults()
+	rep := &Report{}
+	for i := 0; i < o.N; i++ {
+		seed := o.Seed + int64(i)
+		src := progen.Source(seed, o.Knobs)
+		rep.Programs++
+
+		ref, refErr := reference(src, o)
+		switch classify(refErr) {
+		case refOK:
+			// fall through to comparison
+		case refBudget:
+			rep.SkippedBudget++
+			continue
+		case refTrap:
+			rep.SkippedTrap++
+			continue
+		default:
+			rep.SkippedInvalid++
+			continue
+		}
+		rep.Compared++
+
+		mms, runs := compareAll(src, ref, o)
+		rep.Runs += runs
+		if len(mms) > 0 {
+			// One program can diverge under many (config, geometry)
+			// pairs at once; shrink it once and share the reproducer.
+			minSrc, minLines := shrinkMismatch(src, mms[0], o)
+			for _, mm := range mms {
+				mm.Seed = seed
+				mm.Source = src
+				mm.Minimized, mm.MinLines = minSrc, minLines
+				rep.Mismatches = append(rep.Mismatches, mm)
+			}
+			if o.CorpusDir != "" {
+				if err := writeCorpus(o.CorpusDir, Mismatch{
+					Seed: seed, Config: mms[0].Config, Geometry: mms[0].Geometry,
+					Source: src, Minimized: minSrc,
+				}); err != nil {
+					return rep, err
+				}
+			}
+		}
+		if o.Progress != nil {
+			o.Progress(i+1, o.N, len(rep.Mismatches))
+		}
+	}
+	return rep, nil
+}
+
+type refClass int
+
+const (
+	refOK refClass = iota
+	refBudget
+	refTrap
+	refInvalid
+)
+
+func classify(err error) refClass {
+	if err == nil {
+		return refOK
+	}
+	if re, ok := err.(*refint.Error); ok {
+		switch re.Kind {
+		case refint.ErrBudget, refint.ErrStackOverflow:
+			return refBudget
+		case refint.ErrDivZero:
+			return refTrap
+		}
+	}
+	return refInvalid
+}
+
+// reference computes the ground-truth output. A program must be
+// semantically valid to have one — the shrinker leans on this: candidate
+// reductions that break typing are rejected here, so only divergences on
+// well-formed programs count as "still failing".
+func reference(src string, o Options) (string, error) {
+	file, err := parser.Parse(src)
+	if err != nil {
+		return "", &refint.Error{Kind: refint.ErrBadProgram, Msg: err.Error()}
+	}
+	if _, err := sem.Check(file); err != nil {
+		return "", &refint.Error{Kind: refint.ErrBadProgram, Msg: err.Error()}
+	}
+	res, err := refint.Run(file, refint.Config{MaxSteps: o.RefSteps})
+	if err != nil {
+		return "", err
+	}
+	return res.Output, nil
+}
+
+// compareAll compiles src under every config, runs the IR interpreter
+// once per config and the VM once per (config, geometry), and returns
+// every divergence from want. The returned mismatches have only Config,
+// Geometry, Want, and Got populated.
+func compareAll(src, want string, o Options) (mms []Mismatch, runs int) {
+	for _, cc := range Configs() {
+		comp, err := core.Compile(src, cc.Cfg)
+		if err != nil {
+			mms = append(mms, Mismatch{Config: cc.Name, Want: want,
+				Got: fmt.Sprintf("<compile error: %v>", err)})
+			continue
+		}
+
+		// IR-level run: catches front-end and optimizer bugs without the
+		// allocator, codegen, or cache in the loop.
+		runs++
+		ir, err := irinterp.Run(comp.Prog, irinterp.Config{
+			MemWords: o.MemWords, MaxSteps: o.VMSteps})
+		if err != nil {
+			mms = append(mms, Mismatch{Config: "irinterp/" + cc.Name, Want: want,
+				Got: fmt.Sprintf("<irinterp error: %v>", err)})
+		} else if ir.Output != want {
+			mms = append(mms, Mismatch{Config: "irinterp/" + cc.Name, Want: want, Got: ir.Output})
+		}
+
+		prog, err := codegen.Generate(comp)
+		if err != nil {
+			mms = append(mms, Mismatch{Config: cc.Name, Want: want,
+				Got: fmt.Sprintf("<codegen error: %v>", err)})
+			continue
+		}
+		if o.Mutate != nil {
+			o.Mutate(prog)
+		}
+
+		base := cache.DefaultConfig()
+		if cc.Cfg.Mode == core.Conventional {
+			base = cache.ConventionalConfig()
+		}
+		for _, g := range Geometries() {
+			runs++
+			res, err := vm.Run(prog, vm.Config{
+				MemWords: o.MemWords, MaxSteps: o.VMSteps, Cache: g.Overlay(base)})
+			got := ""
+			if err != nil {
+				got = fmt.Sprintf("<vm error: %v>", err)
+			} else {
+				got = res.Output
+			}
+			if got != want {
+				mms = append(mms, Mismatch{Config: cc.Name, Geometry: g.Name, Want: want, Got: got})
+			}
+		}
+	}
+	return mms, runs
+}
+
+// CheckSource differential-tests a single program source and returns any
+// mismatches (without shrinking). It is the entry point for regression
+// programs checked into examples/ and for the fuzz target.
+func CheckSource(src string, o Options) ([]Mismatch, error) {
+	o = o.withDefaults()
+	want, err := reference(src, o)
+	if c := classify(err); c != refOK {
+		if c == refInvalid {
+			return nil, fmt.Errorf("difftest: reference rejects program: %w", err)
+		}
+		return nil, nil // budget or trap: nothing to compare
+	}
+	mms, _ := compareAll(src, want, o)
+	return mms, nil
+}
+
+// shrinkMismatch minimizes src against "still diverges on the same
+// (config, geometry) pair" — pinning the predicate to one pair keeps each
+// candidate evaluation to a single compile and run instead of the full
+// matrix.
+func shrinkMismatch(src string, first Mismatch, o Options) (string, int) {
+	min := Shrink(src, func(cand string) bool {
+		want, err := reference(cand, o)
+		if classify(err) != refOK {
+			return false
+		}
+		return divergesOn(cand, want, first.Config, first.Geometry, o)
+	})
+	return min, CountLines(min)
+}
+
+// divergesOn reruns a single (config, geometry) cell of the matrix.
+// Config names of the form "irinterp/<name>" denote the IR-level run.
+func divergesOn(src, want, config, geometry string, o Options) bool {
+	irLevel := strings.HasPrefix(config, "irinterp/")
+	name := strings.TrimPrefix(config, "irinterp/")
+	var cc *CompileConfig
+	for _, c := range Configs() {
+		if c.Name == name {
+			cc = &c
+			break
+		}
+	}
+	if cc == nil {
+		return false
+	}
+	comp, err := core.Compile(src, cc.Cfg)
+	if err != nil {
+		return true // valid program the compiler rejects: still a bug
+	}
+	if irLevel {
+		ir, err := irinterp.Run(comp.Prog, irinterp.Config{
+			MemWords: o.MemWords, MaxSteps: o.VMSteps})
+		return err != nil || ir.Output != want
+	}
+	prog, err := codegen.Generate(comp)
+	if err != nil {
+		return true
+	}
+	if o.Mutate != nil {
+		o.Mutate(prog)
+	}
+	base := cache.DefaultConfig()
+	if cc.Cfg.Mode == core.Conventional {
+		base = cache.ConventionalConfig()
+	}
+	gcfg := base
+	for _, g := range Geometries() {
+		if g.Name == geometry {
+			gcfg = g.Overlay(base)
+			break
+		}
+	}
+	res, err := vm.Run(prog, vm.Config{MemWords: o.MemWords, MaxSteps: o.VMSteps, Cache: gcfg})
+	return err != nil || res.Output != want
+}
+
+// CountLines counts non-blank source lines — the size metric the shrinker
+// minimizes and the acceptance criterion measures.
+func CountLines(src string) int {
+	n := 0
+	for _, ln := range strings.Split(src, "\n") {
+		if strings.TrimSpace(ln) != "" {
+			n++
+		}
+	}
+	return n
+}
+
+func writeCorpus(dir string, mm Mismatch) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	stem := fmt.Sprintf("seed%d_%s", mm.Seed, sanitize(mm.Config))
+	if mm.Geometry != "" {
+		stem += "_" + sanitize(mm.Geometry)
+	}
+	if err := os.WriteFile(filepath.Join(dir, stem+".mc"), []byte(mm.Source), 0o644); err != nil {
+		return err
+	}
+	if mm.Minimized != "" {
+		if err := os.WriteFile(filepath.Join(dir, stem+".min.mc"), []byte(mm.Minimized), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-':
+			return r
+		}
+		return '_'
+	}, s)
+}

@@ -1,0 +1,28 @@
+package difftest
+
+import "testing"
+
+// FuzzDiff hands the generator seed to the Go fuzzer: every mutated seed
+// produces a fresh well-formed MC program that is run through the whole
+// config × geometry matrix against the reference interpreter. The fuzzer
+// adds coverage-guided exploration of the generator's decision space on
+// top of the fixed seed windows the smoke tests sweep.
+func FuzzDiff(f *testing.F) {
+	for _, seed := range []int64{1, 47, 1000, 5000, 1 << 40, -3} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		rep, err := Run(Options{Seed: seed, N: 1})
+		if err != nil {
+			t.Fatalf("harness: %v", err)
+		}
+		if rep.SkippedInvalid != 0 {
+			t.Fatalf("seed %d: generated program is invalid — generator safety bug", seed)
+		}
+		if len(rep.Mismatches) != 0 {
+			mm := rep.Mismatches[0]
+			t.Fatalf("seed %d: config=%s geom=%s\nwant %q\ngot  %q\nminimized:\n%s",
+				seed, mm.Config, mm.Geometry, mm.Want, mm.Got, mm.Minimized)
+		}
+	})
+}

@@ -1,0 +1,477 @@
+// Delta-debugging shrinker for MC programs.
+//
+// Shrink minimizes a failing program while preserving "still fails" per a
+// caller-supplied predicate. It works structurally on the AST rather than
+// on text: candidate reductions are (1) dropping whole top-level
+// declarations, (2) ddmin over every statement list, recursing through
+// nested blocks, (3) replacing compound statements with their bodies or
+// dropping else arms, and (4) rewriting expressions to a subexpression or
+// a literal. Invalid candidates (parse or semantic errors, or programs
+// whose reference behavior is no longer defined) are simply rejected by
+// the predicate, so transformations don't need to preserve validity —
+// only the fixpoint does. Candidates are materialized through
+// ast.Print + reparse, which keeps every intermediate form a real
+// program: whatever comes out is source text a human can read and a
+// regression suite can check in.
+package difftest
+
+import (
+	"repro/internal/ast"
+	"repro/internal/parser"
+)
+
+// Shrink returns the smallest variant of src (by non-blank line count,
+// then byte length) it can find for which fails still returns true. The
+// input itself must fail; if it does not, src is returned unchanged.
+func Shrink(src string, fails func(string) bool) string {
+	if !fails(src) {
+		return src
+	}
+	cur := src
+	for {
+		next, improved := shrinkPass(cur, fails)
+		if !improved {
+			return cur
+		}
+		cur = next
+	}
+}
+
+// shrinkPass tries every reduction once and keeps the first improvement
+// of each kind; returns the improved program and whether anything stuck.
+func shrinkPass(src string, fails func(string) bool) (string, bool) {
+	improved := false
+	cur := src
+
+	// 1. Drop top-level declarations, largest first effect: functions the
+	// failure doesn't need disappear along with their call sites (calls
+	// to a dropped function make the candidate invalid and rejected).
+	cur, ch := dropTopDecls(cur, fails)
+	improved = improved || ch
+
+	// 2. ddmin every statement list.
+	cur, ch = reduceStmts(cur, fails)
+	improved = improved || ch
+
+	// 3. Structural statement rewrites.
+	cur, ch = rewriteStmts(cur, fails)
+	improved = improved || ch
+
+	// 4. Expression simplification.
+	cur, ch = reduceExprs(cur, fails)
+	improved = improved || ch
+
+	return cur, improved
+}
+
+// better reports whether candidate improves on current under the size
+// metric.
+func better(cand, cur string) bool {
+	cl, rl := CountLines(cand), CountLines(cur)
+	return cl < rl || (cl == rl && len(cand) < len(cur))
+}
+
+// reparse round-trips src through the parser, returning nil on error.
+func reparse(src string) *ast.File {
+	f, err := parser.Parse(src)
+	if err != nil {
+		return nil
+	}
+	return f
+}
+
+// tryFile prints f and accepts it if it still fails and is smaller.
+func tryFile(f *ast.File, cur string, fails func(string) bool) (string, bool) {
+	cand := ast.Print(f)
+	if cand != cur && better(cand, cur) && fails(cand) {
+		return cand, true
+	}
+	return cur, false
+}
+
+func dropTopDecls(src string, fails func(string) bool) (string, bool) {
+	improved := false
+	for i := 0; ; i++ {
+		f := reparse(src)
+		if f == nil || i >= len(f.Decls) {
+			break
+		}
+		// Never drop main; the program stops being runnable.
+		if fd, ok := f.Decls[i].(*ast.FuncDecl); ok && fd.Name == "main" {
+			continue
+		}
+		f.Decls = append(f.Decls[:i:i], f.Decls[i+1:]...)
+		if next, ok := tryFile(f, src, fails); ok {
+			src = next
+			improved = true
+			i-- // the list shifted left
+		}
+	}
+	return src, improved
+}
+
+// stmtLists enumerates every mutable statement-list slot in the file via
+// a visitor that re-walks the fresh tree each time (the tree is reparsed
+// between candidates, so positions shift).
+type listRef struct {
+	get func(*ast.File) *[]ast.Stmt
+}
+
+func collectLists(f *ast.File) []listRef {
+	var refs []listRef
+	for di := range f.Decls {
+		fd, ok := f.Decls[di].(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		di := di
+		var walk func(path func(*ast.File) *ast.BlockStmt)
+		walk = func(path func(*ast.File) *ast.BlockStmt) {
+			refs = append(refs, listRef{get: func(g *ast.File) *[]ast.Stmt {
+				if b := path(g); b != nil {
+					return &b.List
+				}
+				return nil
+			}})
+			// Recurse into nested blocks by index.
+			blk := path(f)
+			if blk == nil {
+				return
+			}
+			for si := range blk.List {
+				si := si
+				sub := func(extract func(ast.Stmt) *ast.BlockStmt) func(*ast.File) *ast.BlockStmt {
+					return func(g *ast.File) *ast.BlockStmt {
+						b := path(g)
+						if b == nil || si >= len(b.List) {
+							return nil
+						}
+						return extract(b.List[si])
+					}
+				}
+				switch s := blk.List[si].(type) {
+				case *ast.BlockStmt:
+					walk(sub(func(st ast.Stmt) *ast.BlockStmt {
+						b, _ := st.(*ast.BlockStmt)
+						return b
+					}))
+				case *ast.IfStmt:
+					walk(sub(func(st ast.Stmt) *ast.BlockStmt {
+						is, _ := st.(*ast.IfStmt)
+						if is == nil {
+							return nil
+						}
+						b, _ := is.Then.(*ast.BlockStmt)
+						return b
+					}))
+					if _, hasElse := s.Else.(*ast.BlockStmt); hasElse {
+						walk(sub(func(st ast.Stmt) *ast.BlockStmt {
+							is, _ := st.(*ast.IfStmt)
+							if is == nil {
+								return nil
+							}
+							b, _ := is.Else.(*ast.BlockStmt)
+							return b
+						}))
+					}
+				case *ast.WhileStmt:
+					walk(sub(func(st ast.Stmt) *ast.BlockStmt {
+						ws, _ := st.(*ast.WhileStmt)
+						if ws == nil {
+							return nil
+						}
+						b, _ := ws.Body.(*ast.BlockStmt)
+						return b
+					}))
+				case *ast.ForStmt:
+					walk(sub(func(st ast.Stmt) *ast.BlockStmt {
+						fs, _ := st.(*ast.ForStmt)
+						if fs == nil {
+							return nil
+						}
+						b, _ := fs.Body.(*ast.BlockStmt)
+						return b
+					}))
+				}
+			}
+		}
+		walk(func(g *ast.File) *ast.BlockStmt {
+			fd2, ok := g.Decls[di].(*ast.FuncDecl)
+			if !ok {
+				return nil
+			}
+			return fd2.Body
+		})
+	}
+	return refs
+}
+
+// reduceStmts runs ddmin over each statement list.
+func reduceStmts(src string, fails func(string) bool) (string, bool) {
+	improved := false
+	// The number of lists can change as statements vanish; iterate by
+	// index against the current tree each time.
+	for li := 0; ; li++ {
+		f := reparse(src)
+		if f == nil {
+			break
+		}
+		refs := collectLists(f)
+		if li >= len(refs) {
+			break
+		}
+		next, ch := ddminList(src, li, fails)
+		if ch {
+			src = next
+			improved = true
+		}
+	}
+	return src, improved
+}
+
+// ddminList applies ddmin to statement list number li of src.
+func ddminList(src string, li int, fails func(string) bool) (string, bool) {
+	improved := false
+	chunk := -1 // set from current length below
+	for {
+		f := reparse(src)
+		if f == nil {
+			return src, improved
+		}
+		refs := collectLists(f)
+		if li >= len(refs) {
+			return src, improved
+		}
+		lp := refs[li].get(f)
+		if lp == nil || len(*lp) == 0 {
+			return src, improved
+		}
+		n := len(*lp)
+		if chunk < 0 || chunk > n {
+			chunk = n
+		}
+		removedAny := false
+		for start := 0; start < n; start += chunk {
+			end := start + chunk
+			if end > n {
+				end = n
+			}
+			g := reparse(src)
+			gl := collectLists(g)
+			if li >= len(gl) {
+				break
+			}
+			glp := gl[li].get(g)
+			if glp == nil {
+				break
+			}
+			rest := append(append([]ast.Stmt{}, (*glp)[:start]...), (*glp)[end:]...)
+			*glp = rest
+			if next, ok := tryFile(g, src, fails); ok {
+				src = next
+				improved = true
+				removedAny = true
+				break // list changed; restart scan at this chunk size
+			}
+		}
+		if !removedAny {
+			if chunk == 1 {
+				return src, improved
+			}
+			chunk /= 2
+		}
+	}
+}
+
+// rewriteStmts replaces compound statements with simpler forms: an if by
+// its then-block, a loop by its body, an else arm dropped.
+func rewriteStmts(src string, fails func(string) bool) (string, bool) {
+	improved := false
+	for li := 0; ; li++ {
+		f := reparse(src)
+		if f == nil {
+			break
+		}
+		refs := collectLists(f)
+		if li >= len(refs) {
+			break
+		}
+		lst := refs[li].get(f)
+		if lst == nil {
+			continue
+		}
+		for si := 0; si < len(*lst); si++ {
+			// Each statement kind offers a fixed set of rewrites; apply
+			// each to a fresh tree so rejected candidates leave no trace.
+			for ci := 0; ci < 3; ci++ {
+				h := reparse(src)
+				hl := collectLists(h)
+				if li >= len(hl) {
+					break
+				}
+				hlst := hl[li].get(h)
+				if hlst == nil || si >= len(*hlst) {
+					break
+				}
+				var repl ast.Stmt
+				switch s := (*hlst)[si].(type) {
+				case *ast.IfStmt:
+					switch ci {
+					case 0:
+						repl = s.Then
+					case 1:
+						if s.Else != nil {
+							repl = s.Else
+						}
+					case 2:
+						if s.Else != nil {
+							repl = &ast.IfStmt{Cond: s.Cond, Then: s.Then} // drop else
+						}
+					}
+				case *ast.WhileStmt:
+					if ci == 0 {
+						repl = s.Body
+					}
+				case *ast.ForStmt:
+					if ci == 0 {
+						repl = s.Body
+					}
+				}
+				if repl == nil {
+					continue
+				}
+				(*hlst)[si] = repl
+				if next, ok := tryFile(h, src, fails); ok {
+					src = next
+					improved = true
+					break
+				}
+			}
+		}
+	}
+	return src, improved
+}
+
+// reduceExprs simplifies expressions bottom-up: any expression may be
+// replaced by one of its operands or by a small literal.
+func reduceExprs(src string, fails func(string) bool) (string, bool) {
+	improved := false
+	for {
+		changed := false
+		f := reparse(src)
+		if f == nil {
+			return src, improved
+		}
+		// Enumerate expression slots: visit every statement and record
+		// setter closures into the *current* tree; after one successful
+		// replacement, reprint and restart.
+		type slot struct {
+			get func() ast.Expr
+			set func(ast.Expr)
+		}
+		var slots []slot
+		var visitExpr func(get func() ast.Expr, set func(ast.Expr))
+		visitExpr = func(get func() ast.Expr, set func(ast.Expr)) {
+			slots = append(slots, slot{get, set})
+			switch e := get().(type) {
+			case *ast.Unary:
+				visitExpr(func() ast.Expr { return e.X }, func(n ast.Expr) { e.X = n })
+			case *ast.Binary:
+				visitExpr(func() ast.Expr { return e.X }, func(n ast.Expr) { e.X = n })
+				visitExpr(func() ast.Expr { return e.Y }, func(n ast.Expr) { e.Y = n })
+			case *ast.Index:
+				visitExpr(func() ast.Expr { return e.X }, func(n ast.Expr) { e.X = n })
+				visitExpr(func() ast.Expr { return e.Idx }, func(n ast.Expr) { e.Idx = n })
+			case *ast.Call:
+				for i := range e.Args {
+					i := i
+					visitExpr(func() ast.Expr { return e.Args[i] }, func(n ast.Expr) { e.Args[i] = n })
+				}
+			}
+		}
+		var visitStmt func(s ast.Stmt)
+		visitStmt = func(s ast.Stmt) {
+			switch s := s.(type) {
+			case *ast.DeclStmt:
+				if s.Decl.Init != nil {
+					visitExpr(func() ast.Expr { return s.Decl.Init }, func(n ast.Expr) { s.Decl.Init = n })
+				}
+			case *ast.AssignStmt:
+				visitExpr(func() ast.Expr { return s.RHS }, func(n ast.Expr) { s.RHS = n })
+				visitExpr(func() ast.Expr { return s.LHS }, func(n ast.Expr) { s.LHS = n })
+			case *ast.ExprStmt:
+				visitExpr(func() ast.Expr { return s.X }, func(n ast.Expr) { s.X = n })
+			case *ast.ReturnStmt:
+				if s.Result != nil {
+					visitExpr(func() ast.Expr { return s.Result }, func(n ast.Expr) { s.Result = n })
+				}
+			case *ast.BlockStmt:
+				for _, t := range s.List {
+					visitStmt(t)
+				}
+			case *ast.IfStmt:
+				visitExpr(func() ast.Expr { return s.Cond }, func(n ast.Expr) { s.Cond = n })
+				visitStmt(s.Then)
+				if s.Else != nil {
+					visitStmt(s.Else)
+				}
+			case *ast.WhileStmt:
+				visitExpr(func() ast.Expr { return s.Cond }, func(n ast.Expr) { s.Cond = n })
+				visitStmt(s.Body)
+			case *ast.ForStmt:
+				if s.Init != nil {
+					visitStmt(s.Init)
+				}
+				if s.Cond != nil {
+					visitExpr(func() ast.Expr { return s.Cond }, func(n ast.Expr) { s.Cond = n })
+				}
+				if s.Post != nil {
+					visitStmt(s.Post)
+				}
+				visitStmt(s.Body)
+			}
+		}
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				visitStmt(fd.Body)
+			}
+		}
+
+		for _, sl := range slots {
+			orig := sl.get()
+			var cands []ast.Expr
+			switch e := orig.(type) {
+			case *ast.Binary:
+				cands = append(cands, e.X, e.Y)
+			case *ast.Unary:
+				cands = append(cands, e.X)
+			case *ast.Call:
+				cands = append(cands, &ast.IntLit{Value: 0})
+			case *ast.Index:
+				cands = append(cands, e.X)
+			case *ast.IntLit:
+				if e.Value != 0 && e.Value != 1 {
+					cands = append(cands, &ast.IntLit{Value: 0}, &ast.IntLit{Value: 1})
+				}
+			case *ast.Ident:
+				cands = append(cands, &ast.IntLit{Value: 0})
+			}
+			for _, c := range cands {
+				sl.set(c)
+				if next, ok := tryFile(f, src, fails); ok {
+					src = next
+					improved = true
+					changed = true
+					break
+				}
+				sl.set(orig)
+			}
+			if changed {
+				break // tree printed; rebuild slots against the new source
+			}
+		}
+		if !changed {
+			return src, improved
+		}
+	}
+}

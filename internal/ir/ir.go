@@ -162,6 +162,15 @@ type MemRef struct {
 	Ambiguous bool // may be aliased: must use the cache path
 	Bypass    bool // final verdict: reference bypasses the cache
 	Last      bool // last reference to the value: dead-mark the cache line
+
+	// Unreachable marks a pointer access whose base has an empty
+	// points-to set: no object's address can flow there in any execution,
+	// so the access cannot run in a defined program (it only executes
+	// through a wild or null pointer, which is undefined behavior). The
+	// access still compiles conservatively — Ambiguous, through-cache —
+	// but whole-program soundness censuses (internal/check) may discount
+	// it: it is not a threat to any live value.
+	Unreachable bool
 }
 
 // String summarizes the reference and its annotations.

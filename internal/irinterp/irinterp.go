@@ -270,10 +270,17 @@ func evalBin(op ir.BinKind, a, b int64) (int64, error) {
 		if b == 0 {
 			return 0, fmt.Errorf("division by zero")
 		}
+		if b == -1 {
+			// MinInt64 / -1 wraps (two's complement), matching the VM.
+			return -a, nil
+		}
 		return a / b, nil
 	case ir.Rem:
 		if b == 0 {
 			return 0, fmt.Errorf("remainder by zero")
+		}
+		if b == -1 {
+			return 0, nil
 		}
 		return a % b, nil
 	case ir.And:

@@ -1,0 +1,171 @@
+package irinterp
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/irgen"
+	"repro/internal/parser"
+	"repro/internal/sem"
+)
+
+func runSrc(t *testing.T, src string, cfg Config) (*Result, error) {
+	t.Helper()
+	f, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := sem.Check(f)
+	if err != nil {
+		t.Fatalf("sem: %v", err)
+	}
+	prog, err := irgen.Build(info)
+	if err != nil {
+		t.Fatalf("irgen: %v", err)
+	}
+	return Run(prog, cfg)
+}
+
+// TestDivRemOverflowWraps pins the interpreter's division semantics for
+// the MinInt64 / -1 case: wrap, never a Go runtime panic.
+func TestDivRemOverflowWraps(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"min-div-minus-one", `
+void main() {
+    int min;
+    int m1;
+    min = 1 << 63;
+    m1 = 0 - 1;
+    print(min / m1);
+}`, "-9223372036854775808\n"},
+		{"min-rem-minus-one", `
+void main() {
+    int min;
+    int m1;
+    min = 1 << 63;
+    m1 = 0 - 1;
+    print(min % m1);
+}`, "0\n"},
+		{"quotient-signs", `
+void main() {
+    int a;
+    int b;
+    a = 0 - 9;
+    b = 4;
+    print(a / b);
+    print(a % b);
+    print(9 / b);
+    print((0 - 9) / (0 - 4));
+}`, "-2\n-1\n2\n2\n"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			res, err := runSrc(t, c.src, Config{})
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if res.Output != c.want {
+				t.Errorf("output %q, want %q", res.Output, c.want)
+			}
+		})
+	}
+}
+
+// TestShiftAmountMasked: shift counts are masked to 6 bits like the VM.
+func TestShiftAmountMasked(t *testing.T) {
+	res, err := runSrc(t, `
+void main() {
+    int s;
+    s = 65;
+    print(1 << s);
+    s = 0 - 1;
+    print(4 >> (s & 63));
+}`, Config{})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Output != "2\n0\n" {
+		t.Errorf("output %q, want %q", res.Output, "2\n0\n")
+	}
+}
+
+// TestBudgetErrorIdentifiesFunction: the typed budget error must name the
+// function that was executing so differential harnesses can report it.
+func TestBudgetErrorIdentifiesFunction(t *testing.T) {
+	_, err := runSrc(t, `
+void spin() { while (1) { } }
+void main() { spin(); }`, Config{MaxSteps: 5000})
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("want *BudgetError, got %v", err)
+	}
+	if be.Limit != 5000 {
+		t.Errorf("Limit = %d, want 5000", be.Limit)
+	}
+	if be.Func != "spin" {
+		t.Errorf("Func = %q, want spin", be.Func)
+	}
+}
+
+// TestRecursionDepthBounded: recursion depth is limited by stack memory;
+// a tiny StackBase overflows quickly and cleanly, while the same program
+// succeeds with the default layout.
+func TestRecursionDepthBounded(t *testing.T) {
+	// The local array forces real frame words; scalar-only frames live in
+	// virtual registers and never consume stack.
+	src := `
+int depth(int n) {
+    int buf[8];
+    buf[0] = n;
+    if (buf[0] < 1) { return 0; }
+    return 1 + depth(n - 1);
+}
+void main() { print(depth(300)); }`
+
+	res, err := runSrc(t, src, Config{})
+	if err != nil {
+		t.Fatalf("default config: %v", err)
+	}
+	if res.Output != "300\n" {
+		t.Errorf("output %q, want %q", res.Output, "300\n")
+	}
+
+	// StackBase just above the globals leaves room for only a few frames.
+	_, err = runSrc(t, src, Config{StackBase: 128})
+	if err == nil {
+		t.Fatal("expected stack overflow with StackBase=128")
+	}
+	var be *BudgetError
+	if errors.As(err, &be) {
+		t.Fatalf("want stack overflow, got budget error: %v", err)
+	}
+}
+
+// TestStepBudgetScalesWithWork: a program needing N steps fails under
+// N-ish budgets and succeeds with headroom — guards against the budget
+// check drifting off the hot loop.
+func TestStepBudgetScalesWithWork(t *testing.T) {
+	src := `
+void main() {
+    int i;
+    int s;
+    s = 0;
+    for (i = 0; i < 1000; i++) { s += i; }
+    print(s);
+}`
+	if _, err := runSrc(t, src, Config{MaxSteps: 100}); err == nil {
+		t.Error("100 steps should not complete a 1000-iteration loop")
+	}
+	res, err := runSrc(t, src, Config{MaxSteps: 200_000})
+	if err != nil {
+		t.Fatalf("200k steps should be ample: %v", err)
+	}
+	if res.Output != "499500\n" {
+		t.Errorf("output %q, want %q", res.Output, "499500\n")
+	}
+}

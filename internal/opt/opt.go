@@ -164,10 +164,18 @@ func evalBin(op ir.BinKind, a, b int64) (int64, bool) {
 		if b == 0 {
 			return 0, false
 		}
+		if b == -1 {
+			// Fold with the machine's wrap semantics: MinInt64 / -1
+			// yields MinInt64, it does not trap.
+			return -a, true
+		}
 		return a / b, true
 	case ir.Rem:
 		if b == 0 {
 			return 0, false
+		}
+		if b == -1 {
+			return 0, true
 		}
 		return a % b, true
 	case ir.And:

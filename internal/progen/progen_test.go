@@ -1,0 +1,135 @@
+package progen
+
+import (
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+	"repro/internal/refint"
+	"repro/internal/sem"
+)
+
+// TestDeterministic: the same (seed, knobs) pair must always produce the
+// same source text — the property that makes failures reproducible from a
+// one-line seed.
+func TestDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		a := Source(seed, DefaultKnobs())
+		b := Source(seed, DefaultKnobs())
+		if a != b {
+			t.Fatalf("seed %d: two generations differ", seed)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	if Source(1, DefaultKnobs()) == Source(2, DefaultKnobs()) {
+		t.Error("distinct seeds produced identical programs")
+	}
+}
+
+// TestWellFormed: every generated program must parse and pass semantic
+// analysis, and its printed form must round-trip through the printer
+// unchanged (so source text is a canonical exchange format).
+func TestWellFormed(t *testing.T) {
+	for seed := int64(0); seed < 300; seed++ {
+		src := Source(seed, DefaultKnobs())
+		file, err := parser.Parse(src)
+		if err != nil {
+			t.Fatalf("seed %d: parse: %v\n%s", seed, err, src)
+		}
+		if _, err := sem.Check(file); err != nil {
+			t.Fatalf("seed %d: sem: %v\n%s", seed, err, src)
+		}
+		if again := ast.Print(file); again != src {
+			t.Fatalf("seed %d: print round-trip changed the program:\n--- first\n%s\n--- second\n%s", seed, src, again)
+		}
+	}
+}
+
+// TestReferenceOutcomes: generated programs must be memory safe by
+// construction — the reference interpreter may run out of budget
+// (skipped by the harness) but must never report an invalidity like an
+// uninitialized read, bad pointer, or out-of-bounds access. Division by
+// zero is likewise excluded by construction (denominators are |1). The
+// overwhelming majority must terminate within budget, otherwise the
+// differential harness would be starved of usable programs.
+func TestReferenceOutcomes(t *testing.T) {
+	const n = 300
+	var ok, budget int
+	for seed := int64(0); seed < n; seed++ {
+		src := Source(seed, DefaultKnobs())
+		file, err := parser.Parse(src)
+		if err != nil {
+			t.Fatalf("seed %d: parse: %v", seed, err)
+		}
+		_, err = refint.Run(file, refint.Config{})
+		switch {
+		case err == nil:
+			ok++
+		case refint.Invalid(err):
+			t.Fatalf("seed %d: generator emitted an invalid program: %v\n%s", seed, err, src)
+		default:
+			// Budget, div-zero, or stack overflow: all should be
+			// impossible by construction except budget.
+			re, isRe := err.(*refint.Error)
+			if !isRe || re.Kind != refint.ErrBudget {
+				t.Fatalf("seed %d: unexpected outcome %v\n%s", seed, err, src)
+			}
+			budget++
+		}
+	}
+	t.Logf("outcomes over %d seeds: %d ok, %d budget-exhausted", n, ok, budget)
+	if ok < n*9/10 {
+		t.Errorf("only %d/%d programs terminate within budget; generator too hot for the harness", ok, n)
+	}
+}
+
+// TestKnobsShapePrograms: extreme knob settings must still be safe and
+// visibly change the generated programs.
+func TestKnobsShapePrograms(t *testing.T) {
+	heavyPtr := DefaultKnobs()
+	heavyPtr.PtrDensity = 0.9
+	flat := DefaultKnobs()
+	flat.MaxNest = 0
+	flat.Funcs = 0
+	for seed := int64(0); seed < 50; seed++ {
+		for name, k := range map[string]Knobs{"heavyPtr": heavyPtr, "flat": flat} {
+			src := Source(seed, k)
+			file, err := parser.Parse(src)
+			if err != nil {
+				t.Fatalf("%s seed %d: parse: %v\n%s", name, seed, err, src)
+			}
+			if _, err := sem.Check(file); err != nil {
+				t.Fatalf("%s seed %d: sem: %v\n%s", name, seed, err, src)
+			}
+			if _, err := refint.Run(file, refint.Config{}); err != nil && refint.Invalid(err) {
+				t.Fatalf("%s seed %d: invalid: %v\n%s", name, seed, err, src)
+			}
+		}
+	}
+}
+
+// TestOutputNonTrivial: the epilogue must make final global state
+// observable, so every program prints at least one line.
+func TestOutputNonTrivial(t *testing.T) {
+	var printed int
+	for seed := int64(0); seed < 50; seed++ {
+		file, err := parser.Parse(Source(seed, DefaultKnobs()))
+		if err != nil {
+			t.Fatalf("seed %d: parse: %v", seed, err)
+		}
+		res, err := refint.Run(file, refint.Config{})
+		if err != nil {
+			continue
+		}
+		if res.Output == "" {
+			t.Errorf("seed %d: program produced no output; nothing to compare", seed)
+		} else {
+			printed++
+		}
+	}
+	if printed == 0 {
+		t.Fatal("no seed produced observable output")
+	}
+}

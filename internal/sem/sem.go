@@ -266,10 +266,17 @@ func constEval(e ast.Expr) (int64, bool) {
 			if b == 0 {
 				return 0, false
 			}
+			if b == -1 {
+				// Machine wrap semantics: MinInt64 / -1 = MinInt64.
+				return -a, true
+			}
 			return a / b, true
 		case token.PERCENT:
 			if b == 0 {
 				return 0, false
+			}
+			if b == -1 {
+				return 0, true
 			}
 			return a % b, true
 		case token.SHL:

@@ -191,12 +191,22 @@ func Run(p *isa.Program, cfg Config) (*Result, error) {
 			if regs[in.Rt] == 0 {
 				return nil, fmt.Errorf("vm: division by zero at pc %d", pc)
 			}
-			regs[in.Rd] = regs[in.Rs] / regs[in.Rt]
+			// MinInt64 / -1 overflows; the machine wraps (two's
+			// complement), it does not trap.
+			if regs[in.Rt] == -1 {
+				regs[in.Rd] = -regs[in.Rs]
+			} else {
+				regs[in.Rd] = regs[in.Rs] / regs[in.Rt]
+			}
 		case isa.REM:
 			if regs[in.Rt] == 0 {
 				return nil, fmt.Errorf("vm: remainder by zero at pc %d", pc)
 			}
-			regs[in.Rd] = regs[in.Rs] % regs[in.Rt]
+			if regs[in.Rt] == -1 {
+				regs[in.Rd] = 0
+			} else {
+				regs[in.Rd] = regs[in.Rs] % regs[in.Rt]
+			}
 		case isa.AND:
 			regs[in.Rd] = regs[in.Rs] & regs[in.Rt]
 		case isa.OR:

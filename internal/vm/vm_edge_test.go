@@ -1,0 +1,211 @@
+package vm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/codegen"
+	"repro/internal/core"
+)
+
+func compileFor(t *testing.T, src string, cfg core.Config) *Result {
+	t.Helper()
+	comp, err := core.Compile(src, cfg)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	prog, err := codegen.Generate(comp)
+	if err != nil {
+		t.Fatalf("codegen: %v", err)
+	}
+	res, err := Run(prog, Config{Cache: cache.DefaultConfig()})
+	if err != nil {
+		t.Fatalf("vm: %v", err)
+	}
+	return res
+}
+
+// TestDivRemEdgeCases pins the machine's division semantics, including
+// the MinInt64 / -1 overflow case that a naive Go implementation panics
+// on. The machine wraps; it must not trap or crash.
+func TestDivRemEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"min-div-minus-one", `
+void main() {
+    int min;
+    int m1;
+    min = 1;
+    min = min << 63;
+    m1 = 0 - 1;
+    print(min / m1);
+}`, "-9223372036854775808\n"},
+		{"min-rem-minus-one", `
+void main() {
+    int min;
+    int m1;
+    min = 1;
+    min = min << 63;
+    m1 = 0 - 1;
+    print(min % m1);
+}`, "0\n"},
+		{"negative-div", `
+void main() {
+    int a;
+    int b;
+    a = 0 - 7;
+    b = 2;
+    print(a / b);
+    print(a % b);
+}`, "-3\n-1\n"},
+		{"div-by-negative", `
+void main() {
+    int a;
+    int b;
+    a = 7;
+    b = 0 - 2;
+    print(a / b);
+    print(a % b);
+}`, "-3\n1\n"},
+	}
+	for _, mode := range []core.Mode{core.Conventional, core.Unified} {
+		for _, opt := range []bool{false, true} {
+			for _, c := range cases {
+				c := c
+				t.Run(c.name, func(t *testing.T) {
+					res := compileFor(t, c.src, core.Config{Mode: mode, Optimize: opt})
+					if res.Output != c.want {
+						t.Errorf("mode=%v opt=%v: output %q, want %q", mode, opt, res.Output, c.want)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestConstantFoldedMinDiv hits the same overflow through the optimizer's
+// constant folder: both operands are compile-time constants, so the fold
+// path (not the VM) computes the quotient.
+func TestConstantFoldedMinDiv(t *testing.T) {
+	src := `
+void main() {
+    print((1 << 63) / -1);
+    print((1 << 63) % -1);
+}`
+	res := compileFor(t, src, core.Config{Mode: core.Unified, Optimize: true})
+	want := "-9223372036854775808\n0\n"
+	if res.Output != want {
+		t.Errorf("output %q, want %q", res.Output, want)
+	}
+}
+
+func TestDivZeroTraps(t *testing.T) {
+	for _, src := range []string{
+		`void main() { int z; z = 0; print(5 / z); }`,
+		`void main() { int z; z = 0; print(5 % z); }`,
+	} {
+		comp, err := core.Compile(src, core.Config{Mode: core.Unified})
+		if err != nil {
+			t.Fatalf("compile: %v", err)
+		}
+		prog, err := codegen.Generate(comp)
+		if err != nil {
+			t.Fatalf("codegen: %v", err)
+		}
+		_, err = Run(prog, Config{Cache: cache.DefaultConfig()})
+		if err == nil || !strings.Contains(err.Error(), "zero") {
+			t.Errorf("want division/remainder-by-zero trap, got %v", err)
+		}
+	}
+}
+
+// TestStepBudgetError checks the typed budget error carries the faulting
+// function so harnesses can distinguish slow programs from broken ones.
+func TestStepBudgetError(t *testing.T) {
+	comp, err := core.Compile(`void main() { while (1) { } }`, core.Config{Mode: core.Unified})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	prog, err := codegen.Generate(comp)
+	if err != nil {
+		t.Fatalf("codegen: %v", err)
+	}
+	_, err = Run(prog, Config{MaxSteps: 500, Cache: cache.DefaultConfig()})
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("want *BudgetError, got %v", err)
+	}
+	if be.Limit != 500 {
+		t.Errorf("BudgetError.Limit = %d, want 500", be.Limit)
+	}
+	if be.Func != "main" {
+		t.Errorf("BudgetError.Func = %q, want main", be.Func)
+	}
+}
+
+// TestDeepRecursionExhaustsMemory: unbounded recursion must surface as a
+// clean error (out-of-range store when the stack runs into low memory),
+// never a Go panic or silent corruption.
+func TestDeepRecursionExhaustsMemory(t *testing.T) {
+	src := `
+int down(int n) { return down(n + 1); }
+void main() { print(down(0)); }`
+	comp, err := core.Compile(src, core.Config{Mode: core.Unified})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	prog, err := codegen.Generate(comp)
+	if err != nil {
+		t.Fatalf("codegen: %v", err)
+	}
+	_, err = Run(prog, Config{MemWords: 1 << 12, MaxSteps: 1_000_000, Cache: cache.DefaultConfig()})
+	if err == nil {
+		t.Fatal("unbounded recursion should not succeed")
+	}
+	var be *BudgetError
+	if errors.As(err, &be) {
+		t.Fatalf("recursion in tiny memory should fault on the stack, not the step budget: %v", err)
+	}
+}
+
+// TestBoundedRecursionDepth: recursion that fits the configured memory
+// must complete exactly.
+func TestBoundedRecursionDepth(t *testing.T) {
+	src := `
+int depth(int n) {
+    if (n < 1) { return 0; }
+    return 1 + depth(n - 1);
+}
+void main() { print(depth(200)); }`
+	res := compileFor(t, src, core.Config{Mode: core.Unified})
+	if res.Output != "200\n" {
+		t.Errorf("output %q, want %q", res.Output, "200\n")
+	}
+}
+
+// TestArithmeticWrap: add/sub/mul overflow wraps two's complement — no
+// trap, same answer in every mode.
+func TestArithmeticWrap(t *testing.T) {
+	src := `
+void main() {
+    int max;
+    max = (1 << 62) - 1 + (1 << 62);
+    print(max + 1);
+    print(max * 2);
+    int min;
+    min = 1 << 63;
+    print(min - 1);
+}`
+	want := "-9223372036854775808\n-2\n9223372036854775807\n"
+	for _, opt := range []bool{false, true} {
+		res := compileFor(t, src, core.Config{Mode: core.Unified, Optimize: opt})
+		if res.Output != want {
+			t.Errorf("opt=%v: output %q, want %q", opt, res.Output, want)
+		}
+	}
+}

@@ -27,11 +27,25 @@ go run ./cmd/unicheck
 echo "== unicheck (examples/mc) =="
 go run ./cmd/unicheck examples/mc/*.mc
 
+echo "== go test -race (focused: sweep, artifact, vm) =="
+# The parallel sweep engine and its artifact layer are the only
+# goroutine-heavy subsystems; give them a dedicated race pass at higher
+# iteration count than the blanket run above.
+go test -race -count=2 ./internal/sweep ./internal/artifact ./internal/vm
+
 echo "== fuzz smoke (10s per target) =="
 go test -run 'xxx^' -fuzz 'FuzzCompile$' -fuzztime 10s .
 go test -run 'xxx^' -fuzz 'FuzzAsmRoundTrip$' -fuzztime 10s ./internal/isa
 go test -run 'xxx^' -fuzz 'FuzzCacheModel$' -fuzztime 10s ./internal/cache
 go test -run 'xxx^' -fuzz 'FuzzExact$' -fuzztime 10s ./internal/exact
+go test -run 'xxx^' -fuzz 'FuzzDiff$' -fuzztime 10s ./internal/difftest
+
+echo "== diff-smoke (differential conformance, fixed seed window) =="
+# 200 generated programs through every compile config x cache geometry
+# against the reference interpreter; any divergence is minimized and the
+# gate fails. The checked-in reproducers are replayed as regressions.
+go run ./cmd/unidiff -seed 1 -n 200 -q
+go run ./cmd/unidiff examples/difftest/*.mc
 
 echo "== exact-smoke (refinement + static-vs-dynamic oracle) =="
 # The refinement must run clean over the examples and the benchmark

@@ -6,14 +6,22 @@
 // Usage:
 //
 //	unibench [-experiment all|fig5|fig5-opt|deadlru|policies|miller|singleuse|
-//	          promotion|linesize|regs|deadmode|icache|precision|resilience]
+//	          promotion|linesize|regs|deadmode|icache|precision|scaling|resilience]
 //	         [-sets N -ways N -line N] [-bench a,b,...] [-json] [-list]
+//	         [-scaling-out FILE]
 //
 // With -json, experiments backed by Record streams (E1–E6) emit one JSON
 // record per line — the same Record schema unisweep writes — instead of
 // tables; experiments without a record stream are skipped with a warning.
 // All compilations and simulations share one artifact cache, so
 // `-experiment all` compiles each (benchmark, config) pair exactly once.
+//
+// The scaling experiment (E12) runs the twenty-program generated-code
+// campaign through both exact solvers — several minutes of pure static
+// analysis — so, like resilience, it runs only when named explicitly,
+// never under `-experiment all`. It exits nonzero if the solvers disagree
+// on any verdict; -scaling-out FILE additionally writes the byte-stable
+// BENCH_exact.json artifact.
 //
 // The resilience experiment sweeps the fault-injection campaigns of
 // internal/experiments over the benchmark suite (optionally restricted
@@ -49,12 +57,13 @@ type experiment struct {
 func main() {
 	defer cli.Trap(tool)
 	exp := flag.String("experiment", "all",
-		"experiment: all, fig5, fig5-opt, deadlru, policies, miller, singleuse, promotion, linesize, regs, deadmode, icache, precision, resilience")
+		"experiment: all, fig5, fig5-opt, deadlru, policies, miller, singleuse, promotion, linesize, regs, deadmode, icache, precision, scaling, resilience")
 	sets := flag.Int("sets", 32, "cache sets")
 	ways := flag.Int("ways", 2, "cache ways")
 	line := flag.Int("line", 1, "cache line words")
 	benchList := flag.String("bench", "", "comma-separated benchmark subset for -experiment resilience (default all)")
 	asJSON := flag.Bool("json", false, "emit Record streams (one JSON record per line) instead of tables")
+	scalingOut := flag.String("scaling-out", "", "with -experiment scaling: also write the BENCH_exact.json artifact to FILE")
 	list := flag.Bool("list", false, "list experiment names and exit")
 	flag.Parse()
 
@@ -146,6 +155,7 @@ func main() {
 		for _, e := range table {
 			fmt.Println(e.name)
 		}
+		fmt.Println("scaling")
 		fmt.Println("resilience")
 		return
 	}
@@ -157,6 +167,13 @@ func main() {
 			cli.Fatalf(tool, "flags", "resilience has no record stream; run it without -json")
 		}
 		runResilience(*benchList)
+		return
+	}
+
+	// Scaling (E12) is minutes of static analysis over generated programs;
+	// it runs only when named, never under "all".
+	if *exp == "scaling" {
+		runScaling(*asJSON, *scalingOut)
 		return
 	}
 
@@ -227,6 +244,44 @@ func main() {
 
 // deadLRUSizes are the fully-associative cache sizes E2 measures.
 var deadLRUSizes = []int{16, 32, 64, 128, 256}
+
+// runScaling runs the E12 campaign, fails on any solver disagreement, and
+// optionally writes the machine-readable artifact.
+func runScaling(asJSON bool, out string) {
+	spec := experiments.DefaultScalingSpec()
+	recs, err := experiments.RecordsScaling(spec)
+	if err != nil {
+		cli.Fatal(tool, "scaling", err)
+	}
+	t := experiments.ScalingFromRecords(recs)
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			cli.Fatal(tool, "scaling", err)
+		}
+		werr := experiments.WriteScalingJSON(f, spec, recs)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			cli.Fatal(tool, "scaling", werr)
+		}
+	}
+	if asJSON {
+		for _, r := range recs {
+			b, err := r.MarshalLine()
+			if err != nil {
+				cli.Fatal(tool, "scaling", err)
+			}
+			fmt.Println(string(b))
+		}
+	} else {
+		fmt.Print(t.String())
+	}
+	if bad := t.Mismatches(); len(bad) > 0 {
+		cli.Fatalf(tool, "scaling", "solver verdict mismatch on: %s", strings.Join(bad, ", "))
+	}
+}
 
 // runResilience sweeps the default fault campaigns over the selected
 // benchmarks and exits nonzero on any fault-model violation.

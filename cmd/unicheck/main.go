@@ -16,9 +16,15 @@
 //	-sets/-ways/-line   cache geometry for the analysis (default 32/2/1)
 //	-maxsteps N         differential-run budget (0 = interpreter default)
 //	-exact              also run the exact hit/miss refinement (internal/exact)
+//	-solver S           refinement solver: antichain (default), powerset, or
+//	                    both (runs both and fails on any verdict difference)
+//	-interproc          transfer calls through summaries instead of blanket
+//	                    clobbering (the interprocedural mode)
 //	-oracle             replay the program on the production VM and assert
 //	                    every exact verdict against observed hits and misses
 //	-bench a,b          restrict the built-in suite to named benchmarks
+//	-gen s1,s2,...      also check generated programs for the given progen seeds
+//	-gen-scale N        progen.ScaleKnobs factor for -gen (default 1)
 //	-v                  print per-site verdicts for every program
 package main
 
@@ -36,6 +42,7 @@ import (
 	"repro/internal/codegen"
 	"repro/internal/core"
 	"repro/internal/exact"
+	"repro/internal/progen"
 )
 
 const tool = "unicheck"
@@ -47,10 +54,20 @@ func main() {
 	line := flag.Int("line", 1, "cache line size in words")
 	maxSteps := flag.Int64("maxsteps", 0, "differential-run instruction budget; 0 means the interpreter default")
 	doExact := flag.Bool("exact", false, "run the exact hit/miss refinement after the must/may prefilter")
+	solver := flag.String("solver", exact.SolverAntichain, "exact solver: antichain, powerset, or both (differential)")
+	interproc := flag.Bool("interproc", false, "transfer calls through summaries instead of blanket clobbering")
 	doOracle := flag.Bool("oracle", false, "replay on the production VM and assert every exact verdict (implies -exact)")
 	benchList := flag.String("bench", "", "comma-separated benchmark subset when no files are given (default all)")
+	genSeeds := flag.String("gen", "", "comma-separated progen seeds to check as additional programs")
+	genScale := flag.Int("gen-scale", 1, "progen.ScaleKnobs factor for -gen")
 	verbose := flag.Bool("v", false, "print per-site cache verdicts")
 	flag.Parse()
+
+	switch *solver {
+	case exact.SolverAntichain, exact.SolverPowerset, "both":
+	default:
+		cli.Fatalf(tool, "flags", "unknown solver %q (antichain, powerset, both)", *solver)
+	}
 
 	type program struct{ name, src string }
 	var progs []program
@@ -81,10 +98,22 @@ func main() {
 			progs = append(progs, program{name, string(src)})
 		}
 	}
+	for _, s := range strings.Split(*genSeeds, ",") {
+		if s = strings.TrimSpace(s); s == "" {
+			continue
+		}
+		var seed int64
+		if _, err := fmt.Sscanf(s, "%d", &seed); err != nil {
+			cli.Fatalf(tool, "flags", "bad -gen seed %q", s)
+		}
+		name := fmt.Sprintf("gen-%03d", seed)
+		progs = append(progs, program{name, progen.Source(seed, progen.ScaleKnobs(*genScale))})
+	}
 
 	run := runConfig{
 		sets: *sets, ways: *ways, line: *line, maxSteps: *maxSteps,
 		exact: *doExact || *doOracle, oracle: *doOracle, verbose: *verbose,
+		solver: *solver, interproc: *interproc,
 	}
 	failed := false
 	for _, p := range progs {
@@ -106,6 +135,8 @@ type runConfig struct {
 	exact            bool
 	oracle           bool
 	verbose          bool
+	solver           string // antichain, powerset, or "both"
+	interproc        bool
 }
 
 // checkOne runs every pass over one program in one mode and reports
@@ -121,6 +152,10 @@ func checkOne(name, src string, mode core.Mode, run runConfig) bool {
 		return false
 	}
 	opt := check.Options{Unified: mode == core.Unified, MaxSteps: maxSteps}
+	if run.interproc {
+		opt.Interproc = true
+		opt.SavedRegs = core.SavedRegCounts(comp)
+	}
 
 	vs := check.Structural(comp.Prog, opt)
 	vs = append(vs, check.DeadMarking(comp.Prog, opt)...)
@@ -143,27 +178,48 @@ func checkOne(name, src string, mode core.Mode, run runConfig) bool {
 		return false
 	}
 
-	// The exact refinement and its static-vs-dynamic oracle.
+	// The exact refinement and its static-vs-dynamic oracle. With
+	// -solver both, every solver runs and the per-site verdicts must be
+	// identical — the differential check of the antichain compression.
+	solvers := []string{run.solver}
+	if run.solver == "both" {
+		solvers = []string{exact.SolverAntichain, exact.SolverPowerset}
+	}
 	var rep *exact.Report
 	oracleLine := ""
-	if run.oracle {
-		ores, err := exact.Oracle(src, core.Config{Mode: mode}, ccfg, maxSteps)
-		if err != nil {
-			fmt.Printf("%s ORACLE FAIL: %v\n", label, err)
-			return false
+	for _, sv := range solvers {
+		var srep *exact.Report
+		xopt := exact.Options{Solver: sv}
+		if run.oracle {
+			ores, err := exact.OracleWith(src, core.Config{Mode: mode}, ccfg, maxSteps, xopt, run.interproc)
+			if err != nil {
+				fmt.Printf("%s ORACLE FAIL (%s): %v\n", label, sv, err)
+				return false
+			}
+			srep = ores.Report
+			oracleLine = "; oracle: " + ores.Summary()
+			if oerr := ores.Err(); oerr != nil {
+				fmt.Printf("%s FAIL  %s\n%v\n", label, oracleLine[2:], oerr)
+				return false
+			}
+		} else if run.exact {
+			srep, err = exact.AnalyzeWith(comp.Prog, ccfg, opt, xopt)
+			if err != nil {
+				fmt.Printf("%s EXACT FAIL (%s): %v\n", label, sv, err)
+				return false
+			}
 		}
-		rep = ores.Report
-		oracleLine = "; oracle: " + ores.Summary()
-		if oerr := ores.Err(); oerr != nil {
-			fmt.Printf("%s FAIL  %s\n%v\n", label, oracleLine[2:], oerr)
-			return false
+		if srep == nil {
+			continue
 		}
-	} else if run.exact {
-		rep, err = exact.Analyze(comp.Prog, ccfg, opt)
-		if err != nil {
-			fmt.Printf("%s EXACT FAIL: %v\n", label, err)
-			return false
+		if rep != nil { // second solver of "both": differential compare
+			if d := solverDiff(rep, srep); d != "" {
+				fmt.Printf("%s FAIL  solver divergence (%s vs %s): %s\n",
+					label, rep.Solver, srep.Solver, d)
+				return false
+			}
 		}
+		rep = srep
 	}
 	exactLine := ""
 	if rep != nil {
@@ -190,4 +246,27 @@ func checkOne(name, src string, mode core.Mode, run runConfig) bool {
 		}
 	}
 	return ok
+}
+
+// solverDiff compares two reports of the same program site-by-site and
+// describes the first divergence ("" when verdicts are identical). The two
+// solvers must agree exactly: same sites, same verdicts, same deciding
+// pass.
+func solverDiff(a, b *exact.Report) string {
+	if len(a.Sites) != len(b.Sites) {
+		return fmt.Sprintf("%d vs %d sites", len(a.Sites), len(b.Sites))
+	}
+	for i := range a.Sites {
+		sa, sb := a.Sites[i], b.Sites[i]
+		if sa.Key != sb.Key || sa.Func != sb.Func || sa.Block != sb.Block || sa.Index != sb.Index {
+			return fmt.Sprintf("site %d identity: %s/b%d/i%d (%s) vs %s/b%d/i%d (%s)",
+				i, sa.Func, sa.Block, sa.Index, sa.Key, sb.Func, sb.Block, sb.Index, sb.Key)
+		}
+		if sa.Verdict != sb.Verdict || sa.By != sb.By {
+			return fmt.Sprintf("%s b%d i%d (%s): %s by %s vs %s by %s",
+				sa.Func, sa.Block, sa.Index, sa.Key,
+				sa.Verdict, sa.By, sb.Verdict, sb.By)
+		}
+	}
+	return ""
 }

@@ -205,17 +205,26 @@ func newAnalyzer(p *ir.Program, ccfg cache.Config, opt Options) (*analyzer, erro
 	}
 
 	a := &analyzer{
-		cfg:        ccfg,
-		opt:        opt,
-		mustOK:     ccfg.Policy == cache.LRU,
-		globalLine: make(map[*sem.Object]int64),
+		cfg:         ccfg,
+		opt:         opt,
+		mustOK:      ccfg.Policy == cache.LRU,
+		globalLine:  make(map[*sem.Object]int64),
+		globalStart: make(map[*sem.Object]int64),
+		funcByName:  make(map[string]*ir.Func, len(p.Funcs)),
+		fss:         make(map[*ir.Func]*funcState, len(p.Funcs)),
+		summaries:   make(map[*ir.Func]*CallSummary),
+		onStack:     make(map[*ir.Func]bool),
 	}
 	next := globalBase
 	for _, g := range p.Globals {
+		a.globalStart[g] = next
 		if g.Type.Words() == 1 {
 			a.globalLine[g] = next / int64(ccfg.LineWords)
 		}
 		next += int64(g.Type.Words())
+	}
+	for _, f := range p.Funcs {
+		a.funcByName[f.Name] = f
 	}
 	for _, f := range p.Funcs {
 		for _, b := range f.Blocks {
@@ -230,11 +239,29 @@ func newAnalyzer(p *ir.Program, ccfg cache.Config, opt Options) (*analyzer, erro
 }
 
 type analyzer struct {
-	cfg        cache.Config
-	opt        Options
-	mustOK     bool
-	globalLine map[*sem.Object]int64
-	mainCalled bool
+	cfg         cache.Config
+	opt         Options
+	mustOK      bool
+	globalLine  map[*sem.Object]int64
+	globalStart map[*sem.Object]int64 // first word address of every global
+	funcByName  map[string]*ir.Func
+	mainCalled  bool
+
+	fss       map[*ir.Func]*funcState   // shared per-function key universes
+	summaries map[*ir.Func]*CallSummary // memoized transitive call effects
+	onStack   map[*ir.Func]bool         // summary-DFS cycle detection
+}
+
+// funcState returns the (cached) per-function key universe. Both the
+// prefilter, the summary builder and the exact refinement's SiteModel walk
+// the same functions, so the universes are built once per analyzer.
+func (a *analyzer) funcState(f *ir.Func) *funcState {
+	if fs, ok := a.fss[f]; ok {
+		return fs
+	}
+	fs := a.newFuncState(f)
+	a.fss[f] = fs
+	return fs
 }
 
 func (a *analyzer) killsMust() bool { return a.cfg.DeadKillsResidency() }
@@ -426,9 +453,15 @@ func (fs *funcState) transferInstr(in *ir.Instr, must mustState, may *mayState) 
 	a := fs.a
 	switch {
 	case in.Op == ir.OpCall:
-		// A callee may touch globals, anything reachable through a
-		// pointer (address-taken frame objects), and lines named by
-		// pseudo-blocks; with one-word lines it can never fetch this
+		if a.opt.Interproc {
+			if s := a.callSummary(in.Callee); !s.Clobber {
+				fs.transferCallSummary(s, must, may)
+				break
+			}
+		}
+		// Blanket clobber: a callee may touch globals, anything reachable
+		// through a pointer (address-taken frame objects), and lines named
+		// by pseudo-blocks; with one-word lines it can never fetch this
 		// frame's compiler-private words.
 		for k := range must {
 			delete(must, k)
@@ -549,7 +582,7 @@ func (fs *funcState) mayTargets(acc access) []blockKey {
 // ---- fixpoint ----
 
 func (a *analyzer) analyzeFunc(f *ir.Func, rep *CacheReport) {
-	fs := a.newFuncState(f)
+	fs := a.funcState(f)
 	nb := len(f.Blocks)
 	inMust := make([]mustState, nb)
 	inMay := make([]mayState, nb)

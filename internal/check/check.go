@@ -50,6 +50,25 @@ type Options struct {
 	// MaxSteps bounds the differential run's IR-interpreter budget;
 	// 0 means the interpreter's default.
 	MaxSteps int64
+
+	// Interproc enables summary-based interprocedural cache analysis:
+	// calls transfer through per-function effect summaries (summary.go)
+	// instead of the blanket clobber, so always-hit/always-miss verdicts
+	// can survive call boundaries. Off by default — the coarse transfer is
+	// the reference behavior and keeps existing goldens stable.
+	Interproc bool
+
+	// CallDepth bounds the summary-construction recursion over the call
+	// graph; 0 means a generous default. Exhaustion degrades to the
+	// clobber summary, never an error.
+	CallDepth int
+
+	// SavedRegs optionally maps function name to the number of
+	// callee-saved registers its prologue actually saves (from the
+	// register allocator, via core.SavedRegCounts). When absent for a
+	// function the summary assumes the worst case: every allocatable
+	// callee-saved register plus RA.
+	SavedRegs map[string]int
 }
 
 // Violation is one rule the program breaks, located precisely enough to

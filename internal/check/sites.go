@@ -75,10 +75,39 @@ func (m *SiteModel) ColdEntry(f *ir.Func) bool {
 func (m *SiteModel) Func(f *ir.Func) *FuncSites {
 	fs, ok := m.funcs[f]
 	if !ok {
-		fs = &FuncSites{fs: m.a.newFuncState(f)}
+		fs = &FuncSites{fs: m.a.funcState(f)}
 		m.funcs[f] = fs
 	}
 	return fs
+}
+
+// Interproc reports whether summary-based call transfer is enabled.
+func (m *SiteModel) Interproc() bool { return m.a.opt.Interproc }
+
+// CallSummary returns the transitive effect summary for the call
+// instruction's callee (the Clobber summary when interprocedural mode is
+// off, the callee is unknown or recursive, or lines are wider than one
+// word). The result is memoized and shared; callers must not mutate it.
+func (m *SiteModel) CallSummary(in *ir.Instr) *CallSummary {
+	if !m.a.opt.Interproc || in.Op != ir.OpCall {
+		return clobberSummary
+	}
+	return m.a.callSummary(in.Callee)
+}
+
+// GlobalLineKey constructs the site key of an absolute global cache line,
+// letting the exact refinement name the lines a call summary reports.
+func GlobalLineKey(line int64) SiteKey {
+	return blockKey{kind: kGlobal, line: line}
+}
+
+// GlobalLine returns the absolute line of a global-line key (ok false for
+// every other block class, whose absolute placement is unknown).
+func (k blockKey) GlobalLine() (int64, bool) {
+	if k.kind == kGlobal {
+		return k.line, true
+	}
+	return 0, false
 }
 
 // FuncSites answers site queries within one function.

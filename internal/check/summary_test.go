@@ -1,0 +1,179 @@
+package check_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/ir"
+)
+
+func interOpts(m core.Mode) check.Options {
+	return check.Options{Unified: m == core.Unified, Interproc: true}
+}
+
+// callTo returns the first OpCall in fn whose callee is named callee.
+func callTo(t *testing.T, c *core.Compilation, fn, callee string) *ir.Instr {
+	t.Helper()
+	f := c.Prog.Lookup(fn)
+	if f == nil {
+		t.Fatalf("no function %s", fn)
+	}
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op == ir.OpCall && in.Callee != nil && in.Callee.Name == callee {
+				return in
+			}
+		}
+	}
+	t.Fatalf("%s: no call to %s", fn, callee)
+	return nil
+}
+
+// Recursion in the call graph has no finite effect summary: the edge must
+// degrade to the blanket clobber, and the analysis must still complete.
+func TestRecursiveCalleeSummaryClobbers(t *testing.T) {
+	src := `
+int g;
+int rec(int n) {
+    if (n <= 0) { return g; }
+    g = g + n;
+    return rec(n - 1);
+}
+void main() { print(rec(5)); }`
+	c := compile(t, src, core.Config{Mode: core.Conventional})
+	m, err := check.NewSiteModel(c.Prog, cache.ConventionalConfig(), interOpts(core.Conventional))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := m.CallSummary(callTo(t, c, "main", "rec")); !s.Clobber {
+		t.Errorf("recursive callee summarized as %+v, want Clobber", s)
+	}
+	// Self-recursive edge from inside the cycle degrades the same way.
+	if s := m.CallSummary(callTo(t, c, "rec", "rec")); !s.Clobber {
+		t.Errorf("self-recursive edge summarized as %+v, want Clobber", s)
+	}
+	// And the full cache analysis runs to completion on it.
+	if _, err := check.AnalyzeCache(c.Prog, cache.ConventionalConfig(), interOpts(core.Conventional)); err != nil {
+		t.Fatalf("AnalyzeCache on recursive program: %v", err)
+	}
+}
+
+// A reference whose points-to set is empty (Unreachable) cannot execute in
+// a defined program: it must contribute nothing to the callee's summary
+// rather than act as a universal threat.
+func TestUnreachableRefContributesNothing(t *testing.T) {
+	src := `
+int g;
+void poke() { g = g + 1; }
+void main() { poke(); print(g); }`
+	c := compile(t, src, core.Config{Mode: core.Conventional})
+	opt := interOpts(core.Conventional)
+	ccfg := cache.ConventionalConfig()
+
+	m, err := check.NewSiteModel(c.Prog, ccfg, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := m.CallSummary(callTo(t, c, "main", "poke"))
+	if before.Clobber || len(before.RefSpans) == 0 {
+		t.Fatalf("baseline summary should name poke's global traffic, got %+v", before)
+	}
+
+	// Mark every global reference in poke unreachable; a fresh model (the
+	// memoized summaries are per-model) must now see no global traffic.
+	poke := c.Prog.Lookup("poke")
+	marked := 0
+	for _, b := range poke.Blocks {
+		for i := range b.Instrs {
+			if in := &b.Instrs[i]; in.Ref != nil && in.Ref.Obj != nil && in.Ref.Obj.Name == "g" {
+				in.Ref.Unreachable = true
+				marked++
+			}
+		}
+	}
+	if marked == 0 {
+		t.Fatal("no references to g found in poke")
+	}
+	m2, err := check.NewSiteModel(c.Prog, ccfg, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := m2.CallSummary(callTo(t, c, "main", "poke"))
+	if after.Clobber || after.Uncertain {
+		t.Fatalf("unreachable refs degraded the summary to %+v", after)
+	}
+	if len(after.RefSpans) != 0 || len(after.FillSpans) != 0 {
+		t.Errorf("unreachable refs still summarized as traffic: %+v", after)
+	}
+}
+
+// Exhausting the summary-recursion budget must degrade to Clobber on the
+// deep edges — conservative, never an error — while shallow edges keep
+// their precise summaries.
+func TestCallDepthExhaustionDegradesConservatively(t *testing.T) {
+	src := `
+int g;
+void c3() { g = g + 1; }
+void c2() { c3(); }
+void c1() { c2(); }
+void main() { c1(); print(g); }`
+	c := compile(t, src, core.Config{Mode: core.Conventional})
+	ccfg := cache.ConventionalConfig()
+
+	opt := interOpts(core.Conventional)
+	opt.CallDepth = 2 // enough for main->c1->c2, not for the c3 leaf
+	m, err := check.NewSiteModel(c.Prog, ccfg, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := m.CallSummary(callTo(t, c, "main", "c1")); !s.Clobber {
+		t.Errorf("depth-exhausted chain summarized as %+v, want Clobber", s)
+	}
+	if s := m.CallSummary(callTo(t, c, "c2", "c3")); s.Clobber {
+		t.Error("leaf call within budget degraded to Clobber")
+	}
+	rep, err := check.AnalyzeCache(c.Prog, ccfg, opt)
+	if err != nil {
+		t.Fatalf("AnalyzeCache under exhausted budget: %v", err)
+	}
+
+	// The budgeted run may only be weaker than the unbudgeted one: every
+	// definite verdict it produces must match the deep analysis.
+	deep, err := check.AnalyzeCache(c.Prog, ccfg, interOpts(core.Conventional))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ref, v := range rep.Verdicts {
+		if v == check.Unknown {
+			continue
+		}
+		if dv := deep.Verdicts[ref]; dv != v {
+			t.Errorf("budgeted verdict %s vs unbudgeted %s", v, dv)
+		}
+	}
+}
+
+// LinesInSet must agree with per-line enumeration for any span and
+// geometry — it is the modular-arithmetic core of the conflict bound.
+func TestLineSpanLinesInSet(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 2000; trial++ {
+		sets := int64(1) << (1 + r.Intn(6)) // 2..64
+		lo := int64(r.Intn(500))
+		sp := check.LineSpan{Lo: lo, Hi: lo + int64(r.Intn(300))}
+		set := int64(r.Intn(int(sets)))
+		want := int64(0)
+		for l := sp.Lo; l <= sp.Hi; l++ {
+			if l%sets == set {
+				want++
+			}
+		}
+		if got := sp.LinesInSet(set, sets); got != want {
+			t.Fatalf("span %+v, set %d of %d: LinesInSet=%d, enumerated %d", sp, set, sets, got, want)
+		}
+	}
+}

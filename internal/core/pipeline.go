@@ -166,3 +166,16 @@ func Compile(src string, cfg Config) (_ *Compilation, err error) {
 		Stats:  CollectProgramStats(prog),
 	}, nil
 }
+
+// SavedRegCounts extracts, per function, how many callee-saved registers
+// the register allocator actually assigned (and the prologue therefore
+// saves). The static cache analyses use it to bound machine-invented frame
+// traffic at call sites precisely instead of assuming every allocatable
+// callee-saved register is saved.
+func SavedRegCounts(c *Compilation) map[string]int {
+	out := make(map[string]int, len(c.Allocs))
+	for name, a := range c.Allocs {
+		out[name] = len(a.UsedCalleeSaved)
+	}
+	return out
+}

@@ -1,0 +1,155 @@
+package exact
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataflow"
+)
+
+// Randomized cross-checks of the antichain representation against the
+// power-set reference operations it compresses: both must denote the same
+// set of subsumption-maximal valuations, and the merge widening must only
+// ever weaken.
+
+// randResState draws a random sRes state with the dnames ⊆ names invariant
+// the transfer functions maintain.
+func randResState(r *rand.Rand) state {
+	names := dataflow.Word(r.Uint64() & ((1 << 10) - 1))
+	return state{
+		kind:   sRes,
+		names:  names,
+		dnames: names & dataflow.Word(r.Uint64()),
+		anon:   uint8(r.Intn(5)),
+		freed:  r.Intn(2) == 0,
+	}
+}
+
+// randState additionally mixes in the singleton kinds.
+func randState(r *rand.Rand) state {
+	switch r.Intn(10) {
+	case 0:
+		return ncState
+	case 1:
+		return maybeState
+	}
+	return randResState(r)
+}
+
+// chainDenotation collects the valuations a chain denotes, as reduce()'s
+// set representation.
+func chainDenotation(a achain) stateSet {
+	out := stateSet{}
+	a.each(func(s state) { out[s] = struct{}{} })
+	return out
+}
+
+// TestAntichainAddMatchesReduce: folding random states into an achain must
+// yield exactly the set reduce() canonicalizes the power set to (small
+// inputs, so neither side's width cap fires).
+func TestAntichainAddMatchesReduce(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 5000; trial++ {
+		n := 1 + r.Intn(8)
+		var a achain
+		ss := stateSet{}
+		for i := 0; i < n; i++ {
+			s := randState(r)
+			a.add(s)
+			ss[s] = struct{}{}
+		}
+		want := reduce(ss)
+		got := chainDenotation(a)
+		if !setsEqual(got, want) {
+			t.Fatalf("trial %d: antichain denotes %v, reduce gives %v", trial, got, want)
+		}
+	}
+}
+
+// TestAntichainJoinDenotesUnion: join must denote the reduction of the
+// union of both sides' denotations.
+func TestAntichainJoinDenotesUnion(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 5000; trial++ {
+		var a, b achain
+		union := stateSet{}
+		for i, n := 0, 1+r.Intn(5); i < n; i++ {
+			s := randState(r)
+			a.add(s)
+			union[s] = struct{}{}
+		}
+		for i, n := 0, 1+r.Intn(5); i < n; i++ {
+			s := randState(r)
+			b.add(s)
+			union[s] = struct{}{}
+		}
+		a.join(b)
+		want := reduce(union)
+		if got := chainDenotation(a); !setsEqual(got, want) {
+			t.Fatalf("trial %d: join denotes %v, want %v", trial, got, want)
+		}
+	}
+}
+
+// TestSubsumesIsPartialOrder: the pruning relation must be reflexive,
+// antisymmetric, and transitive on sRes states, or the antichain would not
+// be a canonical form.
+func TestSubsumesIsPartialOrder(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 5000; trial++ {
+		x, y, z := randResState(r), randResState(r), randResState(r)
+		if !subsumes(x, x) {
+			t.Fatalf("not reflexive on %v", x)
+		}
+		if subsumes(x, y) && subsumes(y, x) && x != y {
+			t.Fatalf("antisymmetry violated: %v vs %v", x, y)
+		}
+		if subsumes(x, y) && subsumes(y, z) && !subsumes(x, z) {
+			t.Fatalf("transitivity violated: %v, %v, %v", x, y, z)
+		}
+	}
+}
+
+// TestMergeStatesSubsumesBoth: the widening replaces two states with their
+// merge, which is sound exactly when the merge subsumes (is weaker than)
+// both inputs.
+func TestMergeStatesSubsumesBoth(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 5000; trial++ {
+		x, y := randResState(r), randResState(r)
+		m := mergeStates(x, y)
+		if !subsumes(m, x) || !subsumes(m, y) {
+			t.Fatalf("merge %v does not subsume both %v and %v", m, x, y)
+		}
+		if m.dnames != m.dnames&m.names {
+			// The representation invariant must survive the merge when both
+			// inputs satisfy it.
+			t.Fatalf("merge %v broke dnames ⊆ names", m)
+		}
+	}
+}
+
+// TestCanonEqualIsSetEquality: equal() on canon()ed chains must coincide
+// with denotation equality — the fixpoint's convergence test depends on it.
+func TestCanonEqualIsSetEquality(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 5000; trial++ {
+		states := make([]state, 1+r.Intn(6))
+		for i := range states {
+			states[i] = randState(r)
+		}
+		var a, b achain
+		for _, s := range states {
+			a.add(s)
+		}
+		// Same states, shuffled insertion order.
+		for _, i := range r.Perm(len(states)) {
+			b.add(states[i])
+		}
+		a.canon()
+		b.canon()
+		if !a.equal(b) {
+			t.Fatalf("insertion order changed the canonical chain: %v vs %v", a, b)
+		}
+	}
+}

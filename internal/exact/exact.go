@@ -71,12 +71,48 @@ type SiteVerdict struct {
 	Text    string // instruction rendering
 	Verdict check.Verdict
 	By      DecidedBy
+	Solver  string // which solver produced an exact verdict ("" otherwise)
+}
+
+// Solver names. The antichain solver is the default: it represents each
+// focus key's reachable valuations as a subsumption-pruned antichain and
+// widens by merging instead of collapsing to top, which keeps the exact
+// refinement tractable at progen scale. The power-set solver is the PR-4
+// reference implementation, retained behind the flag as a differential
+// baseline: on programs where both finish the antichain solver never
+// produces a weaker verdict.
+const (
+	SolverAntichain = "antichain"
+	SolverPowerset  = "powerset"
+)
+
+// Options selects and bounds the exact solver. The zero value means the
+// antichain solver with no step budget.
+type Options struct {
+	// Solver is SolverAntichain (default when empty) or SolverPowerset.
+	Solver string
+
+	// StepBudget bounds the total number of state-transfer applications
+	// across the whole program's refinement; 0 means unlimited. The count
+	// is a deterministic function of (program, config, solver) — never
+	// wall-clock — so budgeted runs produce byte-identical artifacts.
+	// On exhaustion the remaining focus groups degrade to the prefilter
+	// verdict (unknown stays irreducible) and Report.Exhausted is set.
+	StepBudget int64
+}
+
+func (o Options) solverName() string {
+	if o.Solver == "" {
+		return SolverAntichain
+	}
+	return o.Solver
 }
 
 // Report holds the combined prefilter + refinement result.
 type Report struct {
 	Config cache.Config
 	Pre    *check.CacheReport
+	Solver string // solver that produced the exact verdicts
 	// Verdicts is the final per-site classification: the prefilter's
 	// verdict where it decided, the exact one where it refined. The
 	// refinement never downgrades — a prefilter hit/miss is final.
@@ -88,11 +124,28 @@ type Report struct {
 	PreHit, PreMiss     int
 	ExactHit, ExactMiss int
 	Irreducible         int
+
+	// Solver instrumentation: total state-transfer applications, the
+	// widest state set/antichain ever held, and whether the step budget
+	// ran out (leaving some groups at the prefilter verdict).
+	Steps     int64
+	PeakWidth int
+	Exhausted bool
 }
 
 // Analyze runs the prefilter and then the focused refinement on every site
-// the prefilter left unknown.
+// the prefilter left unknown, using the default (antichain) solver.
 func Analyze(p *ir.Program, ccfg cache.Config, opt check.Options) (*Report, error) {
+	return AnalyzeWith(p, ccfg, opt, Options{})
+}
+
+// AnalyzeWith is Analyze with explicit solver selection and budget.
+func AnalyzeWith(p *ir.Program, ccfg cache.Config, opt check.Options, xopt Options) (*Report, error) {
+	switch xopt.solverName() {
+	case SolverAntichain, SolverPowerset:
+	default:
+		return nil, fmt.Errorf("exact: unknown solver %q", xopt.Solver)
+	}
 	pre, err := check.AnalyzeCache(p, ccfg, opt)
 	if err != nil {
 		return nil, err
@@ -102,14 +155,18 @@ func Analyze(p *ir.Program, ccfg cache.Config, opt check.Options) (*Report, erro
 		return nil, err
 	}
 
-	r := &Report{Config: ccfg, Pre: pre, Verdicts: make(map[*ir.MemRef]check.Verdict, len(pre.Verdicts))}
+	r := &Report{Config: ccfg, Pre: pre, Solver: xopt.solverName(),
+		Verdicts: make(map[*ir.MemRef]check.Verdict, len(pre.Verdicts))}
 	refined := make(map[*ir.MemRef]bool)
 	for ref, v := range pre.Verdicts {
 		r.Verdicts[ref] = v
 	}
 
+	stats := &runStats{budget: xopt.StepBudget}
+	antichain := r.Solver == SolverAntichain
+
 	for _, f := range p.Funcs {
-		fs := sm.Func(f)
+		ctx := newFnCtx(sm, f)
 		// Group the prefilter-unknown sites by focused block, in
 		// first-appearance order.
 		type unkSite struct {
@@ -121,7 +178,7 @@ func Analyze(p *ir.Program, ccfg cache.Config, opt check.Options) (*Report, erro
 		for _, b := range f.Blocks {
 			for i := range b.Instrs {
 				in := &b.Instrs[i]
-				si, ok := fs.Resolve(in)
+				si, ok := ctx.site(in)
 				if !ok {
 					continue
 				}
@@ -135,13 +192,21 @@ func Analyze(p *ir.Program, ccfg cache.Config, opt check.Options) (*Report, erro
 			}
 		}
 		for _, k := range order {
+			if stats.exhausted {
+				break
+			}
 			sites := groups[k]
-			fo := newFocus(sm, fs, f, sites[0].si, ccfg)
+			fo := newFocus(ctx, sites[0].si, ccfg, stats)
 			wanted := make(map[*ir.Instr]bool, len(sites))
 			for _, s := range sites {
 				wanted[s.in] = true
 			}
-			verdicts := fo.solve(wanted)
+			var verdicts map[*ir.Instr]check.Verdict
+			if antichain {
+				verdicts = fo.solveAntichain(wanted)
+			} else {
+				verdicts = fo.solve(wanted)
+			}
 			for _, s := range sites {
 				if v, ok := verdicts[s.in]; ok && v != check.Unknown {
 					r.Verdicts[s.in.Ref] = v
@@ -150,6 +215,7 @@ func Analyze(p *ir.Program, ccfg cache.Config, opt check.Options) (*Report, erro
 			}
 		}
 	}
+	r.Steps, r.PeakWidth, r.Exhausted = stats.steps, stats.peak, stats.exhausted
 
 	// Per-site report and summary, in program order.
 	for _, f := range p.Funcs {
@@ -188,6 +254,10 @@ func Analyze(p *ir.Program, ccfg cache.Config, opt check.Options) (*Report, erro
 					}
 				}
 				r.Total++
+				solver := ""
+				if by == ByExact {
+					solver = r.Solver
+				}
 				si, _ := sm.Func(f).Resolve(in)
 				r.Sites = append(r.Sites, SiteVerdict{
 					Func:    f.Name,
@@ -197,6 +267,7 @@ func Analyze(p *ir.Program, ccfg cache.Config, opt check.Options) (*Report, erro
 					Text:    in.String(),
 					Verdict: v,
 					By:      by,
+					Solver:  solver,
 				})
 			}
 		}
@@ -322,8 +393,33 @@ type accessRel struct {
 	killRes  bool // Last + any dead-marking: revokes residency protection
 }
 
+// runStats aggregates deterministic solver instrumentation across every
+// focus group of one AnalyzeWith run. steps counts state-transfer
+// applications — a pure function of (program, config, solver), never
+// wall-clock — so a budgeted run degrades at exactly the same point every
+// time and artifacts stay byte-stable.
+type runStats struct {
+	steps     int64
+	budget    int64 // 0 = unlimited
+	exhausted bool
+	peak      int // widest state set / antichain ever held
+}
+
+func (st *runStats) charge(n int) {
+	st.steps += int64(n)
+	if st.budget > 0 && st.steps > st.budget {
+		st.exhausted = true
+	}
+}
+
+func (st *runStats) width(n int) {
+	if n > st.peak {
+		st.peak = n
+	}
+}
+
 type focus struct {
-	fs        *check.FuncSites
+	ctx       *fnCtx
 	f         *ir.Func
 	k         check.SiteInfo
 	cfg       cache.Config
@@ -331,34 +427,75 @@ type focus struct {
 	lineExact bool // one-word lines: distinct blocks are distinct lines
 	cold      bool
 	nameIdx   map[check.SiteKey]int
-	rels      map[*ir.Instr]accessRel
+	maps      map[*ir.Instr]func(state) []state // per-instr transfer, shared by both solvers
+	stats     *runStats
 }
 
-func newFocus(sm *check.SiteModel, fs *check.FuncSites, f *ir.Func, k check.SiteInfo, ccfg cache.Config) *focus {
+func newFocus(ctx *fnCtx, k check.SiteInfo, ccfg cache.Config, stats *runStats) *focus {
 	fo := &focus{
-		fs:        fs,
-		f:         f,
+		ctx:       ctx,
+		f:         ctx.f,
 		k:         k,
 		cfg:       ccfg,
-		mustOK:    sm.MustHalf(),
+		mustOK:    ctx.sm.MustHalf(),
 		lineExact: ccfg.LineWords == 1,
 		nameIdx:   make(map[check.SiteKey]int),
-		rels:      make(map[*ir.Instr]accessRel),
+		maps:      make(map[*ir.Instr]func(state) []state),
+		stats:     stats,
 	}
 	// A cold entry only stays cold at the machine level when lines are one
 	// word: wider lines let prologue traffic fetch neighbors of the focus.
-	fo.cold = sm.ColdEntry(f) && fo.lineExact
-	for i, nk := range fs.NamedKeys() {
-		if i >= dataflow.WordBits {
+	fo.cold = ctx.sm.ColdEntry(ctx.f) && fo.lineExact
+	next := 0
+	for _, nk := range ctx.namedKeys {
+		if next >= dataflow.WordBits {
 			break // overflow blocks are counted as anon
 		}
-		fo.nameIdx[nk] = i
+		if _, dup := fo.nameIdx[nk]; !dup {
+			fo.nameIdx[nk] = next
+			next++
+		}
 	}
-	for _, b := range f.Blocks {
+	// In interprocedural mode the callees' global lines join the name
+	// table: a call's summarized traffic then counts as definitely-distinct
+	// named blocks instead of fresh anonymous ones on every call, which is
+	// what lets residency bounds survive call-heavy loops. Lines the caller
+	// already tracks dedup to the caller's own key (same block, same bit).
+	for _, nk := range ctx.summaryKeys {
+		if next >= dataflow.WordBits {
+			break
+		}
+		if _, dup := fo.nameIdx[nk]; !dup {
+			fo.nameIdx[nk] = next
+			next++
+		}
+	}
+
+	callRels := make(map[*check.CallSummary]*callRel)
+	for _, b := range ctx.f.Blocks {
 		for i := range b.Instrs {
 			in := &b.Instrs[i]
-			if si, ok := fs.Resolve(in); ok {
-				fo.rels[in] = fo.relate(si)
+			switch {
+			case in.Op == ir.OpCall:
+				sum := ctx.callSums[in]
+				if sum == nil || sum.Clobber {
+					fo.maps[in] = fo.callState
+					continue
+				}
+				rel, ok := callRels[sum]
+				if !ok {
+					rel = fo.relateCall(sum)
+					callRels[sum] = rel
+				}
+				r := rel
+				fo.maps[in] = func(s state) []state { return fo.callSummaryState(r, s) }
+			case in.Op == ir.OpArg:
+				fo.maps[in] = fo.argState
+			default:
+				if si, ok := ctx.site(in); ok {
+					rel := fo.relate(si)
+					fo.maps[in] = func(s state) []state { return fo.transferAccess(rel, s) }
+				}
 			}
 		}
 	}
@@ -373,10 +510,10 @@ func (fo *focus) relate(si check.SiteInfo) accessRel {
 		killRes:  si.Last && fo.cfg.DeadKillsResidency(),
 		nameBit:  -1,
 	}
-	rel.mayFocus = rel.defFocus || fo.fs.MayBe(si, fo.k)
+	rel.mayFocus = rel.defFocus || fo.ctx.mayBe(si, fo.k)
 	if !si.Uncertain && !fo.k.Uncertain {
-		rel.conflict = fo.fs.MayConflict(si.Key, fo.k.Key)
-		rel.mustConf = fo.fs.MustConflict(si.Key, fo.k.Key)
+		rel.conflict = fo.ctx.fs.MayConflict(si.Key, fo.k.Key)
+		rel.mustConf = fo.ctx.fs.MustConflict(si.Key, fo.k.Key)
 	} else {
 		rel.conflict = true
 	}
@@ -541,19 +678,9 @@ func (fo *focus) argState(s state) []state {
 }
 
 func (fo *focus) transferInstr(in *ir.Instr, ss stateSet) stateSet {
-	var mapped func(state) []state
-	switch {
-	case in.Op == ir.OpCall:
-		mapped = fo.callState
-	case in.Op == ir.OpArg:
-		mapped = fo.argState
-	default:
-		if rel, ok := fo.rels[in]; ok {
-			mapped = func(s state) []state { return fo.transferAccess(rel, s) }
-		}
-	}
 	out := ss
-	if mapped != nil {
+	if mapped := fo.maps[in]; mapped != nil {
+		fo.stats.charge(len(ss))
 		out = make(stateSet, len(ss))
 		for s := range ss {
 			for _, ns := range mapped(s) {
@@ -561,6 +688,7 @@ func (fo *focus) transferInstr(in *ir.Instr, ss stateSet) stateSet {
 			}
 		}
 		out = reduce(out)
+		fo.stats.width(len(out))
 	}
 	// Redefining the focus pseudo-register retires the block: the register
 	// now names some other line, about which nothing is known.
@@ -570,7 +698,8 @@ func (fo *focus) transferInstr(in *ir.Instr, ss stateSet) stateSet {
 	return out
 }
 
-// solve runs the fixed point and returns the verdict at every wanted site.
+// solve runs the power-set fixed point and returns the verdict at every
+// wanted site.
 func (fo *focus) solve(wanted map[*ir.Instr]bool) map[*ir.Instr]check.Verdict {
 	f := fo.f
 	in := make([]stateSet, len(f.Blocks))
@@ -596,6 +725,9 @@ func (fo *focus) solve(wanted map[*ir.Instr]bool) map[*ir.Instr]check.Verdict {
 			cur := cloneSet(ss)
 			for i := range b.Instrs {
 				cur = fo.transferInstr(&b.Instrs[i], cur)
+			}
+			if fo.stats.exhausted {
+				return nil
 			}
 			for _, succ := range b.Succs {
 				merged := cloneSet(cur)
@@ -642,6 +774,9 @@ func (fo *focus) solve(wanted map[*ir.Instr]bool) map[*ir.Instr]check.Verdict {
 			}
 			cur = fo.transferInstr(instr, cur)
 		}
+		if fo.stats.exhausted {
+			return nil
+		}
 	}
 	return out
 }
@@ -654,15 +789,29 @@ func (fo *focus) verdictOf(ss stateSet) check.Verdict {
 	}
 	hit, miss := true, true
 	for s := range ss {
-		switch {
-		case s.kind == sNC:
-			hit = false
-		case fo.residencyGuaranteed(s):
-			miss = false
-		default:
+		v := fo.stateVote(s, &hit, &miss)
+		if !v {
 			return check.Unknown
 		}
 	}
+	return voteVerdict(hit, miss)
+}
+
+// stateVote folds one state into a hit/miss vote; false means the state is
+// neither definitely-resident nor definitely-uncached, so no verdict.
+func (fo *focus) stateVote(s state, hit, miss *bool) bool {
+	switch {
+	case s.kind == sNC:
+		*hit = false
+	case fo.residencyGuaranteed(s):
+		*miss = false
+	default:
+		return false
+	}
+	return true
+}
+
+func voteVerdict(hit, miss bool) check.Verdict {
 	switch {
 	case hit:
 		return check.AlwaysHit

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/cache"
+	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/exact"
 	"repro/internal/mcgen"
@@ -43,6 +44,67 @@ func FuzzExact(f *testing.F) {
 				}
 				if verr := res.Err(); verr != nil {
 					t.Errorf("seed %d %s/%s stack=%v:\n%v\nsource:\n%s", seed, mode, ccfg.Policy, stack, verr, src)
+				}
+			}
+		}
+	})
+}
+
+// FuzzExactAntichain differentially fuzzes the antichain solver against
+// the power-set reference: on every generated program (both modes, with
+// and without interprocedural summaries) the two must produce identical
+// per-site verdicts, and the antichain verdicts must survive the VM
+// oracle. A divergence is always a solver bug — the compression argument
+// says the representations are equivalent.
+func FuzzExactAntichain(f *testing.F) {
+	for seed := int64(0); seed < 8; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		src := mcgen.Program(seed)
+		for _, mode := range []core.Mode{core.Unified, core.Conventional} {
+			ccfg := cache.DefaultConfig()
+			if mode == core.Conventional {
+				ccfg = cache.ConventionalConfig()
+			}
+			comp, err := core.Compile(src, core.Config{Mode: mode, StackScalars: true, Check: true})
+			if err != nil {
+				continue
+			}
+			for _, interproc := range []bool{false, true} {
+				opt := check.Options{Unified: mode == core.Unified}
+				if interproc {
+					opt.Interproc = true
+					opt.SavedRegs = core.SavedRegCounts(comp)
+				}
+				var reps [2]*exact.Report
+				for i, solver := range []string{exact.SolverAntichain, exact.SolverPowerset} {
+					rep, err := exact.AnalyzeWith(comp.Prog, ccfg, opt, exact.Options{Solver: solver})
+					if err != nil {
+						t.Fatalf("seed %d %s/%s: %v", seed, mode, solver, err)
+					}
+					reps[i] = rep
+				}
+				a, p := reps[0], reps[1]
+				if len(a.Sites) != len(p.Sites) {
+					t.Fatalf("seed %d %s: %d vs %d sites", seed, mode, len(a.Sites), len(p.Sites))
+				}
+				for i := range a.Sites {
+					sa, sp := a.Sites[i], p.Sites[i]
+					if sa.Verdict != sp.Verdict || sa.By != sp.By {
+						t.Errorf("seed %d %s interproc=%v, %s b%d i%d (%s): antichain %s by %s, powerset %s by %s\nsource:\n%s",
+							seed, mode, interproc, sa.Func, sa.Block, sa.Index, sa.Key,
+							sa.Verdict, sa.By, sp.Verdict, sp.By, src)
+					}
+				}
+				// The antichain verdicts must also be dynamically sound.
+				res, err := exact.OracleWith(src, core.Config{Mode: mode, StackScalars: true, Check: true},
+					ccfg, 2_000_000, exact.Options{Solver: exact.SolverAntichain}, interproc)
+				if err != nil {
+					continue // resource exhaustion: ordinary for generated code
+				}
+				if verr := res.Err(); verr != nil {
+					t.Errorf("seed %d %s interproc=%v:\n%v\nsource:\n%s", seed, mode, interproc, verr, src)
 				}
 			}
 		}

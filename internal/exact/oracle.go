@@ -78,11 +78,23 @@ func (r *OracleResult) Summary() string {
 // Machine-invented traffic — prologue/epilogue saves, argument staging —
 // carries no site and is counted but not judged.
 func Oracle(src string, ccore core.Config, ccfg cache.Config, maxSteps int64) (*OracleResult, error) {
+	return OracleWith(src, ccore, ccfg, maxSteps, Options{}, false)
+}
+
+// OracleWith is Oracle with explicit solver selection and (optionally)
+// summary-based interprocedural call transfer — every solver/mode
+// combination must survive the same dynamic replay.
+func OracleWith(src string, ccore core.Config, ccfg cache.Config, maxSteps int64, xopt Options, interproc bool) (*OracleResult, error) {
 	comp, err := core.Compile(src, ccore)
 	if err != nil {
 		return nil, err
 	}
-	rep, err := Analyze(comp.Prog, ccfg, check.Options{Unified: ccore.Mode == core.Unified, MaxSteps: maxSteps})
+	opt := check.Options{Unified: ccore.Mode == core.Unified, MaxSteps: maxSteps}
+	if interproc {
+		opt.Interproc = true
+		opt.SavedRegs = core.SavedRegCounts(comp)
+	}
+	rep, err := AnalyzeWith(comp.Prog, ccfg, opt, xopt)
 	if err != nil {
 		return nil, err
 	}

@@ -7,13 +7,23 @@ import (
 	"strings"
 )
 
-// JSONSchema identifies the exact-report artifact format.
-const JSONSchema = "unicache-exact/v1"
+// JSONSchema identifies the current exact-report artifact format. v2 adds
+// solver provenance: the top-level solver that ran the refinement and a
+// per-site solver on every verdict the exact pass (not the prefilter)
+// produced.
+const JSONSchema = "unicache-exact/v2"
 
-// jsonReport is the machine-readable rendering of a Report.
-type jsonReport struct {
+// JSONSchemaV1 is the previous format, which predates solver selection:
+// every v1 refinement verdict was produced by the power-set solver.
+// ReadReportJSON still accepts it.
+const JSONSchemaV1 = "unicache-exact/v1"
+
+// ReportJSON is the machine-readable rendering of a Report — the document
+// WriteJSON emits and ReadReportJSON parses.
+type ReportJSON struct {
 	Schema  string     `json:"schema"`
-	Config  jsonConfig `json:"config"`
+	Solver  string     `json:"solver,omitempty"` // refinement solver (v2)
+	Config  ConfigJSON `json:"config"`
 	Summary struct {
 		Sites       int `json:"sites"`
 		Bypass      int `json:"bypass"`
@@ -23,10 +33,11 @@ type jsonReport struct {
 		ExactMiss   int `json:"exact_miss"`
 		Irreducible int `json:"irreducible"`
 	} `json:"summary"`
-	Sites []jsonSite `json:"sites"`
+	Sites []SiteJSON `json:"sites"`
 }
 
-type jsonConfig struct {
+// ConfigJSON is the cache configuration block of a report document.
+type ConfigJSON struct {
 	Sets        int    `json:"sets"`
 	Ways        int    `json:"ways"`
 	LineWords   int    `json:"line_words"`
@@ -35,7 +46,10 @@ type jsonConfig struct {
 	HonorBypass bool   `json:"honor_bypass"`
 }
 
-type jsonSite struct {
+// SiteJSON is one classified site of a report document. Solver is set (v2)
+// exactly when the verdict came from the exact refinement ("by": "exact"):
+// prefilter and bypass verdicts are solver-independent.
+type SiteJSON struct {
 	Func    string `json:"func"`
 	Block   int    `json:"block"`
 	Index   int    `json:"index"`
@@ -43,15 +57,17 @@ type jsonSite struct {
 	Text    string `json:"text"`
 	Verdict string `json:"verdict"`
 	By      string `json:"by"`
+	Solver  string `json:"solver,omitempty"`
 }
 
 // WriteJSON emits the per-site report and precision summary as one JSON
 // document. The encoding is deterministic: sites are in program order and
 // no maps are marshaled.
 func (r *Report) WriteJSON(w io.Writer) error {
-	doc := jsonReport{
+	doc := ReportJSON{
 		Schema: JSONSchema,
-		Config: jsonConfig{
+		Solver: r.Solver,
+		Config: ConfigJSON{
 			Sets:        r.Config.Sets,
 			Ways:        r.Config.Ways,
 			LineWords:   r.Config.LineWords,
@@ -68,7 +84,7 @@ func (r *Report) WriteJSON(w io.Writer) error {
 	doc.Summary.ExactMiss = r.ExactMiss
 	doc.Summary.Irreducible = r.Irreducible
 	for _, s := range r.Sites {
-		doc.Sites = append(doc.Sites, jsonSite{
+		doc.Sites = append(doc.Sites, SiteJSON{
 			Func:    s.Func,
 			Block:   s.Block,
 			Index:   s.Index,
@@ -76,11 +92,42 @@ func (r *Report) WriteJSON(w io.Writer) error {
 			Text:    s.Text,
 			Verdict: s.Verdict.String(),
 			By:      s.By.String(),
+			Solver:  s.Solver,
 		})
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
 	return enc.Encode(doc)
+}
+
+// ReadReportJSON parses a report artifact leniently, in the spirit of
+// sweep.ReadRecords: v1 and v2 schemas are both accepted, unknown fields
+// are ignored, and missing optional fields default rather than fail. The
+// only hard errors are malformed JSON and a schema string from some other
+// artifact family — those are not damaged reports, they are the wrong
+// file. On v1 documents every exact-pass site verdict is attributed to the
+// power-set solver (the only solver that existed when v1 was written).
+func ReadReportJSON(r io.Reader) (*ReportJSON, error) {
+	var doc ReportJSON
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("exact: reading report: %w", err)
+	}
+	switch doc.Schema {
+	case JSONSchema:
+	case JSONSchemaV1:
+		if doc.Solver == "" {
+			doc.Solver = SolverPowerset
+		}
+		for i := range doc.Sites {
+			if doc.Sites[i].Solver == "" && doc.Sites[i].By == ByExact.String() {
+				doc.Sites[i].Solver = SolverPowerset
+			}
+		}
+	default:
+		return nil, fmt.Errorf("exact: unknown report schema %q", doc.Schema)
+	}
+	return &doc, nil
 }
 
 // Classified is the number of sites the refinement is responsible for:
@@ -104,8 +151,8 @@ func (r *Report) Precision() (mustMay, exactPct, irreducible float64) {
 // (prefilter-decided sites appear in the prefilter's own report).
 func (r *Report) Render() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "exact refinement (%d sets x %d ways, line %d, %s): %s\n",
-		r.Config.Sets, r.Config.Ways, r.Config.LineWords, r.Config.Policy, r.Summary())
+	fmt.Fprintf(&sb, "exact refinement (%d sets x %d ways, line %d, %s; %s solver): %s\n",
+		r.Config.Sets, r.Config.Ways, r.Config.LineWords, r.Config.Policy, r.Solver, r.Summary())
 	lastFunc := ""
 	for _, s := range r.Sites {
 		if s.By != ByExact && s.By != ByIrreducible {

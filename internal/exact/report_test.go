@@ -1,0 +1,115 @@
+package exact_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/exact"
+)
+
+const reportSrc = `
+void main() {
+    int s;
+    int i;
+    s = 0;
+    for (i = 0; i < 10; i = i + 1) {
+        s = s + i;
+    }
+    print(s);
+}`
+
+// A v2 document must survive a write/read round trip with its solver
+// provenance intact.
+func TestReportJSONRoundTripV2(t *testing.T) {
+	comp, err := core.Compile(reportSrc, core.Config{Mode: core.Conventional, StackScalars: true, Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccfg := cache.ConventionalConfig()
+	ccfg.Policy = cache.FIFO // prefilter's must half off: forces exact verdicts
+	for _, solver := range []string{exact.SolverAntichain, exact.SolverPowerset} {
+		rep, err := exact.AnalyzeWith(comp.Prog, ccfg, opts(core.Conventional), exact.Options{Solver: solver})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.ExactHit == 0 {
+			t.Fatalf("%s: no exact verdicts; test needs at least one", solver)
+		}
+		var buf strings.Builder
+		if err := rep.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		doc, err := exact.ReadReportJSON(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("%s: re-reading own artifact: %v", solver, err)
+		}
+		if doc.Schema != exact.JSONSchema {
+			t.Errorf("schema %q, want %q", doc.Schema, exact.JSONSchema)
+		}
+		if doc.Solver != solver {
+			t.Errorf("top-level solver %q, want %q", doc.Solver, solver)
+		}
+		exactSites := 0
+		for _, s := range doc.Sites {
+			switch s.By {
+			case "exact":
+				exactSites++
+				if s.Solver != solver {
+					t.Errorf("exact site %s b%d i%d attributed to %q, want %q", s.Func, s.Block, s.Index, s.Solver, solver)
+				}
+			default:
+				if s.Solver != "" {
+					t.Errorf("%s site carries solver %q; prefilter verdicts are solver-independent", s.By, s.Solver)
+				}
+			}
+		}
+		if exactSites != rep.ExactHit+rep.ExactMiss {
+			t.Errorf("artifact has %d exact sites, report counted %d", exactSites, rep.ExactHit+rep.ExactMiss)
+		}
+	}
+}
+
+// A v1 document (written before solver selection existed) must still read,
+// with every exact verdict attributed to the power-set solver — and
+// unknown fields must be ignored, like sweep.ReadRecords' salvage.
+func TestReportJSONReadsV1Leniently(t *testing.T) {
+	v1 := `{
+ "schema": "unicache-exact/v1",
+ "future_field": {"nested": true},
+ "config": {"sets": 32, "ways": 2, "line_words": 1, "policy": "LRU", "dead": "off", "honor_bypass": false},
+ "summary": {"sites": 2, "bypass": 0, "pre_hit": 1, "pre_miss": 0, "exact_hit": 1, "exact_miss": 0, "irreducible": 0},
+ "sites": [
+  {"func": "main", "block": 0, "index": 1, "key": "g", "text": "load", "verdict": "always-hit", "by": "must/may"},
+  {"func": "main", "block": 0, "index": 2, "key": "g", "text": "load", "verdict": "always-hit", "by": "exact", "extra": 7}
+ ]
+}`
+	doc, err := exact.ReadReportJSON(strings.NewReader(v1))
+	if err != nil {
+		t.Fatalf("v1 artifact rejected: %v", err)
+	}
+	if doc.Solver != exact.SolverPowerset {
+		t.Errorf("v1 top-level solver %q, want %q", doc.Solver, exact.SolverPowerset)
+	}
+	if got := doc.Sites[0].Solver; got != "" {
+		t.Errorf("v1 prefilter site given solver %q", got)
+	}
+	if got := doc.Sites[1].Solver; got != exact.SolverPowerset {
+		t.Errorf("v1 exact site solver %q, want %q", got, exact.SolverPowerset)
+	}
+	if doc.Summary.Sites != 2 || doc.Summary.ExactHit != 1 {
+		t.Errorf("v1 summary mangled: %+v", doc.Summary)
+	}
+}
+
+// Wrong-family and malformed documents are hard errors: they are not
+// damaged reports, they are the wrong file.
+func TestReportJSONRejectsForeignArtifacts(t *testing.T) {
+	if _, err := exact.ReadReportJSON(strings.NewReader(`{"schema": "unicache-sweep/v3"}`)); err == nil {
+		t.Error("foreign schema accepted")
+	}
+	if _, err := exact.ReadReportJSON(strings.NewReader(`{"schema": "unicache-exact/v2", "sites": [`)); err == nil {
+		t.Error("truncated document accepted")
+	}
+}

@@ -1,0 +1,78 @@
+package exact_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/cache"
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/exact"
+)
+
+// siteTranscript renders a report's per-site verdicts in a solver-free,
+// deterministic form for byte-level comparison.
+func siteTranscript(rep *exact.Report) string {
+	var sb strings.Builder
+	for _, s := range rep.Sites {
+		fmt.Fprintf(&sb, "%s b%d i%d %s %s %s %s\n", s.Func, s.Block, s.Index, s.Key, s.Text, s.Verdict, s.By)
+	}
+	return sb.String()
+}
+
+// TestSolversAgreeOnBenchmarks is the solver-equivalence differential: on
+// every benchmark, in both modes, with and without interprocedural
+// summaries, the antichain and power-set solvers must produce byte-identical
+// per-site verdict transcripts.
+func TestSolversAgreeOnBenchmarks(t *testing.T) {
+	for _, b := range bench.All() {
+		for _, mode := range []core.Mode{core.Unified, core.Conventional} {
+			ccfg := cache.DefaultConfig()
+			if mode == core.Conventional {
+				ccfg = cache.ConventionalConfig()
+			}
+			comp, err := core.Compile(b.Source, core.Config{Mode: mode, StackScalars: true, Check: true})
+			if err != nil {
+				t.Fatalf("%s: %v", b.Name, err)
+			}
+			for _, interproc := range []bool{false, true} {
+				opt := check.Options{Unified: mode == core.Unified}
+				if interproc {
+					opt.Interproc = true
+					opt.SavedRegs = core.SavedRegCounts(comp)
+				}
+				var tx [2]string
+				for i, solver := range []string{exact.SolverAntichain, exact.SolverPowerset} {
+					rep, err := exact.AnalyzeWith(comp.Prog, ccfg, opt, exact.Options{Solver: solver})
+					if err != nil {
+						t.Fatalf("%s/%s/%s: %v", b.Name, mode, solver, err)
+					}
+					if rep.Solver != solver {
+						t.Errorf("%s/%s: report attributes verdicts to %q, ran %q", b.Name, mode, rep.Solver, solver)
+					}
+					tx[i] = siteTranscript(rep)
+				}
+				if tx[0] != tx[1] {
+					t.Errorf("%s/%s interproc=%v: solver transcripts differ:\nantichain:\n%s\npowerset:\n%s",
+						b.Name, mode, interproc, tx[0], tx[1])
+				}
+			}
+		}
+	}
+}
+
+// TestSolverOptionsValidated: an unknown solver name must be a hard error,
+// not a silent fallback.
+func TestSolverOptionsValidated(t *testing.T) {
+	comp, err := core.Compile(bench.All()[0].Source, core.Config{Mode: core.Conventional, Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = exact.AnalyzeWith(comp.Prog, cache.ConventionalConfig(),
+		check.Options{}, exact.Options{Solver: "magic"})
+	if err == nil {
+		t.Error("unknown solver name accepted")
+	}
+}

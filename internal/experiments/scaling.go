@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/progen"
+	"repro/internal/sweep"
+)
+
+// ExpScaling tags the E12 record stream: the exact-analysis scaling
+// campaign over generated programs far beyond benchmark size, run through
+// both solvers with interprocedural summaries on.
+const ExpScaling = "scaling"
+
+// ScalingSchema identifies the checked-in BENCH_exact.json artifact. The
+// envelope mirrors the sweep artifact (header fields, then one Record per
+// line), so sweep.ReadRecords salvages it unchanged.
+const ScalingSchema = "unicache-exact-scale/v1"
+
+// ScalingSpec parameterizes the campaign.
+type ScalingSpec struct {
+	Seeds  []int64 // progen seeds, one program each
+	Scale  int     // progen.ScaleKnobs factor
+	Budget int64   // per-(program, solver) step budget; 0 unlimited
+}
+
+// DefaultScalingSpec is the checked-in campaign: twenty generated programs
+// at scale 6, every one at least ten times the benchmark suite's mean site
+// count (67), most fifteen to a hundred times it. The seed list is the
+// first twenty seeds whose compiled program has >= 670 reference sites
+// (seeds 12 and 17 fall short and are skipped); TestScalingCorpusSize
+// re-derives the floor. Both solvers run under the same deterministic step
+// budget — steps, not seconds — so exhaustion is a property of the
+// program, never of the machine, and the artifact is byte-stable anywhere.
+func DefaultScalingSpec() ScalingSpec {
+	return ScalingSpec{
+		Seeds:  []int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 14, 15, 16, 18, 19, 20, 21, 22},
+		Scale:  6,
+		Budget: 25_000_000,
+	}
+}
+
+// scalingConfig is the fixed hardware point of the campaign: the paper's
+// cache, conventional management (through-cache traffic everywhere — the
+// hardest refinement load; unified-mode bypass bits would classify most
+// sites trivially).
+func scalingConfig() cache.Config {
+	g := CacheGeometry{Sets: 32, Ways: 2, LineWords: 1, Policy: cache.LRU}
+	return g.conventional()
+}
+
+// RecordsScaling runs the campaign and returns two records per seed (one
+// per solver). Purely static — no simulation. WallNS is filled for the
+// table but excluded from the JSON encoding, which stays byte-stable
+// across machines and runs.
+func RecordsScaling(spec ScalingSpec) ([]sweep.Record, error) {
+	ccfg := scalingConfig()
+	var out []sweep.Record
+	for _, seed := range spec.Seeds {
+		src := progen.Source(seed, progen.ScaleKnobs(spec.Scale))
+		comp, err := core.Compile(src, core.Config{Mode: core.Conventional, StackScalars: true, Check: true})
+		if err != nil {
+			return nil, fmt.Errorf("progen seed %d: %w", seed, err)
+		}
+		opt := check.Options{
+			Interproc: true,
+			SavedRegs: core.SavedRegCounts(comp),
+		}
+		for _, solver := range []string{exact.SolverAntichain, exact.SolverPowerset} {
+			t0 := time.Now()
+			rep, err := exact.AnalyzeWith(comp.Prog, ccfg, opt, exact.Options{Solver: solver, StepBudget: spec.Budget})
+			if err != nil {
+				return nil, fmt.Errorf("progen seed %d (%s): %w", seed, solver, err)
+			}
+			r := sweep.NewRecord(fmt.Sprintf("progen-%03d", seed), Baseline.String(), sweep.ModeConventional, ccfg)
+			r.Experiment = ExpScaling
+			r.Solver = solver
+			r.SetKey()
+			r.StaticSites = rep.Total
+			r.StaticBypass = rep.Bypassed
+			r.PreHit = rep.PreHit
+			r.PreMiss = rep.PreMiss
+			r.ExactHit = rep.ExactHit
+			r.ExactMiss = rep.ExactMiss
+			r.Irreducible = rep.Irreducible
+			r.AnalysisSteps = rep.Steps
+			r.AnalysisStates = rep.PeakWidth
+			r.AnalysisExhausted = rep.Exhausted
+			r.WallNS = time.Since(t0).Nanoseconds()
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// WriteScalingJSON writes the BENCH_exact.json artifact: a schema header,
+// the campaign parameters, then one record per line — the same salvage
+// unit sweep.ReadRecords understands. Nothing in the encoding depends on
+// wall time, machine, or map order, so two runs of the same spec produce
+// byte-identical files.
+func WriteScalingJSON(w io.Writer, spec ScalingSpec, recs []sweep.Record) error {
+	seeds := make([]string, len(spec.Seeds))
+	for i, s := range spec.Seeds {
+		seeds[i] = fmt.Sprint(s)
+	}
+	if _, err := fmt.Fprintf(w, "{\n\"schema\": %q,\n\"scale\": %d,\n\"budget\": %d,\n\"seeds\": [%s],\n\"records\": [\n",
+		ScalingSchema, spec.Scale, spec.Budget, strings.Join(seeds, ",")); err != nil {
+		return err
+	}
+	for i, r := range recs {
+		b, err := r.MarshalLine()
+		if err != nil {
+			return err
+		}
+		sep := ","
+		if i == len(recs)-1 {
+			sep = ""
+		}
+		if _, err := fmt.Fprintf(w, "%s%s\n", b, sep); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprint(w, "]}\n")
+	return err
+}
+
+// ScalingRow pairs one seed's two solver records for rendering.
+type ScalingRow struct {
+	Bench               string
+	Antichain, Powerset sweep.Record
+	HaveAnti, HavePower bool
+}
+
+// ScalingTable is the E12 result.
+type ScalingTable struct {
+	Rows []ScalingRow
+}
+
+// ScalingFromRecords groups a scaling record stream by program, in first-
+// appearance order.
+func ScalingFromRecords(recs []sweep.Record) ScalingTable {
+	idx := map[string]int{}
+	var t ScalingTable
+	for _, r := range recs {
+		i, ok := idx[r.Bench]
+		if !ok {
+			i = len(t.Rows)
+			idx[r.Bench] = i
+			t.Rows = append(t.Rows, ScalingRow{Bench: r.Bench})
+		}
+		switch r.Solver {
+		case exact.SolverAntichain:
+			t.Rows[i].Antichain, t.Rows[i].HaveAnti = r, true
+		case exact.SolverPowerset:
+			t.Rows[i].Powerset, t.Rows[i].HavePower = r, true
+		}
+	}
+	return t
+}
+
+// Scaling computes the E12 table from scratch.
+func Scaling(spec ScalingSpec) (ScalingTable, error) {
+	recs, err := RecordsScaling(spec)
+	if err != nil {
+		return ScalingTable{}, err
+	}
+	return ScalingFromRecords(recs), nil
+}
+
+// Mismatches returns the programs where the two solvers disagree on any
+// verdict count despite both finishing — the solver-equivalence invariant;
+// always empty unless one of them is buggy. Rows where either solver
+// exhausted its budget are skipped (a budgeted run legitimately resolves
+// fewer sites).
+func (t ScalingTable) Mismatches() []string {
+	var bad []string
+	for _, r := range t.Rows {
+		if !r.HaveAnti || !r.HavePower || r.Antichain.AnalysisExhausted || r.Powerset.AnalysisExhausted {
+			continue
+		}
+		a, p := r.Antichain, r.Powerset
+		if a.PreHit != p.PreHit || a.PreMiss != p.PreMiss ||
+			a.ExactHit < p.ExactHit || a.ExactMiss < p.ExactMiss ||
+			a.Irreducible > p.Irreducible {
+			bad = append(bad, r.Bench)
+		}
+	}
+	return bad
+}
+
+// String renders the E12 table. Wall times (the only nondeterministic
+// column) are printed here and nowhere else.
+func (t ScalingTable) String() string {
+	var sb strings.Builder
+	sb.WriteString("E12: exact-analysis scaling on generated programs (antichain vs power-set, interprocedural summaries on)\n")
+	fmt.Fprintf(&sb, "%-12s %6s | %-9s %10s %5s %4s %5s %5s %5s %9s\n",
+		"program", "sites", "solver", "steps", "peak", "exh", "hit", "miss", "unk", "wall")
+	for _, row := range t.Rows {
+		for _, s := range []struct {
+			rec sweep.Record
+			ok  bool
+		}{{row.Antichain, row.HaveAnti}, {row.Powerset, row.HavePower}} {
+			if !s.ok {
+				continue
+			}
+			r := s.rec
+			exh := "-"
+			if r.AnalysisExhausted {
+				exh = "yes"
+			}
+			fmt.Fprintf(&sb, "%-12s %6d | %-9s %10d %5d %4s %5d %5d %5d %9s\n",
+				r.Bench, r.StaticSites, r.Solver, r.AnalysisSteps, r.AnalysisStates, exh,
+				r.PreHit+r.ExactHit, r.PreMiss+r.ExactMiss, r.Irreducible,
+				time.Duration(r.WallNS).Round(time.Millisecond))
+		}
+	}
+	if bad := t.Mismatches(); len(bad) > 0 {
+		fmt.Fprintf(&sb, "SOLVER MISMATCH on: %s\n", strings.Join(bad, ", "))
+	}
+	return sb.String()
+}

@@ -72,6 +72,25 @@ func DefaultKnobs() Knobs {
 	}
 }
 
+// ScaleKnobs tunes the generator for the scaling campaign (E12): programs
+// roughly scale× the default size in functions and statement volume, with
+// proportionally more globals and call sites so both the interprocedural
+// summaries and the focused refinement have real material. Scale 1 is
+// DefaultKnobs.
+func ScaleKnobs(scale int) Knobs {
+	if scale < 1 {
+		scale = 1
+	}
+	k := DefaultKnobs()
+	k.Globals = 4 + 2*scale
+	k.GlobalArrays = 2 + scale/2
+	k.GlobalPtrs = 2 + scale/4
+	k.Funcs = 3 + 2*scale
+	k.MaxStmts = 6 + scale
+	k.MaxCallSites = 4 + scale/2
+	return k
+}
+
 func (k Knobs) normalized() Knobs {
 	if k.MaxStmts < 1 {
 		k.MaxStmts = 1

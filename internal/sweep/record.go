@@ -60,6 +60,19 @@ type Record struct {
 	ExactMiss   int `json:"exact_miss,omitempty"`
 	Irreducible int `json:"irreducible,omitempty"`
 
+	// Exact-solver instrumentation (the scaling experiment; zero
+	// elsewhere). Solver names the refinement solver ("antichain" or
+	// "powerset") and joins the key so the same program under both solvers
+	// yields distinct, resumable units. AnalysisSteps counts state-transfer
+	// applications (the deterministic work measure — never wall-clock),
+	// AnalysisStates the peak focus-set width, and AnalysisExhausted
+	// records that the step budget ran out (remaining sites degraded to
+	// the prefilter verdict).
+	Solver            string `json:"solver,omitempty"`
+	AnalysisSteps     int64  `json:"analysis_steps,omitempty"`
+	AnalysisStates    int    `json:"analysis_states,omitempty"`
+	AnalysisExhausted bool   `json:"analysis_exhausted,omitempty"`
+
 	// Dynamic counters. Instructions is zero for trace replays (the
 	// address stream was recorded by an earlier execution).
 	Instructions   int64 `json:"instructions,omitempty"`
@@ -117,6 +130,11 @@ func (r *Record) SetKey() {
 	}
 	r.Key = fmt.Sprintf("%s/%s/%s/s%d.w%d.l%d/%s/%s,%s",
 		r.Bench, r.Compiler, r.Mode, r.Sets, r.Ways, r.LineWords, r.Policy, r.Dead, hw)
+	if r.Solver != "" {
+		// Solver-differential units measure the same configuration twice;
+		// the suffix keeps their keys (and resume identities) apart.
+		r.Key += "/" + r.Solver
+	}
 }
 
 // SetStats fills the dynamic counters from a run's (or replay's) cache

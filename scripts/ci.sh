@@ -59,6 +59,15 @@ diff -u BENCH_precision.txt /tmp/precision-ci.txt
 rm -f /tmp/precision-ci.txt
 go run ./cmd/unicheck -oracle -bench queen,sieve
 
+echo "== exact-scale-smoke (antichain vs power-set, generated programs) =="
+# Mid-size generated programs through both exact solvers with
+# interprocedural summaries on: any per-site verdict divergence between
+# the antichain and power-set solvers fails the run, and the oracle
+# replays every verdict on the production VM. The fuzz pass drives the
+# same differential over fresh mcgen programs for a few seconds.
+go run ./cmd/unicheck -oracle -solver both -interproc -bench sieve -gen 3,5,8 -gen-scale 2
+go test -run 'xxx^' -fuzz 'FuzzExactAntichain$' -fuzztime 10s ./internal/exact
+
 echo "== fault campaigns (bubble, sieve) =="
 go run ./cmd/unibench -experiment resilience -bench bubble,sieve
 

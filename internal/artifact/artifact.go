@@ -25,8 +25,10 @@ package artifact
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/cache"
 	"repro/internal/codegen"
@@ -60,25 +62,44 @@ func KeyOf(src string, cfg core.Config) Key {
 }
 
 // Artifact is one compiled program with its middle-end byproducts.
+//
+// Comp is nil when the artifact was restored from the persistent store
+// (the store keeps the generated machine program and static statistics,
+// not the IR). Callers that need the IR — the check and exact analyses —
+// must go through BuildIR, which upgrades a disk-restored artifact with a
+// fresh full compilation.
 type Artifact struct {
-	Key  Key
-	Comp *core.Compilation
-	Prog *isa.Program
+	Key    Key
+	Comp   *core.Compilation
+	Prog   *isa.Program
+	Static core.StaticStats
 }
 
 // Stats counts cache effectiveness (Hits are requests answered without
-// compiling or simulating).
+// compiling or simulating; Disk* are answers restored from the persistent
+// store; Corrupt counts damaged store files that were salvaged by
+// recomputing).
 type Stats struct {
 	BuildHits   int64
 	BuildMisses int64
 	RunHits     int64
 	RunMisses   int64
+
+	DiskBuildHits int64
+	DiskRunHits   int64
+	Corrupt       int64
+	WriteErrs     int64
 }
 
 type buildEntry struct {
 	once sync.Once
-	art  *Artifact
-	err  error
+	art  atomic.Pointer[Artifact]
+	err  error // written inside once, read only after once.Do returns
+
+	// full upgrades a disk-restored artifact (Comp == nil) to a complete
+	// compilation, once, on first BuildIR demand.
+	full    sync.Once
+	fullErr error
 }
 
 type runEntry struct {
@@ -88,17 +109,44 @@ type runEntry struct {
 }
 
 // Cache is the content-addressed store. The zero value is not usable; use
-// New. All methods are safe for concurrent use.
+// New or NewDisk. All methods are safe for concurrent use.
 type Cache struct {
 	mu     sync.Mutex
 	builds map[Key]*buildEntry
 	runs   map[string]*runEntry
 	stats  Stats
+
+	disk *disk        // nil: memory-only
+	warn func(string) // nil: warnings only counted, not reported
 }
 
-// New returns an empty cache.
+// New returns an empty memory-only cache.
 func New() *Cache {
 	return &Cache{builds: make(map[Key]*buildEntry), runs: make(map[string]*runEntry)}
+}
+
+// NewDisk returns a cache backed by a persistent store rooted at dir
+// (created if absent). Artifacts and simulation results survive process
+// restarts; see disk.go for the format and the corruption policy.
+func NewDisk(dir string) (*Cache, error) {
+	d, err := openDisk(dir)
+	if err != nil {
+		return nil, err
+	}
+	c := New()
+	c.disk = d
+	return c, nil
+}
+
+// SetWarnFunc installs a sink for salvage warnings (corrupt store files
+// dropped and recomputed, failed persists). Must be set before first use;
+// the callback may be invoked concurrently.
+func (c *Cache) SetWarnFunc(f func(string)) { c.warn = f }
+
+func (c *Cache) warnf(format string, args ...any) {
+	if c.warn != nil {
+		c.warn(fmt.Sprintf(format, args...))
+	}
 }
 
 // Stats returns a snapshot of the hit/miss counters.
@@ -108,13 +156,60 @@ func (c *Cache) Stats() Stats {
 	return c.stats
 }
 
+func (c *Cache) count(f func(*Stats)) {
+	c.mu.Lock()
+	f(&c.stats)
+	c.mu.Unlock()
+}
+
 // Build compiles src under cfg, or returns the cached artifact for an
 // identical request. Concurrent callers with the same key block until the
 // single compilation finishes. Compilation errors are cached too: a source
 // that fails to compile fails every time.
 func (c *Cache) Build(src string, cfg core.Config) (*Artifact, error) {
+	art, _, err := c.BuildShared(src, cfg)
+	return art, err
+}
+
+// BuildShared is Build, additionally reporting whether the request was
+// deduplicated onto an existing in-memory entry (an identical compile
+// already finished, or is in flight and was awaited). A disk restore on a
+// fresh entry is not "shared" — it is a miss served cheaply.
+func (c *Cache) BuildShared(src string, cfg core.Config) (*Artifact, bool, error) {
 	k := KeyOf(src, cfg)
+	e, shared := c.entry(k)
+	e.once.Do(func() { c.fill(e, k, src, cfg) })
+	return e.art.Load(), shared, e.err
+}
+
+// BuildIR is Build guaranteeing Artifact.Comp is populated: an artifact
+// restored from disk (machine program only) is upgraded by one full
+// compilation shared by all concurrent BuildIR callers.
+func (c *Cache) BuildIR(src string, cfg core.Config) (*Artifact, error) {
+	art, _, err := c.BuildShared(src, cfg)
+	if err != nil || art.Comp != nil {
+		return art, err
+	}
+	e, _ := c.entry(art.Key)
+	e.full.Do(func() {
+		comp, prog, err := compile(src, cfg)
+		if err != nil {
+			e.fullErr = err
+			return
+		}
+		e.art.Store(&Artifact{Key: art.Key, Comp: comp, Prog: prog, Static: comp.Stats})
+	})
+	if e.fullErr != nil {
+		return nil, e.fullErr
+	}
+	return e.art.Load(), nil
+}
+
+// entry returns the build entry for k, creating it on first request, and
+// reports whether it already existed.
+func (c *Cache) entry(k Key) (*buildEntry, bool) {
 	c.mu.Lock()
+	defer c.mu.Unlock()
 	e, ok := c.builds[k]
 	if !ok {
 		e = &buildEntry{}
@@ -123,21 +218,52 @@ func (c *Cache) Build(src string, cfg core.Config) (*Artifact, error) {
 	} else {
 		c.stats.BuildHits++
 	}
-	c.mu.Unlock()
-	e.once.Do(func() {
-		comp, err := core.Compile(src, cfg)
-		if err != nil {
+	return e, ok
+}
+
+func compile(src string, cfg core.Config) (*core.Compilation, *isa.Program, error) {
+	comp, err := core.Compile(src, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	prog, err := codegen.Generate(comp)
+	if err != nil {
+		return nil, nil, err
+	}
+	return comp, prog, nil
+}
+
+// fill populates a fresh entry: persistent store first (when configured),
+// then a real compilation. Store corruption is salvaged by recomputing;
+// permission problems opening the store fail loudly — they mean the cache
+// directory is misconfigured, and silently recompiling every request
+// would mask it.
+func (c *Cache) fill(e *buildEntry, k Key, src string, cfg core.Config) {
+	if c.disk != nil {
+		art, err := c.diskReadBuild(k)
+		switch {
+		case err != nil:
 			e.err = err
 			return
-		}
-		prog, err := codegen.Generate(comp)
-		if err != nil {
-			e.err = err
+		case art != nil:
+			c.count(func(s *Stats) { s.DiskBuildHits++ })
+			e.art.Store(art)
 			return
 		}
-		e.art = &Artifact{Key: k, Comp: comp, Prog: prog}
-	})
-	return e.art, e.err
+	}
+	comp, prog, err := compile(src, cfg)
+	if err != nil {
+		e.err = err
+		return
+	}
+	e.art.Store(&Artifact{Key: k, Comp: comp, Prog: prog, Static: comp.Stats})
+	if c.disk != nil {
+		if err := c.diskWriteBuild(k, prog, comp.Stats); err != nil {
+			// The compile itself succeeded: degrade to memory-only.
+			c.count(func(s *Stats) { s.WriteErrs++ })
+			c.warnf("artifact: persist build %s: %v", k, err)
+		}
+	}
 }
 
 // cacheKey canonically encodes the fields of a cache.Config that determine
@@ -195,18 +321,43 @@ func (c *Cache) Run(art *Artifact, cfg vm.Config) (*vm.Result, error) {
 		c.hitRun()
 		return e.res, nil
 	}
+	if c.disk != nil && e.res == nil && !cfg.RecordTrace {
+		res, err := c.diskReadRun(key)
+		if err != nil {
+			e.err = err
+			return nil, err
+		}
+		if res != nil {
+			c.count(func(s *Stats) { s.DiskRunHits++ })
+			e.res = res
+			return res, nil
+		}
+	}
 	c.missRun()
 	res, err := vm.Run(art.Prog, cfg)
 	if err != nil {
-		e.err = err
+		// A cancellation (deadline, shutdown) says nothing about the
+		// configuration — where the run was when Done fired is wall-clock
+		// nondeterminism. Never memoize it; the next identical request
+		// must execute.
+		var ce *vm.CancelError
+		if !errors.As(err, &ce) {
+			e.err = err
+		}
 		return nil, err
 	}
+	stored := res
 	if cfg.RecordTrace {
 		stripped := *res
 		stripped.Trace = nil
-		e.res = &stripped
-	} else {
-		e.res = res
+		stored = &stripped
+	}
+	e.res = stored
+	if c.disk != nil {
+		if err := c.diskWriteRun(key, stored); err != nil {
+			c.count(func(s *Stats) { s.WriteErrs++ })
+			c.warnf("artifact: persist run: %v", err)
+		}
 	}
 	return res, nil
 }

@@ -187,6 +187,11 @@ func AnalyzeCache(p *ir.Program, ccfg cache.Config, opt Options) (*CacheReport, 
 	rep := &CacheReport{Config: ccfg, Verdicts: make(map[*ir.MemRef]Verdict), MustHalf: a.mustOK}
 	for _, f := range p.Funcs {
 		a.analyzeFunc(f, rep)
+		if canceled(opt.Done) {
+			// All-or-nothing: a partial verdict map must never escape as
+			// if it were the fixpoint.
+			return nil, &CanceledError{Phase: "cachean"}
+		}
 	}
 	rep.count()
 	return rep, nil
@@ -603,6 +608,9 @@ func (a *analyzer) analyzeFunc(f *ir.Func, rep *CacheReport) {
 
 	rpo := cfg.ReversePostorder(f)
 	for changed := true; changed; {
+		if canceled(a.opt.Done) {
+			return // AnalyzeCache converts the abandonment into CanceledError
+		}
 		changed = false
 		for _, b := range rpo {
 			if !seen[b.ID] {

@@ -69,6 +69,39 @@ type Options struct {
 	// function the summary assumes the worst case: every allocatable
 	// callee-saved register plus RA.
 	SavedRegs map[string]int
+
+	// Done, when non-nil, cancels the expensive analyses (the must/may
+	// fixpoint and the exact refinement's state exploration) when the
+	// channel becomes readable, typically a request deadline. A fired
+	// Done surfaces as a structured *CanceledError instead of a partial
+	// report — analyses are all-or-nothing. The cheap structural passes
+	// ignore it; they are linear in program size.
+	Done <-chan struct{}
+}
+
+// CanceledError reports that an analysis was stopped through Options.Done
+// before converging. It is the analysis-side sibling of vm.CancelError:
+// a deadline, not a verdict — callers must not treat it as "no
+// violations" and caches must never memoize it.
+type CanceledError struct {
+	Phase string // the analysis that was running ("cachean", "exact")
+}
+
+func (e *CanceledError) Error() string {
+	return fmt.Sprintf("check: %s analysis canceled", e.Phase)
+}
+
+// canceled reports whether done has fired (non-blocking; nil never fires).
+func canceled(done <-chan struct{}) bool {
+	if done == nil {
+		return false
+	}
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
 }
 
 // Violation is one rule the program breaks, located precisely enough to

@@ -1,0 +1,53 @@
+package cli
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// notifySignals is a test seam: tests register the handler channel here
+// so they can assert the two-signal protocol without racing real signal
+// delivery against the test harness.
+var notifySignals = func(c chan<- os.Signal) {
+	signal.Notify(c, os.Interrupt, syscall.SIGTERM)
+}
+
+// RunDaemon runs a long-lived daemon body under the shared signal
+// convention:
+//
+//   - the first SIGINT/SIGTERM cancels the context handed to run — the
+//     daemon drains gracefully and, when run returns nil, the tool exits 0;
+//   - a second signal while the drain is still in progress exits
+//     immediately with code 1 (the operator's escalation path when a drain
+//     hangs on stuck work).
+//
+// A non-nil error from run is reported in the shared one-line format and
+// exits 1.
+func RunDaemon(tool string, run func(ctx context.Context) error) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigs := make(chan os.Signal, 2)
+	notifySignals(sigs)
+	defer signal.Stop(sigs)
+
+	go func() {
+		s, ok := <-sigs
+		if !ok {
+			return
+		}
+		fmt.Fprintf(out, "%s: %s: draining (signal again for immediate exit)\n", tool, s)
+		cancel()
+		if s, ok := <-sigs; ok {
+			fmt.Fprintf(out, "%s: %s: immediate exit\n", tool, s)
+			exit(ExitFail)
+		}
+	}()
+
+	if err := run(ctx); err != nil {
+		Fatal(tool, "serve", err)
+	}
+	exit(ExitOK)
+}

@@ -1,0 +1,110 @@
+package cli
+
+import (
+	"context"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// trapSignals swaps the notify seam so the test owns signal delivery,
+// returning an injector.
+func trapSignals() (send func(os.Signal), restore func()) {
+	old := notifySignals
+	ready := make(chan chan<- os.Signal, 1)
+	notifySignals = func(c chan<- os.Signal) { ready <- c }
+	var ch chan<- os.Signal // cached on the sender's side of the handoff
+	return func(s os.Signal) {
+		if ch == nil {
+			ch = <-ready
+		}
+		ch <- s
+	}, func() { notifySignals = old }
+}
+
+// TestRunDaemonFirstSignalDrains: one SIGTERM cancels the context; a
+// clean return from run exits 0.
+func TestRunDaemonFirstSignalDrains(t *testing.T) {
+	send, restore := trapSignals()
+	defer restore()
+
+	var sawCancel bool
+	msg, code := capture(func() {
+		go func() {
+			time.Sleep(20 * time.Millisecond)
+			send(syscall.SIGTERM)
+		}()
+		RunDaemon("unicached", func(ctx context.Context) error {
+			select {
+			case <-ctx.Done():
+				sawCancel = true
+				return nil
+			case <-time.After(5 * time.Second):
+				return context.DeadlineExceeded
+			}
+		})
+	})
+	if !sawCancel {
+		t.Error("run never saw the cancellation")
+	}
+	if code != ExitOK {
+		t.Errorf("exit code %d, want %d", code, ExitOK)
+	}
+	if !strings.Contains(msg, "draining") {
+		t.Errorf("no drain announcement in %q", msg)
+	}
+}
+
+// TestRunDaemonSecondSignalAborts: a second signal mid-drain exits 1
+// without waiting for run.
+func TestRunDaemonSecondSignalAborts(t *testing.T) {
+	send, restore := trapSignals()
+	defer restore()
+
+	exited := make(chan int, 1)
+	oldOut, oldExit := out, exit
+	var sb strings.Builder
+	out = &sb
+	exit = func(c int) { exited <- c; select {} } // park the exiting goroutine
+	defer func() { out, exit = oldOut, oldExit }()
+
+	go RunDaemon("unicached", func(ctx context.Context) error {
+		<-ctx.Done()
+		select {} // a drain that never finishes; the goroutine stays parked
+	})
+	time.Sleep(10 * time.Millisecond)
+	send(syscall.SIGTERM)
+	time.Sleep(10 * time.Millisecond)
+	send(syscall.SIGTERM)
+	select {
+	case code := <-exited:
+		if code != ExitFail {
+			t.Errorf("exit code %d, want %d", code, ExitFail)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("second signal did not force an exit")
+	}
+	if !strings.Contains(sb.String(), "immediate exit") {
+		t.Errorf("no escalation announcement in %q", sb.String())
+	}
+}
+
+// TestRunDaemonErrorIsFatal: a failing run reports in the shared format
+// and exits 1.
+func TestRunDaemonErrorIsFatal(t *testing.T) {
+	_, restore := trapSignals()
+	defer restore()
+	msg, code := capture(func() {
+		RunDaemon("unicached", func(context.Context) error {
+			return os.ErrPermission
+		})
+	})
+	if code != ExitFail {
+		t.Errorf("exit code %d, want %d", code, ExitFail)
+	}
+	if !strings.HasPrefix(msg, "unicached: serve: ") {
+		t.Errorf("got %q", msg)
+	}
+}

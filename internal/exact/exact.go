@@ -162,7 +162,7 @@ func AnalyzeWith(p *ir.Program, ccfg cache.Config, opt check.Options, xopt Optio
 		r.Verdicts[ref] = v
 	}
 
-	stats := &runStats{budget: xopt.StepBudget}
+	stats := &runStats{budget: xopt.StepBudget, done: opt.Done}
 	antichain := r.Solver == SolverAntichain
 
 	for _, f := range p.Funcs {
@@ -214,6 +214,9 @@ func AnalyzeWith(p *ir.Program, ccfg cache.Config, opt check.Options, xopt Optio
 				}
 			}
 		}
+	}
+	if stats.canceled {
+		return nil, &check.CanceledError{Phase: "exact"}
 	}
 	r.Steps, r.PeakWidth, r.Exhausted = stats.steps, stats.peak, stats.exhausted
 
@@ -403,12 +406,36 @@ type runStats struct {
 	budget    int64 // 0 = unlimited
 	exhausted bool
 	peak      int // widest state set / antichain ever held
+
+	// Wall-clock cancellation (check.Options.Done): polled every
+	// pollEvery charged steps, it rides the exhaustion machinery — the
+	// solvers already degrade cleanly at any exhaustion point — but is
+	// reported as a structured check.CanceledError, never as a report,
+	// because where it fired is not deterministic.
+	done      <-chan struct{}
+	sincePoll int64
+	canceled  bool
 }
+
+// pollEvery spaces Done polls so the hot transfer loop stays channel-free.
+const pollEvery = 1024
 
 func (st *runStats) charge(n int) {
 	st.steps += int64(n)
 	if st.budget > 0 && st.steps > st.budget {
 		st.exhausted = true
+	}
+	if st.done == nil || st.canceled {
+		return
+	}
+	if st.sincePoll += int64(n); st.sincePoll >= pollEvery {
+		st.sincePoll = 0
+		select {
+		case <-st.done:
+			st.canceled = true
+			st.exhausted = true
+		default:
+		}
 	}
 }
 

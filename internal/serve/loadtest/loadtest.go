@@ -1,0 +1,359 @@
+// Package loadtest is the seeded load-test harness for the unicached
+// service. It drives a running daemon over HTTP with a deterministic,
+// seeded mix of traffic — dedup-heavy compile+simulate, periodic check
+// and exact analyses, budget-exhausting oversized programs, and (against
+// a Debug daemon) injected panics — and aggregates per-request outcomes
+// into the same latency histogram the server keeps, dumped as
+// BENCH_serve.json (schema unicache-serve-bench/v1).
+//
+// The harness is itself the robustness proof: the acceptance bar is a
+// daemon that sustains the full mix at four-digit request rates with
+// zero crashes, where every injected fault comes back as a structured
+// error instead of a dead process.
+package loadtest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// BenchSchema tags the persisted report.
+const BenchSchema = "unicache-serve-bench/v1"
+
+// Options parameterizes a run. Zero fields take the defaults noted.
+type Options struct {
+	BaseURL     string // daemon base URL (required), e.g. http://127.0.0.1:8080
+	Requests    int    // total requests (default 2000)
+	Concurrency int    // concurrent clients (default 32)
+	Seed        int64  // traffic-mix seed (default 1)
+
+	// SourcePool is the number of distinct generated programs; requests
+	// draw from this small pool so the mix is dedup-heavy by construction
+	// (default 8).
+	SourcePool int
+
+	// Fault mix, as periods over the request index (0 disables):
+	// every PanicEvery-th request injects a panic (needs a Debug daemon),
+	// every BudgetEvery-th sends a spin program under a tiny step budget
+	// (the oversized-program case), every CheckEvery-th adds the check
+	// tier and every ExactEvery-th the exact tier.
+	PanicEvery  int // default 101
+	BudgetEvery int // default 53
+	CheckEvery  int // default 11
+	ExactEvery  int // default 29
+
+	DeadlineMS int64 // per-request deadline (default 5000)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Requests <= 0 {
+		o.Requests = 2000
+	}
+	if o.Concurrency <= 0 {
+		o.Concurrency = 32
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.SourcePool <= 0 {
+		o.SourcePool = 8
+	}
+	if o.PanicEvery == 0 {
+		o.PanicEvery = 101
+	}
+	if o.BudgetEvery == 0 {
+		o.BudgetEvery = 53
+	}
+	if o.CheckEvery == 0 {
+		o.CheckEvery = 11
+	}
+	if o.ExactEvery == 0 {
+		o.ExactEvery = 29
+	}
+	if o.DeadlineMS <= 0 {
+		o.DeadlineMS = 5000
+	}
+	return o
+}
+
+// Report is the persisted outcome of one run.
+type Report struct {
+	Schema      string `json:"schema"`
+	Seed        int64  `json:"seed"`
+	Requests    int    `json:"requests"`
+	Concurrency int    `json:"concurrency"`
+	SourcePool  int    `json:"source_pool"`
+
+	DurationMS int64   `json:"duration_ms"`
+	Throughput float64 `json:"throughput_rps"`
+
+	// Outcomes maps the service's outcome tags ("ok", "ok-degraded",
+	// "panic", "budget", ...) to counts; TransportErrors counts requests
+	// that never produced a decodable response (the daemon-crashed
+	// signal — the acceptance bar is zero).
+	Outcomes        map[string]int64 `json:"outcomes"`
+	TransportErrors int64            `json:"transport_errors"`
+
+	PanicsInjected int64 `json:"panics_injected"`
+	PanicsIsolated int64 `json:"panics_isolated"`
+	// PanicsShed counts panic-injected requests the daemon refused at
+	// admission (429/503) — they never reached a worker, so there was
+	// nothing to isolate. Injected = Isolated + Shed, or the daemon
+	// swallowed a panic.
+	PanicsShed      int64 `json:"panics_shed"`
+	BudgetsInjected int64 `json:"budgets_injected"`
+	// BudgetsStructured counts budget bombs that came back as one of the
+	// structured refusals (budget, timeout, or an admission shed). A bomb
+	// outside this set either "succeeded" (budget not enforced) or killed
+	// something — both verification failures.
+	BudgetsStructured int64 `json:"budgets_structured"`
+	Deduped           int64 `json:"deduped"` // responses flagged as single-flight hits
+
+	Latency *serve.Histogram `json:"latency"`
+	P50NS   int64            `json:"p50_ns"`
+	P90NS   int64            `json:"p90_ns"`
+	P99NS   int64            `json:"p99_ns"`
+	MaxNS   int64            `json:"max_ns"`
+
+	// HealthyAfter records that /healthz still answered once the storm
+	// had passed — the zero-crashes check in executable form.
+	HealthyAfter bool `json:"healthy_after"`
+}
+
+// newSeededRand is the harness's only randomness source; everything
+// derives deterministically from the seed.
+func newSeededRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// genSource emits one small deterministic MC program from r. Programs
+// vary in constants and array sizes but all finish in a few thousand
+// instructions, so throughput measures the service, not the programs.
+func genSource(r *rand.Rand) string {
+	n := 8 + r.Intn(24)
+	mul := 1 + r.Intn(9)
+	add := r.Intn(100)
+	return fmt.Sprintf(`
+int a[%d];
+void main() {
+    int i;
+    int s;
+    s = %d;
+    for (i = 0; i < %d; i++) {
+        a[i] = i * %d;
+    }
+    for (i = 0; i < %d; i++) {
+        s = s + a[i];
+    }
+    print(s);
+}`, n, add, n, mul, n)
+}
+
+// spin is the budget-exhausting program: far more iterations than any
+// sane step budget allows.
+const spin = `
+void main() {
+    int i;
+    int acc;
+    acc = 0;
+    for (i = 0; i < 100000000; i++) {
+        acc = acc + i;
+    }
+    print(acc);
+}`
+
+// requestFor builds the deterministic request for index i.
+func (o Options) requestFor(i int, pool []string) *serve.Request {
+	rq := &serve.Request{
+		Source:     pool[i%len(pool)],
+		DeadlineMS: o.DeadlineMS,
+		Want:       []string{serve.TierCompile, serve.TierSimulate},
+	}
+	if o.CheckEvery > 0 && i%o.CheckEvery == 0 {
+		rq.Want = append(rq.Want, serve.TierCheck)
+	}
+	if o.ExactEvery > 0 && i%o.ExactEvery == 0 {
+		rq.Want = append(rq.Want, serve.TierExact)
+	}
+	if o.BudgetEvery > 0 && i%o.BudgetEvery == 1 {
+		rq.Source = spin
+		rq.MaxSteps = 50_000
+		rq.Want = []string{serve.TierSimulate}
+	}
+	if o.PanicEvery > 0 && i%o.PanicEvery == 2 {
+		rq.InjectPanic = "loadtest"
+		rq.Want = []string{serve.TierSimulate}
+	}
+	return rq
+}
+
+// Run drives the daemon and aggregates the report.
+func Run(opt Options) (*Report, error) {
+	opt = opt.withDefaults()
+	if opt.BaseURL == "" {
+		return nil, fmt.Errorf("loadtest: BaseURL required")
+	}
+
+	rng := newSeededRand(opt.Seed)
+	pool := make([]string, opt.SourcePool)
+	for i := range pool {
+		pool[i] = genSource(rng)
+	}
+
+	rep := &Report{
+		Schema:      BenchSchema,
+		Seed:        opt.Seed,
+		Requests:    opt.Requests,
+		Concurrency: opt.Concurrency,
+		SourcePool:  opt.SourcePool,
+		Outcomes:    make(map[string]int64),
+		Latency:     serve.NewHistogram(),
+	}
+
+	client := &http.Client{Timeout: time.Duration(opt.DeadlineMS+10_000) * time.Millisecond}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	start := time.Now()
+	for w := 0; w < opt.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				rq := opt.requestFor(i, pool)
+				t0 := time.Now()
+				resp, err := postEval(client, opt.BaseURL, rq)
+				ns := time.Since(t0).Nanoseconds()
+				mu.Lock()
+				if rq.InjectPanic != "" {
+					rep.PanicsInjected++
+				}
+				if rq.MaxSteps > 0 {
+					rep.BudgetsInjected++
+				}
+				if err != nil {
+					rep.TransportErrors++
+				} else {
+					rep.Outcomes[outcomeTag(resp)]++
+					if rq.InjectPanic != "" {
+						switch resp.ErrorKind {
+						case serve.KindPanic:
+							rep.PanicsIsolated++
+						case serve.KindOverload, serve.KindDraining, serve.KindShed:
+							rep.PanicsShed++
+						}
+					}
+					if rq.MaxSteps > 0 {
+						switch resp.ErrorKind {
+						case serve.KindBudget, serve.KindTimeout,
+							serve.KindOverload, serve.KindDraining, serve.KindShed:
+							rep.BudgetsStructured++
+						}
+					}
+					if resp.Deduped {
+						rep.Deduped++
+					}
+					rep.Latency.Observe(ns)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := 0; i < opt.Requests; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep.DurationMS = elapsed.Milliseconds()
+	if secs := elapsed.Seconds(); secs > 0 {
+		rep.Throughput = float64(opt.Requests) / secs
+	}
+	rep.P50NS = rep.Latency.Quantile(0.50)
+	rep.P90NS = rep.Latency.Quantile(0.90)
+	rep.P99NS = rep.Latency.Quantile(0.99)
+	rep.MaxNS = rep.Latency.MaxNS
+
+	if hr, err := client.Get(opt.BaseURL + "/healthz"); err == nil {
+		hr.Body.Close()
+		rep.HealthyAfter = hr.StatusCode == http.StatusOK
+	}
+	return rep, nil
+}
+
+func outcomeTag(resp *serve.Response) string {
+	if resp.ErrorKind != "" {
+		return resp.ErrorKind
+	}
+	if len(resp.Degraded) > 0 {
+		return "ok-degraded"
+	}
+	return "ok"
+}
+
+func postEval(client *http.Client, base string, rq *serve.Request) (*serve.Response, error) {
+	body, err := json.Marshal(rq)
+	if err != nil {
+		return nil, err
+	}
+	hr, err := client.Post(base+"/v1/eval", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer hr.Body.Close()
+	var resp serve.Response
+	if err := json.NewDecoder(hr.Body).Decode(&resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// WriteBench persists the report (pretty-printed, trailing newline).
+func WriteBench(path string, rep *Report) error {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o666)
+}
+
+// VerifyBench validates a persisted report's schema and basic sanity —
+// the CI gate for the checked-in BENCH_serve.json.
+func VerifyBench(path string) (*Report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Schema != BenchSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, rep.Schema, BenchSchema)
+	}
+	if rep.Requests <= 0 || rep.Throughput <= 0 || rep.Latency == nil || rep.Latency.Count <= 0 {
+		return nil, fmt.Errorf("%s: degenerate report (requests=%d, rps=%.1f)", path, rep.Requests, rep.Throughput)
+	}
+	if rep.TransportErrors > 0 {
+		return nil, fmt.Errorf("%s: %d transport errors — the daemon dropped requests", path, rep.TransportErrors)
+	}
+	if rep.Outcomes["ok"] <= 0 {
+		return nil, fmt.Errorf("%s: no successful requests", path)
+	}
+	if rep.PanicsInjected != rep.PanicsIsolated+rep.PanicsShed {
+		return nil, fmt.Errorf("%s: %d panics injected but only %d isolated and %d shed — one was swallowed",
+			path, rep.PanicsInjected, rep.PanicsIsolated, rep.PanicsShed)
+	}
+	if rep.BudgetsInjected != rep.BudgetsStructured {
+		return nil, fmt.Errorf("%s: %d budget bombs injected but only %d came back structured",
+			path, rep.BudgetsInjected, rep.BudgetsStructured)
+	}
+	return &rep, nil
+}

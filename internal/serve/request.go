@@ -1,0 +1,244 @@
+package serve
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/vm"
+)
+
+// Tier names a unit of optional work a request can ask for. Simulate is
+// never shed — the paper's guarantee that hints are performance-only means
+// a degraded answer is still a correct answer, and the service leans on
+// exactly that: under pressure it drops exact first, then check, never the
+// simulation itself.
+const (
+	TierCompile  = "compile"
+	TierSimulate = "simulate"
+	TierCheck    = "check"
+	TierExact    = "exact"
+)
+
+// ErrorKind values of Response.ErrorKind.
+const (
+	KindRequest  = "request"          // malformed request (HTTP 400)
+	KindCompile  = "compile-error"    // the program does not compile (400)
+	KindBudget   = "budget"           // step budget exhausted (422)
+	KindRuntime  = "runtime"          // program fault, e.g. division by zero (422)
+	KindTimeout  = "timeout"          // deadline exceeded (504)
+	KindPanic    = "panic"            // isolated internal panic (500)
+	KindOverload = "overload"         // admission queue full (429)
+	KindDraining = "draining"         // shutting down (503)
+	KindShed     = "shed"             // queued at drain time, not admitted (503)
+	KindTooLarge = "source-too-large" // admission size cap (413)
+	KindInternal = "internal"         // environment failure, e.g. store perms (500)
+)
+
+// Request is one compile-and-simulate job. The zero value of every field
+// is the paper's default (unified mode, default cache geometry).
+type Request struct {
+	Source string `json:"source"`
+
+	// Compiler configuration (mirrors unicache.CompileOptions).
+	Mode           string `json:"mode,omitempty"` // "unified" (default) or "conventional"
+	Optimize       bool   `json:"optimize,omitempty"`
+	Inline         bool   `json:"inline,omitempty"`
+	PromoteGlobals bool   `json:"promote_globals,omitempty"`
+	StackScalars   bool   `json:"stack_scalars,omitempty"`
+
+	// Want lists the tiers to run; empty means the endpoint's default.
+	Want []string `json:"want,omitempty"`
+
+	Cache    CacheSpec `json:"cache,omitempty"`
+	MaxSteps int64     `json:"max_steps,omitempty"`
+
+	// DeadlineMS bounds the whole request (queue wait included); 0 means
+	// the server default, and values above the server maximum are clamped.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+
+	// WantAssembly adds the full UM assembly listing to the compile
+	// result (off by default: listings dwarf the statistics).
+	WantAssembly bool `json:"want_assembly,omitempty"`
+
+	// Fault-injection seams, honored only when the server runs with
+	// Config.Debug — the load-test harness and CI use them to prove panic
+	// isolation and drain behavior without planting real bugs.
+	InjectPanic   string `json:"inject_panic,omitempty"`
+	InjectSleepMS int64  `json:"inject_sleep_ms,omitempty"`
+}
+
+// CacheSpec parameterizes the simulated data cache (zero fields keep the
+// mode's defaults, exactly like unicache.CacheOptions).
+type CacheSpec struct {
+	Sets        int    `json:"sets,omitempty"`
+	Ways        int    `json:"ways,omitempty"`
+	LineWords   int    `json:"line_words,omitempty"`
+	Policy      string `json:"policy,omitempty"`
+	DeadMarking string `json:"dead_marking,omitempty"`
+	HonorBypass *bool  `json:"honor_bypass,omitempty"`
+	Seed        uint64 `json:"seed,omitempty"`
+}
+
+// CompileResult is the compile tier's answer.
+type CompileResult struct {
+	Key      string           `json:"key"` // content address (short prefix)
+	Static   core.StaticStats `json:"static"`
+	Assembly string           `json:"assembly,omitempty"`
+}
+
+// SimResult is the simulate tier's answer.
+type SimResult struct {
+	Output       string      `json:"output"`
+	Instructions int64       `json:"instructions"`
+	Loads        int64       `json:"loads"`
+	Stores       int64       `json:"stores"`
+	Cache        cache.Stats `json:"cache"`
+}
+
+// CheckResult is the check tier's answer: static verifier violations plus
+// the must/may cache-analysis summary.
+type CheckResult struct {
+	Violations int      `json:"violations"`
+	Messages   []string `json:"messages,omitempty"` // capped at 8
+	CacheLine  string   `json:"cache_summary"`
+}
+
+// ExactResult is the exact tier's answer (counts from exact.Report).
+type ExactResult struct {
+	Total       int    `json:"total"`
+	Bypassed    int    `json:"bypassed"`
+	PreHit      int    `json:"pre_hit"`
+	PreMiss     int    `json:"pre_miss"`
+	ExactHit    int    `json:"exact_hit"`
+	ExactMiss   int    `json:"exact_miss"`
+	Irreducible int    `json:"irreducible"`
+	Solver      string `json:"solver"`
+	Steps       int64  `json:"steps"`
+	Exhausted   bool   `json:"exhausted"`
+}
+
+// Response is the service's answer. Status carries the HTTP code out of
+// the worker; it is not part of the JSON body (the transport already says
+// it).
+type Response struct {
+	ID     string `json:"id"`
+	Status int    `json:"-"`
+
+	ErrorKind string `json:"error_kind,omitempty"`
+	Error     string `json:"error,omitempty"`
+	Phase     string `json:"phase,omitempty"` // pipeline phase for panics/timeouts
+
+	Deduped  bool     `json:"deduped,omitempty"`  // single-flight hit
+	Degraded []string `json:"degraded,omitempty"` // tiers shed under pressure
+
+	Compile  *CompileResult `json:"compile,omitempty"`
+	Simulate *SimResult     `json:"simulate,omitempty"`
+	Check    *CheckResult   `json:"check,omitempty"`
+	Exact    *ExactResult   `json:"exact,omitempty"`
+
+	Timing Timing `json:"timing"`
+}
+
+// outcome tags the response for the metrics maps.
+func (r *Response) outcome() string {
+	if r.ErrorKind != "" {
+		return r.ErrorKind
+	}
+	if len(r.Degraded) > 0 {
+		return "ok-degraded"
+	}
+	return "ok"
+}
+
+func (r *Response) fail(status int, kind, phase, msg string) *Response {
+	r.Status = status
+	r.ErrorKind = kind
+	r.Phase = phase
+	r.Error = msg
+	return r
+}
+
+// coreConfig maps the request's compiler fields onto core.Config.
+func (rq *Request) coreConfig() (core.Config, error) {
+	cfg := core.Config{
+		Optimize:       rq.Optimize,
+		Inline:         rq.Inline,
+		PromoteGlobals: rq.PromoteGlobals,
+		StackScalars:   rq.StackScalars,
+	}
+	switch rq.Mode {
+	case "", "unified":
+		cfg.Mode = core.Unified
+	case "conventional":
+		cfg.Mode = core.Conventional
+	default:
+		return cfg, fmt.Errorf("unknown mode %q", rq.Mode)
+	}
+	return cfg, nil
+}
+
+// cacheConfig maps CacheSpec onto cache.Config with the mode's defaults,
+// mirroring the public API's rules (MIN rejected: executing runs have no
+// future knowledge).
+func (rq *Request) cacheConfig(mode core.Mode) (cache.Config, error) {
+	cfg := cache.DefaultConfig()
+	if mode == core.Conventional {
+		cfg = cache.ConventionalConfig()
+	}
+	o := rq.Cache
+	if o.Sets != 0 {
+		cfg.Sets = o.Sets
+	}
+	if o.Ways != 0 {
+		cfg.Ways = o.Ways
+	}
+	if o.LineWords != 0 {
+		cfg.LineWords = o.LineWords
+	}
+	if o.Policy != "" {
+		pol, err := cache.ParsePolicy(o.Policy)
+		if err != nil || pol == cache.MIN {
+			return cfg, fmt.Errorf("unknown policy %q", o.Policy)
+		}
+		cfg.Policy = pol
+	}
+	if o.DeadMarking != "" {
+		dm, err := cache.ParseDeadMode(o.DeadMarking)
+		if err != nil {
+			return cfg, fmt.Errorf("unknown dead-marking mode %q", o.DeadMarking)
+		}
+		cfg.Dead = dm
+	}
+	if o.HonorBypass != nil {
+		cfg.HonorBypass = *o.HonorBypass
+	}
+	if o.Seed != 0 {
+		cfg.Seed = o.Seed
+	}
+	return cfg, nil
+}
+
+// wantSet validates and normalizes the requested tiers.
+func wantSet(want []string) (map[string]bool, error) {
+	set := make(map[string]bool, len(want))
+	for _, w := range want {
+		switch w {
+		case TierCompile, TierSimulate, TierCheck, TierExact:
+			set[w] = true
+		default:
+			return nil, fmt.Errorf("unknown tier %q", w)
+		}
+	}
+	return set, nil
+}
+
+// interface guards for the error types the classifier dispatches on.
+var (
+	_ error = (*vm.BudgetError)(nil)
+	_ error = (*vm.CancelError)(nil)
+	_ error = (*check.CanceledError)(nil)
+	_       = exact.SolverAntichain
+)

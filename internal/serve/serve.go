@@ -1,0 +1,581 @@
+// Package serve lifts the unicache compile-and-simulate pipeline into a
+// hardened, long-running HTTP/JSON service.
+//
+// Robustness is the design axis, in five mechanisms:
+//
+//   - Admission control: a bounded worker pool behind an explicit bounded
+//     queue. A full queue sheds load with 429 immediately — the service
+//     never buffers unboundedly and never stalls accepted work behind an
+//     unbounded backlog.
+//   - Deadlines: every request carries one (client-set, server-clamped),
+//     measured from admission so queue time counts. It is plumbed as a
+//     cancellation channel into the simulator (vm.Config.Done) and the
+//     analyses (check.Options.Done), so an expiring request surfaces as a
+//     structured timeout from inside the hot loops — not a hung worker.
+//   - Single-flight dedup: identical in-flight compiles are keyed by the
+//     artifact content hash and compile exactly once (internal/artifact),
+//     optionally backed by the crash-safe persistent store.
+//   - Graceful degradation: under queue pressure the service sheds exact
+//     analysis first, then check — never simulate. The paper's own claim
+//     (hints are performance-only; PR 2 proved it executable) is what
+//     makes a degraded answer still a correct answer.
+//   - Panic isolation: each request runs behind an internal/ice guard; a
+//     panic in any pass becomes a 500 carrying the failing phase while
+//     the daemon lives on.
+//
+// Shutdown is drain-based: new admissions are refused (503), requests
+// already running complete, requests still queued are shed with 503, and
+// the listener closes — all under a drain deadline.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/artifact"
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/ice"
+	"repro/internal/vm"
+)
+
+// Config parameterizes the service. Zero values mean the defaults noted
+// per field.
+type Config struct {
+	Workers    int // worker-pool size (default GOMAXPROCS)
+	QueueDepth int // admission queue capacity (default 4×workers)
+
+	DefaultDeadline time.Duration // per-request default (default 10s)
+	MaxDeadline     time.Duration // per-request clamp (default 60s)
+	DrainDeadline   time.Duration // shutdown drain budget (default 15s)
+
+	// CacheDir enables the persistent artifact store; empty keeps the
+	// single-flight cache memory-only.
+	CacheDir string
+
+	// Degradation thresholds, in percent of queue fullness observed when
+	// a request is dequeued: at DegradeExactPct the exact tier is shed, at
+	// DegradeCheckPct the check tier too. Defaults 50 and 80.
+	DegradeExactPct int
+	DegradeCheckPct int
+
+	// MaxSourceBytes caps accepted request bodies (default 1 MiB).
+	MaxSourceBytes int
+
+	// ExactStepBudget bounds the exact solver per request (deterministic
+	// degradation to prefilter verdicts; default 5e6).
+	ExactStepBudget int64
+
+	// Debug honors the inject_panic / inject_sleep_ms request seams used
+	// by the load-test harness and CI to prove isolation and drain.
+	Debug bool
+
+	// Logf, when non-nil, receives one-line operational messages.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 10 * time.Second
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = 60 * time.Second
+	}
+	if c.DrainDeadline <= 0 {
+		c.DrainDeadline = 15 * time.Second
+	}
+	if c.DegradeExactPct <= 0 {
+		c.DegradeExactPct = 50
+	}
+	if c.DegradeCheckPct <= 0 {
+		c.DegradeCheckPct = 80
+	}
+	if c.MaxSourceBytes <= 0 {
+		c.MaxSourceBytes = 1 << 20
+	}
+	if c.ExactStepBudget <= 0 {
+		c.ExactStepBudget = 5_000_000
+	}
+	return c
+}
+
+// task is one admitted request waiting for (or being served by) a worker.
+type task struct {
+	req   *Request
+	ctx   context.Context
+	enq   time.Time
+	reply chan *Response // buffered: the worker never blocks on delivery
+}
+
+// Server is the service instance. Create with New; it is ready (workers
+// running) immediately and serves via Handler or ListenAndServe.
+type Server struct {
+	cfg   Config
+	arts  *artifact.Cache
+	queue chan *task
+	met   *metrics
+	seq   atomic.Int64
+
+	draining   atomic.Bool
+	handlersWG sync.WaitGroup // in-flight HTTP handlers (guards queue close)
+	workersWG  sync.WaitGroup
+	shutOnce   sync.Once
+	shutErr    error
+
+	mu      sync.Mutex
+	httpSrv *http.Server
+	ln      net.Listener
+}
+
+// New builds the server and starts its worker pool.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	var arts *artifact.Cache
+	var err error
+	if cfg.CacheDir != "" {
+		arts, err = artifact.NewDisk(cfg.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		arts = artifact.New()
+	}
+	s := &Server{
+		cfg:   cfg,
+		arts:  arts,
+		queue: make(chan *task, cfg.QueueDepth),
+		met:   newMetrics(),
+	}
+	arts.SetWarnFunc(func(msg string) { s.logf("%s", msg) })
+	for i := 0; i < cfg.Workers; i++ {
+		s.workersWG.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// CacheStats exposes the artifact-cache counters (single-flight dedup,
+// disk hits, salvage).
+func (s *Server) CacheStats() artifact.Stats { return s.arts.Stats() }
+
+// Snapshot returns the current statistics report.
+func (s *Server) Snapshot() *Snapshot {
+	return s.met.snapshot(s.arts.Stats(), s.cfg.Workers, len(s.queue), cap(s.queue), s.draining.Load())
+}
+
+// ---- worker pool ----
+
+func (s *Server) worker() {
+	defer s.workersWG.Done()
+	for t := range s.queue {
+		var resp *Response
+		if s.draining.Load() {
+			// Queued but never admitted to a worker before drain began:
+			// shed, do not start. Running work is unaffected.
+			resp = (&Response{}).fail(http.StatusServiceUnavailable, KindShed, "",
+				"server drained before the request was admitted")
+			resp.Timing.QueueNS = time.Since(t.enq).Nanoseconds()
+			resp.Timing.TotalNS = resp.Timing.QueueNS
+		} else {
+			resp = s.process(t)
+		}
+		s.met.observe(resp)
+		t.reply <- resp
+	}
+}
+
+// process runs one admitted request through the tier pipeline.
+func (s *Server) process(t *task) *Response {
+	resp := &Response{ID: fmt.Sprintf("r%06d", s.seq.Add(1)), Status: http.StatusOK}
+	resp.Timing.QueueNS = time.Since(t.enq).Nanoseconds()
+	started := time.Now()
+	defer func() {
+		resp.Timing.TotalNS = resp.Timing.QueueNS + time.Since(started).Nanoseconds()
+	}()
+
+	rq := t.req
+	want, err := wantSet(rq.Want)
+	if err != nil {
+		return resp.fail(http.StatusBadRequest, KindRequest, "request", err.Error())
+	}
+	if t.ctx.Err() != nil {
+		return resp.fail(http.StatusGatewayTimeout, KindTimeout, "queue",
+			"deadline expired while queued")
+	}
+
+	// Debug-only fault seams.
+	if rq.InjectSleepMS > 0 || rq.InjectPanic != "" {
+		if !s.cfg.Debug {
+			return resp.fail(http.StatusBadRequest, KindRequest, "request",
+				"debug injections require a server started with Debug")
+		}
+		if rq.InjectSleepMS > 0 {
+			select {
+			case <-time.After(time.Duration(rq.InjectSleepMS) * time.Millisecond):
+			case <-t.ctx.Done():
+				return resp.fail(http.StatusGatewayTimeout, KindTimeout, "debug-sleep",
+					"deadline expired during injected sleep")
+			}
+		}
+	}
+
+	// Degradation decision, from queue pressure at dequeue time.
+	load := 100 * len(s.queue) / cap(s.queue)
+	if want[TierExact] && load >= s.cfg.DegradeExactPct {
+		delete(want, TierExact)
+		resp.Degraded = append(resp.Degraded, TierExact)
+	}
+	if want[TierCheck] && load >= s.cfg.DegradeCheckPct {
+		delete(want, TierCheck)
+		resp.Degraded = append(resp.Degraded, TierCheck)
+	}
+
+	phase, err := s.runTiers(t, want, resp)
+	if err != nil {
+		return s.classify(resp, phase, err)
+	}
+	return resp
+}
+
+// runTiers executes the requested tiers in order. Any internal panic is
+// recovered by the ice guard and attributed to the phase that was running.
+func (s *Server) runTiers(t *task, want map[string]bool, resp *Response) (phase string, err error) {
+	phase = "request"
+	defer ice.GuardPhase(&phase, &err)
+
+	rq := t.req
+	if s.cfg.Debug && rq.InjectPanic != "" {
+		phase = rq.InjectPanic
+		panic(fmt.Sprintf("injected panic in %q (debug)", rq.InjectPanic))
+	}
+
+	ccfg, err := rq.coreConfig()
+	if err != nil {
+		return phase, err
+	}
+	cacheCfg, err := rq.cacheConfig(ccfg.Mode)
+	if err != nil {
+		return phase, err
+	}
+
+	phase = "compile"
+	tic := time.Now()
+	art, shared, err := s.arts.BuildShared(rq.Source, ccfg)
+	if err == nil && art.Comp == nil && (want[TierCheck] || want[TierExact]) {
+		art, err = s.arts.BuildIR(rq.Source, ccfg)
+	}
+	resp.Timing.CompileNS = time.Since(tic).Nanoseconds()
+	if err != nil {
+		return phase, err
+	}
+	resp.Deduped = shared
+	if want[TierCompile] {
+		cr := &CompileResult{Key: art.Key.String(), Static: art.Static}
+		if rq.WantAssembly {
+			cr.Assembly = art.Prog.Save()
+		}
+		resp.Compile = cr
+	}
+
+	if want[TierSimulate] {
+		phase = "simulate"
+		tic = time.Now()
+		res, rerr := s.arts.Run(art, vm.Config{
+			MaxSteps: rq.MaxSteps,
+			Cache:    cacheCfg,
+			Done:     t.ctx.Done(),
+		})
+		resp.Timing.SimNS = time.Since(tic).Nanoseconds()
+		if rerr != nil {
+			return phase, rerr
+		}
+		resp.Simulate = &SimResult{
+			Output:       res.Output,
+			Instructions: res.Instructions,
+			Loads:        res.Loads,
+			Stores:       res.Stores,
+			Cache:        res.CacheStats,
+		}
+	}
+
+	copt := check.Options{Unified: ccfg.Mode == core.Unified, Done: t.ctx.Done()}
+
+	if want[TierCheck] {
+		phase = "check"
+		tic = time.Now()
+		vs := check.Structural(art.Comp.Prog, copt)
+		vs = append(vs, check.DeadMarking(art.Comp.Prog, copt)...)
+		vs = append(vs, check.Machine(art.Prog, copt)...)
+		rep, aerr := check.AnalyzeCache(art.Comp.Prog, cacheCfg, copt)
+		resp.Timing.CheckNS = time.Since(tic).Nanoseconds()
+		if aerr != nil {
+			return phase, aerr
+		}
+		cr := &CheckResult{Violations: len(vs), CacheLine: rep.Summary()}
+		for i, v := range vs {
+			if i == 8 {
+				break
+			}
+			cr.Messages = append(cr.Messages, v.String())
+		}
+		resp.Check = cr
+	}
+
+	if want[TierExact] {
+		phase = "exact"
+		tic = time.Now()
+		rep, xerr := exact.AnalyzeWith(art.Comp.Prog, cacheCfg, copt,
+			exact.Options{StepBudget: s.cfg.ExactStepBudget})
+		resp.Timing.ExactNS = time.Since(tic).Nanoseconds()
+		if xerr != nil {
+			return phase, xerr
+		}
+		resp.Exact = &ExactResult{
+			Total: rep.Total, Bypassed: rep.Bypassed,
+			PreHit: rep.PreHit, PreMiss: rep.PreMiss,
+			ExactHit: rep.ExactHit, ExactMiss: rep.ExactMiss,
+			Irreducible: rep.Irreducible,
+			Solver:      rep.Solver, Steps: rep.Steps, Exhausted: rep.Exhausted,
+		}
+	}
+	return phase, nil
+}
+
+// classify maps a tier error onto the response's structured error shape.
+func (s *Server) classify(resp *Response, phase string, err error) *Response {
+	var ie *ice.Error
+	var cancel *vm.CancelError
+	var analysisCancel *check.CanceledError
+	var budget *vm.BudgetError
+	switch {
+	case errors.As(err, &ie):
+		s.logf("panic isolated in phase %s: %v", ie.Phase, ie.Panic)
+		return resp.fail(http.StatusInternalServerError, KindPanic, ie.Phase,
+			fmt.Sprintf("internal error in %s (daemon alive): %v", ie.Phase, ie.Panic))
+	case errors.As(err, &cancel):
+		return resp.fail(http.StatusGatewayTimeout, KindTimeout, phase, err.Error())
+	case errors.As(err, &analysisCancel):
+		return resp.fail(http.StatusGatewayTimeout, KindTimeout, analysisCancel.Phase, err.Error())
+	case errors.As(err, &budget):
+		return resp.fail(http.StatusUnprocessableEntity, KindBudget, phase, err.Error())
+	case errors.Is(err, fs.ErrPermission):
+		return resp.fail(http.StatusInternalServerError, KindInternal, phase, err.Error())
+	case phase == "request":
+		return resp.fail(http.StatusBadRequest, KindRequest, phase, err.Error())
+	case phase == "compile":
+		return resp.fail(http.StatusBadRequest, KindCompile, phase, err.Error())
+	default:
+		// Program-level runtime faults (division by zero, address out of
+		// range): the service worked; the program did not.
+		return resp.fail(http.StatusUnprocessableEntity, KindRuntime, phase, err.Error())
+	}
+}
+
+// ---- HTTP front end ----
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	eval := func(defWant ...string) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			s.handleEval(w, r, defWant)
+		}
+	}
+	mux.HandleFunc("POST /v1/eval", eval(TierCompile, TierSimulate))
+	mux.HandleFunc("POST /v1/compile", eval(TierCompile))
+	mux.HandleFunc("POST /v1/simulate", eval(TierSimulate))
+	mux.HandleFunc("POST /v1/check", eval(TierCheck))
+	mux.HandleFunc("POST /v1/exact", eval(TierExact))
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func (s *Server) handleEval(w http.ResponseWriter, r *http.Request, defWant []string) {
+	// Register before the draining check: Shutdown closes the queue only
+	// after every registered handler finished, and after draining flips no
+	// handler ever enqueues — together that makes the close race-free.
+	s.handlersWG.Add(1)
+	defer s.handlersWG.Done()
+
+	if s.draining.Load() {
+		s.reject(w, (&Response{}).fail(http.StatusServiceUnavailable, KindDraining, "",
+			"server is draining"))
+		return
+	}
+
+	body := http.MaxBytesReader(w, r.Body, int64(s.cfg.MaxSourceBytes))
+	var req Request
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.reject(w, (&Response{}).fail(http.StatusRequestEntityTooLarge, KindTooLarge, "",
+				fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxSourceBytes)))
+			return
+		}
+		s.reject(w, (&Response{}).fail(http.StatusBadRequest, KindRequest, "",
+			"bad request JSON: "+err.Error()))
+		return
+	}
+	if len(req.Want) == 0 {
+		req.Want = defWant
+	}
+
+	d := s.cfg.DefaultDeadline
+	if req.DeadlineMS > 0 {
+		d = time.Duration(req.DeadlineMS) * time.Millisecond
+	}
+	if d > s.cfg.MaxDeadline {
+		d = s.cfg.MaxDeadline
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	defer cancel()
+
+	t := &task{req: &req, ctx: ctx, enq: time.Now(), reply: make(chan *Response, 1)}
+	select {
+	case s.queue <- t:
+	default:
+		s.reject(w, (&Response{}).fail(http.StatusTooManyRequests, KindOverload, "",
+			"admission queue full"))
+		return
+	}
+	writeJSON(w, <-t.reply)
+}
+
+// reject records and writes an admission-path response (no worker, no
+// latency observation — these are O(µs) refusals, not served requests).
+func (s *Server) reject(w http.ResponseWriter, resp *Response) {
+	s.met.mu.Lock()
+	s.met.outcomes[resp.outcome()]++
+	s.met.mu.Unlock()
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.Snapshot())
+}
+
+func writeJSON(w http.ResponseWriter, resp *Response) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(resp.Status)
+	json.NewEncoder(w).Encode(resp)
+}
+
+// ---- lifecycle ----
+
+// ListenAndServe binds addr and serves until ctx is canceled, then drains
+// under the configured drain deadline. The bound address is available via
+// Addr once this returns from the bind (use AddrReady for coordination).
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.httpSrv = &http.Server{Handler: s.Handler()}
+	srv := s.httpSrv
+	s.mu.Unlock()
+	s.logf("listening on %s", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case <-ctx.Done():
+		dctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainDeadline)
+		defer cancel()
+		return s.Shutdown(dctx)
+	case err := <-errc:
+		return err
+	}
+}
+
+// AwaitAddr blocks until the listener is bound, returning its address —
+// nil if ctx is canceled first. It exists so launchers using ":0" can
+// publish the chosen port (unicached -addr-file).
+func (s *Server) AwaitAddr(ctx context.Context) net.Addr {
+	for {
+		if a := s.Addr(); a != nil {
+			return a
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+// Addr returns the bound listener address, nil before ListenAndServe.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Shutdown drains the server: refuse new admissions (503), let running
+// requests complete, shed still-queued ones (503), close the listener,
+// stop the workers. Safe to call once; later calls return the first
+// result. The context bounds the drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.shutOnce.Do(func() {
+		s.draining.Store(true)
+		s.logf("draining: refusing new admissions")
+
+		s.mu.Lock()
+		srv := s.httpSrv
+		s.mu.Unlock()
+		if srv != nil {
+			if err := srv.Shutdown(ctx); err != nil {
+				s.shutErr = fmt.Errorf("drain deadline: %w", err)
+			}
+		}
+
+		// Wait for every registered handler (each is waiting on a worker
+		// reply; workers shed queued work instantly once draining, so this
+		// converges at the pace of the requests already running).
+		handlersDone := make(chan struct{})
+		go func() { s.handlersWG.Wait(); close(handlersDone) }()
+		select {
+		case <-handlersDone:
+		case <-ctx.Done():
+			s.shutErr = fmt.Errorf("drain deadline: %w", ctx.Err())
+			return // leave workers running; the process is exiting anyway
+		}
+
+		close(s.queue)
+		s.workersWG.Wait()
+		s.logf("drained")
+	})
+	return s.shutErr
+}

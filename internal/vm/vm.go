@@ -37,7 +37,20 @@ type Config struct {
 	// in execution order. Runs with a hook are never memoized by the
 	// artifact cache.
 	OnRef func(RefEvent)
+
+	// Done, when non-nil, cancels the run when the channel becomes
+	// readable (typically a context's Done channel). The loop polls it
+	// every cancelCheckMask+1 instructions, so cancellation is prompt
+	// without a per-step channel operation; a fired Done surfaces as a
+	// structured *CancelError, the wall-clock sibling of BudgetError.
+	// Done is not part of a run's identity: the artifact cache ignores it
+	// when keying and never memoizes a canceled result.
+	Done <-chan struct{}
 }
+
+// cancelCheckMask spaces Config.Done polls: the budget check runs every
+// instruction, the cancellation check every 4096.
+const cancelCheckMask = 1<<12 - 1
 
 // RefEvent is one executed data reference, as observed by Config.OnRef.
 type RefEvent struct {
@@ -89,6 +102,21 @@ type BudgetError struct {
 func (e *BudgetError) Error() string {
 	return fmt.Sprintf("vm: step budget (%d instructions) exhausted at %s",
 		e.Limit, site(e.PC, e.Func))
+}
+
+// CancelError reports that the run was stopped through Config.Done before
+// reaching HALT — a deadline or shutdown, not a property of the program.
+// Unlike BudgetError it is nondeterministic (where the run was when the
+// channel fired depends on wall clock), so it must never be memoized.
+type CancelError struct {
+	Steps int64  // instructions executed when cancellation was observed
+	PC    int    // program counter at cancellation
+	Func  string // enclosing function label, "" if unknown
+}
+
+func (e *CancelError) Error() string {
+	return fmt.Sprintf("vm: run canceled at %s after %d instructions",
+		site(e.PC, e.Func), e.Steps)
 }
 
 // site renders "pc N" or "pc N (in func)" for error messages.
@@ -146,9 +174,17 @@ func Run(p *isa.Program, cfg Config) (*Result, error) {
 	pc := p.Entry
 	n := len(p.Instrs)
 
+	done := cfg.Done
 	for steps := int64(0); ; steps++ {
 		if steps >= cfg.MaxSteps {
 			return nil, &BudgetError{Limit: cfg.MaxSteps, PC: pc, Func: p.FuncAt(pc)}
+		}
+		if done != nil && steps&cancelCheckMask == 0 {
+			select {
+			case <-done:
+				return nil, &CancelError{Steps: steps, PC: pc, Func: p.FuncAt(pc)}
+			default:
+			}
 		}
 		if pc < 0 || pc >= n {
 			return nil, fmt.Errorf("vm: pc %d out of range", pc)

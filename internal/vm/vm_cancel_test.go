@@ -1,0 +1,74 @@
+package vm
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/codegen"
+	"repro/internal/core"
+)
+
+// spinSource loops long enough (hundreds of millions of instructions)
+// that a canceled run must stop well before HALT.
+const spinSource = `
+void main() {
+    int i;
+    int acc;
+    acc = 0;
+    for (i = 0; i < 100000000; i++) {
+        acc = acc + i;
+    }
+    print(acc);
+}`
+
+// TestCancelStopsRun proves the Config.Done seam: a run whose Done fires
+// mid-execution returns a structured *CancelError promptly instead of
+// running its full budget.
+func TestCancelStopsRun(t *testing.T) {
+	comp, err := core.Compile(spinSource, core.Config{})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	prog, err := codegen.Generate(comp)
+	if err != nil {
+		t.Fatalf("codegen: %v", err)
+	}
+
+	done := make(chan struct{})
+	time.AfterFunc(20*time.Millisecond, func() { close(done) })
+	start := time.Now()
+	_, err = Run(prog, Config{Cache: cache.DefaultConfig(), Done: done})
+	elapsed := time.Since(start)
+
+	var ce *CancelError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *CancelError, got %v", err)
+	}
+	if ce.Steps <= 0 {
+		t.Errorf("CancelError.Steps = %d, want > 0", ce.Steps)
+	}
+	// Generous tolerance: the poll interval is 4096 instructions, so the
+	// run should stop within tens of milliseconds of the fire, not after
+	// simulating 100M iterations.
+	if elapsed > 5*time.Second {
+		t.Errorf("canceled run took %v, want prompt stop", elapsed)
+	}
+
+	// A pre-fired Done cancels before the first poll window elapses.
+	fired := make(chan struct{})
+	close(fired)
+	_, err = Run(prog, Config{Cache: cache.DefaultConfig(), Done: fired})
+	if !errors.As(err, &ce) {
+		t.Fatalf("pre-fired Done: want *CancelError, got %v", err)
+	}
+
+	// A nil Done changes nothing: the budget machinery still governs, so
+	// an undersized MaxSteps yields BudgetError, not CancelError.
+	var be *BudgetError
+	_, err = Run(prog, Config{Cache: cache.DefaultConfig(), MaxSteps: 10_000})
+	if !errors.As(err, &be) {
+		t.Fatalf("nil Done with small budget: want *BudgetError, got %v", err)
+	}
+}

@@ -27,11 +27,11 @@ go run ./cmd/unicheck
 echo "== unicheck (examples/mc) =="
 go run ./cmd/unicheck examples/mc/*.mc
 
-echo "== go test -race (focused: sweep, artifact, vm) =="
-# The parallel sweep engine and its artifact layer are the only
-# goroutine-heavy subsystems; give them a dedicated race pass at higher
-# iteration count than the blanket run above.
-go test -race -count=2 ./internal/sweep ./internal/artifact ./internal/vm
+echo "== go test -race (focused: sweep, artifact, vm, serve) =="
+# The parallel sweep engine, the artifact layer, and the serving stack
+# are the goroutine-heavy subsystems; give them a dedicated race pass at
+# higher iteration count than the blanket run above.
+go test -race -count=2 ./internal/sweep ./internal/artifact ./internal/vm ./internal/serve ./internal/serve/loadtest
 
 echo "== fuzz smoke (10s per target) =="
 go test -run 'xxx^' -fuzz 'FuzzCompile$' -fuzztime 10s .
@@ -81,5 +81,42 @@ cmp /tmp/sweep-w1.json /tmp/sweep-w8.json
 /tmp/unisweep-ci -verify /tmp/sweep-w1.json
 /tmp/unisweep-ci -verify BENCH_sweep.json
 rm -f /tmp/unisweep-ci /tmp/sweep-w1.json /tmp/sweep-w8.json
+
+echo "== serve-smoke (daemon boot, dedup, panic isolation, drain) =="
+# Boot unicached on an ephemeral port, drive it with concurrent mixed
+# unicall traffic (the dedup probe requires single-flight hits), prove an
+# injected panic comes back structured while the daemon stays healthy,
+# run a short seeded load test whose report must verify, check the
+# committed BENCH_serve.json schema, and finally SIGTERM the daemon: it
+# must drain and exit 0 within the drain deadline.
+go build -o /tmp/unicached-ci ./cmd/unicached
+go build -o /tmp/unicall-ci ./cmd/unicall
+rm -f /tmp/unicached-ci.addr
+/tmp/unicached-ci -addr 127.0.0.1:0 -addr-file /tmp/unicached-ci.addr \
+    -debug -drain 10s >/tmp/unicached-ci.log 2>&1 &
+UCD_PID=$!
+for i in $(seq 1 100); do
+    [ -s /tmp/unicached-ci.addr ] && break
+    sleep 0.1
+done
+[ -s /tmp/unicached-ci.addr ] || { echo "daemon never bound" >&2; cat /tmp/unicached-ci.log >&2; exit 1; }
+/tmp/unicall-ci -addr-file /tmp/unicached-ci.addr health
+/tmp/unicall-ci -addr-file /tmp/unicached-ci.addr -n 16 -c 4 -min-dedup 8 \
+    simulate examples/mc/loops.mc >/dev/null
+/tmp/unicall-ci -addr-file /tmp/unicached-ci.addr -requests 400 loadtest \
+    >/tmp/serve-loadtest-ci.txt
+cat /tmp/serve-loadtest-ci.txt
+/tmp/unicall-ci -addr-file /tmp/unicached-ci.addr health
+/tmp/unicall-ci -verify-bench BENCH_serve.json
+kill -TERM "$UCD_PID"
+DRAIN_OK=0
+for i in $(seq 1 100); do
+    if ! kill -0 "$UCD_PID" 2>/dev/null; then DRAIN_OK=1; break; fi
+    sleep 0.1
+done
+[ "$DRAIN_OK" = 1 ] || { echo "daemon did not drain within 10s of SIGTERM" >&2; kill -9 "$UCD_PID"; exit 1; }
+wait "$UCD_PID" || { echo "daemon exited nonzero after drain" >&2; exit 1; }
+grep -q "drained" /tmp/unicached-ci.log || { echo "no drain confirmation in daemon log" >&2; exit 1; }
+rm -f /tmp/unicached-ci /tmp/unicall-ci /tmp/unicached-ci.addr /tmp/unicached-ci.log /tmp/serve-loadtest-ci.txt
 
 echo "CI OK"

@@ -28,7 +28,7 @@ import (
 	"repro/internal/irinterp"
 	"repro/internal/isa"
 	"repro/internal/regalloc"
-	"repro/internal/trace"
+	"repro/internal/replay"
 	"repro/internal/vm"
 )
 
@@ -239,10 +239,12 @@ func (p *Program) cacheConfig(o CacheOptions) (cache.Config, error) {
 
 // RunOptions controls a simulation run.
 type RunOptions struct {
-	Cache       CacheOptions
-	MemWords    int   // memory size (default 4M words)
-	MaxSteps    int64 // instruction budget (default 2e9)
-	RecordTrace bool  // keep the data-reference trace for Replay
+	Cache    CacheOptions
+	MemWords int   // memory size (default 4M words)
+	MaxSteps int64 // instruction budget (default 2e9)
+	// RecordTrace streams the data-reference trace into a compact encoded
+	// form (about 2 bytes per reference) kept on the RunResult for Replay.
+	RecordTrace bool
 
 	// ICache, when non-nil, models an instruction cache alongside the data
 	// cache; its statistics appear in RunResult.ICache.
@@ -277,7 +279,7 @@ type RunResult struct {
 	Cache        CacheStats
 	ICache       *CacheStats // set when RunOptions.ICache was provided
 
-	tr        trace.Trace
+	enc       *replay.Encoded
 	lineWords int
 }
 
@@ -294,10 +296,14 @@ func (p *Program) Run(opts *RunOptions) (_ *RunResult, err error) {
 		return nil, err
 	}
 	vcfg := vm.Config{
-		MemWords:    o.MemWords,
-		MaxSteps:    o.MaxSteps,
-		Cache:       ccfg,
-		RecordTrace: o.RecordTrace,
+		MemWords: o.MemWords,
+		MaxSteps: o.MaxSteps,
+		Cache:    ccfg,
+	}
+	var sink *replay.Encoder
+	if o.RecordTrace {
+		sink = replay.NewEncoder()
+		vcfg.TraceSink = sink
 	}
 	var icfg cache.Config
 	if o.ICache != nil {
@@ -317,8 +323,10 @@ func (p *Program) Run(opts *RunOptions) (_ *RunResult, err error) {
 		Loads:        res.Loads,
 		Stores:       res.Stores,
 		Cache:        convertStats(res.CacheStats, ccfg.LineWords),
-		tr:           res.Trace,
 		lineWords:    ccfg.LineWords,
+	}
+	if sink != nil {
+		out.enc = sink.Finish()
 	}
 	if res.ICacheStats != nil {
 		ics := convertStats(*res.ICacheStats, icfg.LineWords)
@@ -360,12 +368,13 @@ func (p *Program) Interpret() (_ string, err error) {
 
 // Replay re-simulates a recorded reference trace under a different cache
 // configuration, including policy "min" (Belady's optimal, which needs
-// the future knowledge only a trace provides). stripFlags clears the
-// compiler's control bits first, giving the conventional-hardware view of
-// the same address stream.
+// the future knowledge only a trace provides). stripFlags gives the
+// conventional-hardware view of the same address stream by disabling
+// bypass and dead marking — the replay engine then never consults the
+// compiler's control bits, which is equivalent to clearing them.
 func (r *RunResult) Replay(opts CacheOptions, stripFlags bool) (_ CacheStats, err error) {
 	defer ice.Guard("replay", &err)
-	if r.tr == nil {
+	if r.enc == nil {
 		return CacheStats{}, fmt.Errorf("unicache: run was not executed with RecordTrace")
 	}
 	cfg := cache.DefaultConfig()
@@ -398,17 +407,15 @@ func (r *RunResult) Replay(opts CacheOptions, stripFlags bool) (_ CacheStats, er
 	if opts.Seed != 0 {
 		cfg.Seed = opts.Seed
 	}
-	tr := r.tr
 	if stripFlags {
-		tr = tr.StripFlags()
 		cfg.HonorBypass = false
 		cfg.Dead = cache.DeadOff
 	}
-	st, err := cache.SimulateTrace(tr, cfg)
+	st, err := replay.Replay(r.enc, cfg, 1)
 	if err != nil {
 		return CacheStats{}, err
 	}
-	return convertStats(st.Stats, cfg.LineWords), nil
+	return convertStats(st, cfg.LineWords), nil
 }
 
 // CompareTraffic compiles src under both management modes, runs both on
@@ -498,22 +505,30 @@ func RunAssembly(asmText string, opts *RunOptions) (_ *RunResult, err error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := vm.Run(prog, vm.Config{
-		MemWords:    o.MemWords,
-		MaxSteps:    o.MaxSteps,
-		Cache:       ccfg,
-		RecordTrace: o.RecordTrace,
-	})
+	vcfg := vm.Config{
+		MemWords: o.MemWords,
+		MaxSteps: o.MaxSteps,
+		Cache:    ccfg,
+	}
+	var sink *replay.Encoder
+	if o.RecordTrace {
+		sink = replay.NewEncoder()
+		vcfg.TraceSink = sink
+	}
+	res, err := vm.Run(prog, vcfg)
 	if err != nil {
 		return nil, err
 	}
-	return &RunResult{
+	out := &RunResult{
 		Output:       res.Output,
 		Instructions: res.Instructions,
 		Loads:        res.Loads,
 		Stores:       res.Stores,
 		Cache:        convertStats(res.CacheStats, ccfg.LineWords),
-		tr:           res.Trace,
 		lineWords:    ccfg.LineWords,
-	}, nil
+	}
+	if sink != nil {
+		out.enc = sink.Finish()
+	}
+	return out, nil
 }

@@ -30,6 +30,7 @@ import (
 	"repro/internal/codegen"
 	"repro/internal/core"
 	"repro/internal/isa"
+	"repro/internal/replay"
 	"repro/internal/vm"
 )
 
@@ -131,7 +132,16 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "saved assembly -> %s\n", *saveFile)
 	}
-	res, err := vm.Run(prog, vm.Config{Cache: ccfg, MaxSteps: *maxSteps, RecordTrace: *traceFile != ""})
+	vcfg := vm.Config{Cache: ccfg, MaxSteps: *maxSteps}
+	// The trace streams through the compact encoder instead of
+	// materializing a record slice; the text file is decoded from it on
+	// the way out, so memory stays flat however long the run.
+	var sink *replay.Encoder
+	if *traceFile != "" {
+		sink = replay.NewEncoder()
+		vcfg.TraceSink = sink
+	}
+	res, err := vm.Run(prog, vcfg)
 	if err != nil {
 		cli.Fatal(tool, "simulate", err)
 	}
@@ -151,16 +161,17 @@ func main() {
 	fmt.Printf("dead marks:      %d (%d dirty discards)\n", s.DeadMarks, s.DeadDiscards)
 	fmt.Printf("DRAM traffic:    %d words\n", s.MemTrafficWords(*line))
 
-	if *traceFile != "" {
+	if sink != nil {
+		enc := sink.Finish()
 		f, err := os.Create(*traceFile)
 		if err != nil {
 			cli.Fatal(tool, "trace", err)
 		}
 		defer f.Close()
-		if err := res.Trace.Write(f); err != nil {
+		if err := enc.WriteText(f); err != nil {
 			cli.Fatal(tool, "trace", err)
 		}
-		fmt.Printf("trace:           %d records -> %s\n", len(res.Trace), *traceFile)
+		fmt.Printf("trace:           %d records -> %s\n", enc.Len(), *traceFile)
 	}
 }
 

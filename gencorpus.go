@@ -9,14 +9,20 @@
 package main
 
 import (
+	"encoding/binary"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strconv"
 
+	"repro/internal/bench"
+	"repro/internal/cache"
 	"repro/internal/codegen"
 	"repro/internal/core"
 	"repro/internal/progen"
+	"repro/internal/trace"
+	"repro/internal/vm"
 )
 
 func main() {
@@ -79,8 +85,55 @@ func main() {
 		writeCorpus(filepath.Join("internal", "cache", "testdata", "fuzz", "FuzzCacheModel"),
 			fmt.Sprintf("pattern_%02d", i), body)
 	}
+
+	// Trace-codec corpus: prefixes of real benchmark reference streams in
+	// FuzzTraceCodec's 9-byte record format (flags, little-endian
+	// address), so the fuzzer starts from the delta distributions and
+	// flag mixes the encoder actually sees.
+	for i, b := range bench.All()[:2] {
+		c, err := core.Compile(b.Source, core.Config{Mode: core.Unified})
+		check(err)
+		p, err := codegen.Generate(c)
+		check(err)
+		var refs []trace.Rec
+		_, err = vm.Run(p, vm.Config{
+			MaxSteps: 100_000,
+			Cache:    cache.DefaultConfig(),
+			TraceSink: traceSinkFunc(func(r trace.Rec) {
+				if len(refs) < 256 {
+					refs = append(refs, r)
+				}
+			}),
+		})
+		var budget *vm.BudgetError
+		if err != nil && !errors.As(err, &budget) {
+			check(err)
+		}
+		buf := make([]byte, 0, 9*len(refs))
+		for _, r := range refs {
+			flags := byte(0)
+			if r.Kind == trace.Store {
+				flags |= 1
+			}
+			if r.Bypass {
+				flags |= 2
+			}
+			if r.Last {
+				flags |= 4
+			}
+			buf = append(buf, flags)
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(r.Addr))
+		}
+		writeCorpus(filepath.Join("internal", "replay", "testdata", "fuzz", "FuzzTraceCodec"),
+			fmt.Sprintf("bench_%02d", i), "[]byte("+strconv.Quote(string(buf))+")")
+	}
 	fmt.Println("corpora regenerated")
 }
+
+// traceSinkFunc adapts a function to vm.TraceSink.
+type traceSinkFunc func(trace.Rec)
+
+func (f traceSinkFunc) Ref(r trace.Rec) { f(r) }
 
 func writeCorpus(dir, name, body string) {
 	check(os.MkdirAll(dir, 0o755))

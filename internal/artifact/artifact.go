@@ -34,6 +34,7 @@ import (
 	"repro/internal/codegen"
 	"repro/internal/core"
 	"repro/internal/isa"
+	"repro/internal/replay"
 	"repro/internal/vm"
 )
 
@@ -105,6 +106,7 @@ type buildEntry struct {
 type runEntry struct {
 	mu  sync.Mutex
 	res *vm.Result
+	enc *replay.Encoded // encoded reference trace (RunEncoded; memory-only)
 	err error
 }
 
@@ -297,9 +299,11 @@ func runKey(k Key, cfg vm.Config) string {
 // their injector state.
 func (c *Cache) Run(art *Artifact, cfg vm.Config) (*vm.Result, error) {
 	cfg = cfg.Normalized()
-	if cfg.Cache.Injector != nil || (cfg.ICache != nil && cfg.ICache.Injector != nil) || cfg.OnRef != nil {
-		// Injector state and OnRef observation are side effects a memoized
-		// result would silently skip: always execute.
+	if cfg.Cache.Injector != nil || (cfg.ICache != nil && cfg.ICache.Injector != nil) ||
+		cfg.OnRef != nil || cfg.TraceSink != nil {
+		// Injector state, OnRef observation and TraceSink streaming are
+		// side effects a memoized result would silently skip: always
+		// execute.
 		return vm.Run(art.Prog, cfg)
 	}
 	key := runKey(art.Key, cfg)
@@ -360,6 +364,73 @@ func (c *Cache) Run(art *Artifact, cfg vm.Config) (*vm.Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// RunEncoded is Run additionally returning the compactly encoded
+// reference trace of the simulation, memoized alongside the result.
+// Unlike Run's materialized traces (hundreds of MB, never retained), an
+// encoded trace costs ~2 bytes per reference, so it is kept on the run
+// entry and shared by every replay-driven experiment that asks for the
+// same configuration — trace-driven replays re-simulate nothing.
+// Encoded traces live in memory only; the persistent store keeps
+// statistics, not reference streams. Any RecordTrace or TraceSink on
+// cfg is ignored (the encoding is the trace). Injected or OnRef-bearing
+// configurations execute directly, uncached, exactly as in Run.
+func (c *Cache) RunEncoded(art *Artifact, cfg vm.Config) (*vm.Result, *replay.Encoded, error) {
+	cfg = cfg.Normalized()
+	cfg.RecordTrace = false
+	cfg.TraceSink = nil
+	if cfg.Cache.Injector != nil || (cfg.ICache != nil && cfg.ICache.Injector != nil) || cfg.OnRef != nil {
+		sink := replay.NewEncoder()
+		cfg.TraceSink = sink
+		res, err := vm.Run(art.Prog, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		return res, sink.Finish(), nil
+	}
+	key := runKey(art.Key, cfg)
+	c.mu.Lock()
+	e, ok := c.runs[key]
+	if !ok {
+		e = &runEntry{}
+		c.runs[key] = e
+	}
+	c.mu.Unlock()
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.err != nil {
+		c.hitRun()
+		return nil, nil, e.err
+	}
+	if e.res != nil && e.enc != nil {
+		c.hitRun()
+		return e.res, e.enc, nil
+	}
+	// A disk-restored result cannot supply the trace, so an encoded
+	// request always executes once (seeding both the result and the
+	// encoding for later Run and RunEncoded callers).
+	c.missRun()
+	sink := replay.NewEncoder()
+	cfg.TraceSink = sink
+	res, err := vm.Run(art.Prog, cfg)
+	if err != nil {
+		var ce *vm.CancelError
+		if !errors.As(err, &ce) {
+			e.err = err
+		}
+		return nil, nil, err
+	}
+	e.res = res
+	e.enc = sink.Finish()
+	if c.disk != nil {
+		if err := c.diskWriteRun(key, res); err != nil {
+			c.count(func(s *Stats) { s.WriteErrs++ })
+			c.warnf("artifact: persist run: %v", err)
+		}
+	}
+	return res, e.enc, nil
 }
 
 func (c *Cache) hitRun() {

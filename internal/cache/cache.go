@@ -343,6 +343,14 @@ type Memory struct {
 	faultErr error // first detected-unrecoverable fault (sticky)
 	tick     int64
 	rng      uint64
+
+	// split() runs on every reference; Validate guarantees LineWords and
+	// Sets are powers of two and VM addresses are non-negative, so the
+	// divide/modulo reduce to a shift and two masks.
+	lwShift uint
+	lwMask  int64
+	setMask int64
+	eccOn   bool
 }
 
 // NewMemory builds a memory of words size fronted by a cache with cfg.
@@ -351,6 +359,10 @@ func NewMemory(words int, cfg Config) (*Memory, error) {
 		return nil, err
 	}
 	m := &Memory{cfg: cfg, mem: make([]int64, words), rng: cfg.Seed | 1}
+	m.lwShift = uint(bits.TrailingZeros(uint(cfg.LineWords)))
+	m.lwMask = int64(cfg.LineWords - 1)
+	m.setMask = int64(cfg.Sets - 1)
+	m.eccOn = cfg.ECC != ECCOff
 	m.sets = make([][]line, cfg.Sets)
 	for i := range m.sets {
 		ways := make([]line, cfg.Ways)
@@ -516,14 +528,17 @@ func (m *Memory) Peek(addr int64) int64 {
 }
 
 func (m *Memory) split(addr int64) (set int, tag int64, off int) {
-	lineAddr := addr / int64(m.cfg.LineWords)
-	return int(lineAddr & int64(m.cfg.Sets-1)), lineAddr, int(addr % int64(m.cfg.LineWords))
+	lineAddr := addr >> m.lwShift
+	return int(lineAddr & m.setMask), lineAddr, int(addr & m.lwMask)
 }
 
 func (m *Memory) lookup(set int, tag int64) *line {
-	for w := range m.sets[set] {
-		ln := &m.sets[set][w]
-		if ln.valid && ln.tag == tag {
+	ways := m.sets[set]
+	for w := range ways {
+		ln := &ways[w]
+		// Tag compared first — it almost always decides; the valid check
+		// guards against a stale tag left on an invalidated line.
+		if ln.tag == tag && ln.valid {
 			return ln
 		}
 	}
@@ -571,15 +586,26 @@ func (m *Memory) victim(set int) *line {
 			}
 		}
 	case Random:
-		// Draw among usable ways only, preserving determinism.
-		var usable []int
+		// Draw among usable ways only, preserving determinism: one PRNG
+		// draw selects the k-th usable way, exactly the element the old
+		// materialized-slice selection produced, without allocating.
+		n := 0
 		for w := range ways {
 			if m.usableWay(set, w) {
-				usable = append(usable, w)
+				n++
 			}
 		}
-		if len(usable) > 0 {
-			best = usable[m.nextRand()%uint64(len(usable))]
+		if n > 0 {
+			k := int(m.nextRand() % uint64(n))
+			for w := range ways {
+				if m.usableWay(set, w) {
+					if k == 0 {
+						best = w
+						break
+					}
+					k--
+				}
+			}
 		}
 	default: // LRU
 		for w := range ways {
@@ -624,7 +650,9 @@ func (m *Memory) evict(ln *line) {
 func (m *Memory) writebackLine(ln *line) {
 	base := ln.tag * int64(m.cfg.LineWords)
 	for i := 0; i < m.cfg.LineWords; i++ {
-		m.checkWord(ln, i)
+		if m.eccOn {
+			m.checkWord(ln, i)
+		}
 		m.mem[base+int64(i)] = ln.data[i]
 	}
 }
@@ -703,7 +731,9 @@ func (m *Memory) Load(addr int64, bypass, lastRef bool) int64 {
 			m.tick++
 			ln.last = m.tick
 			ln.refs++
-			m.checkWord(ln, off)
+			if m.eccOn {
+				m.checkWord(ln, off)
+			}
 			v := ln.data[off]
 			if lastRef {
 				m.deadMark(ln)
@@ -723,7 +753,9 @@ func (m *Memory) Load(addr int64, bypass, lastRef bool) int64 {
 		ln.last = m.tick
 		ln.refs++
 		ln.dead = false // referenced again: alive after all
-		m.checkWord(ln, off)
+		if m.eccOn {
+			m.checkWord(ln, off)
+		}
 		v := ln.data[off]
 		if lastRef {
 			m.deadMark(ln)
@@ -769,7 +801,9 @@ func (m *Memory) Store(addr int64, val int64, bypass, lastRef bool) {
 			ln.last = m.tick
 			ln.refs++
 			ln.data[off] = val
-			m.protectWord(ln, off)
+			if m.eccOn {
+				m.protectWord(ln, off)
+			}
 			if lastRef {
 				m.deadMark(ln)
 			}
@@ -785,7 +819,9 @@ func (m *Memory) Store(addr int64, val int64, bypass, lastRef bool) {
 		ln.last = m.tick
 		ln.refs++
 		ln.data[off] = val
-		m.protectWord(ln, off)
+		if m.eccOn {
+			m.protectWord(ln, off)
+		}
 		ln.dirty = true
 		ln.dead = false
 		if lastRef {
@@ -819,7 +855,9 @@ func (m *Memory) Store(addr int64, val int64, bypass, lastRef bool) {
 	}
 	ln.refs = 1
 	ln.data[off] = val
-	m.protectWord(ln, off)
+	if m.eccOn {
+		m.protectWord(ln, off)
+	}
 	ln.dirty = true
 	if lastRef {
 		m.deadMark(ln)

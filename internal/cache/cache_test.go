@@ -216,6 +216,34 @@ func TestRandomPolicyIsDeterministic(t *testing.T) {
 	}
 }
 
+// TestMemoryZeroAllocs guards the VM-facing hot path: once a Memory is
+// built, Load and Store must not allocate — lookup, victim selection
+// (including Random's reservoir-free draw), dead marking, and writeback
+// all run on preallocated state. A regression here slows every simulated
+// instruction.
+func TestMemoryZeroAllocs(t *testing.T) {
+	for _, cfg := range []Config{
+		{Sets: 32, Ways: 2, LineWords: 1, Policy: LRU, Dead: DeadInvalidate, HonorBypass: true, Seed: 1},
+		{Sets: 4, Ways: 4, LineWords: 4, Policy: FIFO, Dead: DeadDemote, HonorBypass: true, Seed: 1},
+		{Sets: 8, Ways: 4, LineWords: 1, Policy: Random, Dead: DeadOff, HonorBypass: true, Seed: 7},
+	} {
+		m := mustMemory(t, 4096, cfg)
+		i := 0
+		allocs := testing.AllocsPerRun(2000, func() {
+			addr := int64((i * 37) % 1024)
+			if i%3 == 0 {
+				m.Store(addr, int64(i), i%5 == 0, i%7 == 0)
+			} else {
+				m.Load(addr, i%5 == 0, i%7 == 0)
+			}
+			i++
+		})
+		if allocs != 0 {
+			t.Errorf("cfg %+v: %v allocs per reference, want 0", cfg, allocs)
+		}
+	}
+}
+
 // Functional correctness under random access patterns: the cache-fronted
 // memory must behave exactly like a flat array for any mix of flags.
 func TestMemoryMatchesFlatModelQuick(t *testing.T) {

@@ -21,7 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/isa"
 	"repro/internal/regalloc"
-	"repro/internal/trace"
+	"repro/internal/replay"
 	"repro/internal/vm"
 )
 
@@ -59,10 +59,137 @@ type Workload struct {
 	UnifiedProg      *isa.Program
 	ConventionalProg *isa.Program
 
-	UnifiedRes      *vm.Result // run with the paper's cache (trace recorded)
+	UnifiedRes      *vm.Result // run with the paper's cache
 	ConventionalRes *vm.Result // run with conventional cache
 
-	Trace trace.Trace // unified-compilation reference trace
+	// Trace is the unified-compilation reference trace in the compact
+	// streaming encoding (~2 bytes/ref instead of trace.Trace's 24+).
+	// Replay-driven experiments consume it through internal/replay.
+	Trace *replay.Encoded
+
+	// memo caches replayed configurations of Trace. Several experiments
+	// request identical configurations (E3's LRU column is E7's one-word
+	// row and E9's off/invalidate modes), and replay is deterministic, so
+	// each distinct configuration replays once per workload.
+	memo map[string]replayEntry
+}
+
+// replayEntry is one memoized replay of a workload's trace. measured
+// reports whether the occupancy metrics (TraceStats) were computed too:
+// a replayStats hit can be served from either kind, a measureStats hit
+// only from a measured one.
+type replayEntry struct {
+	stats    cache.Stats
+	measured bool
+	ts       cache.TraceStats
+}
+
+// replayKey canonically encodes the cache.Config fields that determine
+// replay results (worker count never does — sharded replay is
+// bit-identical by construction).
+func replayKey(cfg cache.Config) string {
+	return fmt.Sprintf("s%d.w%d.l%d.p%d.d%d.b%t.x%d",
+		cfg.Sets, cfg.Ways, cfg.LineWords, cfg.Policy, cfg.Dead, cfg.HonorBypass, cfg.Seed)
+}
+
+// replayStats replays the workload's trace under cfg, memoized.
+func (w *Workload) replayStats(cfg cache.Config) (cache.Stats, error) {
+	k := replayKey(cfg)
+	if e, ok := w.memo[k]; ok {
+		return e.stats, nil
+	}
+	st, err := replay.Replay(w.Trace, cfg, 0)
+	if err != nil {
+		return st, err
+	}
+	if w.memo == nil {
+		w.memo = make(map[string]replayEntry)
+	}
+	w.memo[k] = replayEntry{stats: st}
+	return st, nil
+}
+
+// measureStats is replayStats with the occupancy metrics of
+// replay.Measure; a prior plain replay of the same configuration is
+// upgraded in place.
+func (w *Workload) measureStats(cfg cache.Config) (cache.TraceStats, error) {
+	k := replayKey(cfg)
+	if e, ok := w.memo[k]; ok && e.measured {
+		return e.ts, nil
+	}
+	ts, err := replay.Measure(w.Trace, cfg)
+	if err != nil {
+		return ts, err
+	}
+	if w.memo == nil {
+		w.memo = make(map[string]replayEntry)
+	}
+	w.memo[k] = replayEntry{stats: ts.Stats, measured: true, ts: ts}
+	return ts, nil
+}
+
+// replayBatchStats is replayStats for a sweep of configurations over the
+// same trace: memo misses are replayed in one shared decoding pass
+// (replay.ReplayBatch), which is where experiments that sweep many cache
+// shapes spend most of their decode time.
+func (w *Workload) replayBatchStats(cfgs []cache.Config) ([]cache.Stats, error) {
+	out := make([]cache.Stats, len(cfgs))
+	var miss []cache.Config
+	var missAt []int
+	for i, cfg := range cfgs {
+		if e, ok := w.memo[replayKey(cfg)]; ok {
+			out[i] = e.stats
+		} else {
+			miss = append(miss, cfg)
+			missAt = append(missAt, i)
+		}
+	}
+	if len(miss) == 0 {
+		return out, nil
+	}
+	sts, err := replay.ReplayBatch(w.Trace, miss)
+	if err != nil {
+		return nil, err
+	}
+	if w.memo == nil {
+		w.memo = make(map[string]replayEntry)
+	}
+	for j, st := range sts {
+		out[missAt[j]] = st
+		w.memo[replayKey(miss[j])] = replayEntry{stats: st}
+	}
+	return out, nil
+}
+
+// measureBatchStats is measureStats for a sweep of configurations, with
+// the same one-decoding-pass batching as replayBatchStats.
+func (w *Workload) measureBatchStats(cfgs []cache.Config) ([]cache.TraceStats, error) {
+	out := make([]cache.TraceStats, len(cfgs))
+	var miss []cache.Config
+	var missAt []int
+	for i, cfg := range cfgs {
+		if e, ok := w.memo[replayKey(cfg)]; ok && e.measured {
+			out[i] = e.ts
+		} else {
+			miss = append(miss, cfg)
+			missAt = append(missAt, i)
+		}
+	}
+	if len(miss) == 0 {
+		return out, nil
+	}
+	tss, err := replay.MeasureBatch(w.Trace, miss)
+	if err != nil {
+		return nil, err
+	}
+	if w.memo == nil {
+		w.memo = make(map[string]replayEntry)
+	}
+	for j, ts := range tss {
+		out[missAt[j]] = ts
+		w.memo[replayKey(miss[j])] = replayEntry{stats: ts.Stats, measured: true, ts: ts}
+	}
+	return out, nil
 }
 
 // CacheGeometry is the hardware configuration shared by an experiment's
@@ -106,7 +233,7 @@ func BuildWorkload(b bench.Benchmark, geom CacheGeometry, cc Compiler) (*Workloa
 	}
 	w.Unified, w.UnifiedProg = ua.Comp, ua.Prog
 	w.Conventional, w.ConventionalProg = ca.Comp, ca.Prog
-	if w.UnifiedRes, err = Artifacts.Run(ua, vm.Config{Cache: geom.unified(), RecordTrace: true}); err != nil {
+	if w.UnifiedRes, w.Trace, err = Artifacts.RunEncoded(ua, vm.Config{Cache: geom.unified()}); err != nil {
 		return nil, fmt.Errorf("%s unified run: %w", b.Name, err)
 	}
 	if w.ConventionalRes, err = Artifacts.Run(ca, vm.Config{Cache: geom.conventional()}); err != nil {
@@ -118,7 +245,6 @@ func BuildWorkload(b bench.Benchmark, geom CacheGeometry, cc Compiler) (*Workloa
 	if b.Expected != "" && w.UnifiedRes.Output != b.Expected {
 		return nil, fmt.Errorf("%s: output %q, want %q", b.Name, w.UnifiedRes.Output, b.Expected)
 	}
-	w.Trace = w.UnifiedRes.Trace
 	return w, nil
 }
 
@@ -454,23 +580,27 @@ type LineSizeTable struct {
 // there (multi-word dirty lines can only be demoted, not discarded).
 func LineSize(ws []*Workload, geom CacheGeometry) (LineSizeTable, error) {
 	var t LineSizeTable
+	lineWords := []int{1, 2, 4, 8}
 	for _, w := range ws {
-		for _, lw := range []int{1, 2, 4, 8} {
+		// One batched pass per workload: the conv/unif pair for every
+		// line size shares a single trace decode. No StripFlags copy
+		// needed for conv: under DeadOff with HonorBypass false the
+		// replay engine never consults the hint bits.
+		var cfgs []cache.Config
+		for _, lw := range lineWords {
 			conv := cache.Config{Sets: geom.Sets, Ways: geom.Ways, LineWords: lw,
 				Policy: geom.Policy, Dead: cache.DeadOff, HonorBypass: false, Seed: 1}
 			unif := conv
 			unif.Dead = cache.DeadInvalidate
 			unif.HonorBypass = true
-			// No StripFlags copy needed: under DeadOff with HonorBypass
-			// false the simulator never consults the hint bits.
-			cs, err := cache.SimulateTrace(w.Trace, conv)
-			if err != nil {
-				return t, err
-			}
-			us, err := cache.SimulateTrace(w.Trace, unif)
-			if err != nil {
-				return t, err
-			}
+			cfgs = append(cfgs, conv, unif)
+		}
+		sts, err := w.replayBatchStats(cfgs)
+		if err != nil {
+			return t, err
+		}
+		for i, lw := range lineWords {
+			cs, us := sts[2*i], sts[2*i+1]
 			t.Rows = append(t.Rows, LineSizeRow{
 				Name:        w.Bench.Name,
 				LineWords:   lw,
@@ -603,15 +733,19 @@ func DeadMode(ws []*Workload, geom CacheGeometry) (DeadModeTable, error) {
 		base := cache.Config{Sets: geom.Sets, Ways: geom.Ways, LineWords: geom.LineWords,
 			Policy: geom.Policy, HonorBypass: true, Seed: 1}
 		row := DeadModeRow{Name: w.Bench.Name}
-		for _, dm := range []cache.DeadMode{cache.DeadOff, cache.DeadInvalidate, cache.DeadDemote} {
-			cfg := base
-			cfg.Dead = dm
-			st, err := cache.SimulateTrace(w.Trace, cfg)
-			if err != nil {
-				return t, err
-			}
-			words := st.MemTrafficWords(geom.LineWords)
-			miss := 1 - st.HitRatio()
+		modes := []cache.DeadMode{cache.DeadOff, cache.DeadInvalidate, cache.DeadDemote}
+		cfgs := make([]cache.Config, len(modes))
+		for i, dm := range modes {
+			cfgs[i] = base
+			cfgs[i].Dead = dm
+		}
+		sts, err := w.replayBatchStats(cfgs)
+		if err != nil {
+			return t, err
+		}
+		for i, dm := range modes {
+			words := sts[i].MemTrafficWords(geom.LineWords)
+			miss := 1 - sts[i].HitRatio()
 			switch dm {
 			case cache.DeadOff:
 				row.OffTraffic, row.OffMiss = words, miss

@@ -36,7 +36,7 @@ func TestWorkloadsSelfCheck(t *testing.T) {
 			t.Fatalf("workloads = %d, want 6", len(set))
 		}
 		for _, w := range set {
-			if len(w.Trace) == 0 {
+			if w.Trace == nil || w.Trace.Len() == 0 {
 				t.Errorf("%s/%s: empty trace", w.Bench.Name, w.Compiler)
 			}
 			if w.UnifiedRes.Instructions == 0 {

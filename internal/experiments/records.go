@@ -188,25 +188,26 @@ func SingleUseFromRecords(recs []sweep.Record) SingleUseTable {
 func RecordsDeadLRU(ws []*Workload, sizes []int) ([]sweep.Record, error) {
 	var out []sweep.Record
 	for _, w := range ws {
+		// Every (size, variant) pair shares one batched decoding pass per
+		// workload. Conventional hardware ignores the hint bits (DeadOff +
+		// HonorBypass false), so the trace is replayed unstripped: the
+		// engine never consults bits the config disables.
+		var cfgs []cache.Config
 		for _, lines := range sizes {
 			conv := cache.Config{Sets: 1, Ways: lines, LineWords: 1,
 				Policy: cache.LRU, Dead: cache.DeadOff, HonorBypass: false, Seed: 1}
 			unif := conv
 			unif.Dead = cache.DeadInvalidate
 			unif.HonorBypass = true
-
-			// Conventional hardware ignores the hint bits (DeadOff +
-			// HonorBypass false), so the trace is replayed unstripped:
-			// StripFlags would copy hundreds of megabytes per call for
-			// an identical result.
-			cs, err := cache.SimulateTrace(w.Trace, conv)
-			if err != nil {
-				return nil, err
-			}
-			us, err := cache.SimulateTrace(w.Trace, unif)
-			if err != nil {
-				return nil, err
-			}
+			cfgs = append(cfgs, conv, unif)
+		}
+		tss, err := w.measureBatchStats(cfgs)
+		if err != nil {
+			return nil, err
+		}
+		for i := range sizes {
+			conv, unif := cfgs[2*i], cfgs[2*i+1]
+			cs, us := tss[2*i], tss[2*i+1]
 
 			cr := sweep.NewRecord(w.Bench.Name, w.Compiler.String(), sweep.ModeConventional, conv)
 			cr.Experiment = ExpDeadLRU
@@ -280,6 +281,10 @@ func RecordsPolicies(ws []*Workload, geom CacheGeometry) ([]sweep.Record, error)
 	var out []sweep.Record
 	pols := []cache.Policy{cache.LRU, cache.FIFO, cache.Random, cache.MIN}
 	for _, w := range ws {
+		// All policy × variant cells for a workload share one batched
+		// decoding pass. Unstripped replay is safe: conventional configs
+		// never read the hint bits (see RecordsDeadLRU).
+		var cfgs []cache.Config
 		for _, pol := range pols {
 			base := cache.Config{Sets: geom.Sets, Ways: geom.Ways, LineWords: geom.LineWords,
 				Policy: pol, Seed: 1}
@@ -287,36 +292,35 @@ func RecordsPolicies(ws []*Workload, geom CacheGeometry) ([]sweep.Record, error)
 			conv := base
 			conv.Dead = cache.DeadOff
 			conv.HonorBypass = false
-			// Unstripped replay is safe: conventional configs never read
-			// the hint bits (see RecordsDeadLRU).
-			cs, err := cache.SimulateTrace(w.Trace, conv)
-			if err != nil {
-				return nil, err
-			}
+
+			byp := base
+			byp.Dead = cache.DeadOff
+			byp.HonorBypass = true
+
+			full := base
+			full.Dead = cache.DeadInvalidate
+			full.HonorBypass = true
+
+			cfgs = append(cfgs, conv, byp, full)
+		}
+		tss, err := w.measureBatchStats(cfgs)
+		if err != nil {
+			return nil, err
+		}
+		for i := range pols {
+			conv, byp, full := cfgs[3*i], cfgs[3*i+1], cfgs[3*i+2]
+			cs, bs, fs := tss[3*i], tss[3*i+1], tss[3*i+2]
+
 			cr := sweep.NewRecord(w.Bench.Name, w.Compiler.String(), sweep.ModeConventional, conv)
 			cr.Experiment = ExpPolicies
 			cr.SetStats(cs.Stats)
 			cr.DeadOccupancy = cs.DeadOccupancy
 
-			byp := base
-			byp.Dead = cache.DeadOff
-			byp.HonorBypass = true
-			bs, err := cache.SimulateTrace(w.Trace, byp)
-			if err != nil {
-				return nil, err
-			}
 			br := sweep.NewRecord(w.Bench.Name, w.Compiler.String(), sweep.ModeUnified, byp)
 			br.Experiment = ExpPolicies
 			br.SetStats(bs.Stats)
 			br.DeadOccupancy = bs.DeadOccupancy
 
-			full := base
-			full.Dead = cache.DeadInvalidate
-			full.HonorBypass = true
-			fs, err := cache.SimulateTrace(w.Trace, full)
-			if err != nil {
-				return nil, err
-			}
 			fr := sweep.NewRecord(w.Bench.Name, w.Compiler.String(), sweep.ModeUnified, full)
 			fr.Experiment = ExpPolicies
 			fr.SetStats(fs.Stats)

@@ -1,0 +1,171 @@
+// Differential coverage for the replay engine against the original
+// simulator on real traces: the six paper benchmarks and a progen corpus,
+// across associative, direct-mapped, and non-LRU geometries, at several
+// worker counts. It lives in an external test package because it drives
+// internal/experiments (which itself imports replay) to build the
+// benchmark workloads.
+package replay_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/progen"
+	"repro/internal/replay"
+	"repro/internal/vm"
+)
+
+// diffGeometries is the sweep each trace goes through: the paper's 2-way
+// LRU shape with the full unified feature set, a FIFO variant, and a
+// direct-mapped cache with multi-word lines (exercising the word-offset
+// and demote-not-discard paths).
+func diffGeometries() []cache.Config {
+	return []cache.Config{
+		{Sets: 32, Ways: 2, LineWords: 1, Policy: cache.LRU, Dead: cache.DeadInvalidate, HonorBypass: true, Seed: 1},
+		{Sets: 16, Ways: 4, LineWords: 1, Policy: cache.FIFO, Dead: cache.DeadOff, HonorBypass: true, Seed: 1},
+		{Sets: 64, Ways: 1, LineWords: 4, Policy: cache.LRU, Dead: cache.DeadDemote, HonorBypass: false, Seed: 1},
+	}
+}
+
+// diffOne checks one encoded trace against SimulateTrace across the
+// geometry sweep and worker counts 1, 2, 4, 8. Sharded replay must be
+// bit-identical to the sequential simulator for every worker count.
+func diffOne(t *testing.T, name string, enc *replay.Encoded) {
+	t.Helper()
+	tr := enc.Records()
+	for _, cfg := range diffGeometries() {
+		want, err := cache.SimulateTrace(tr, cfg)
+		if err != nil {
+			t.Fatalf("%s: simulate: %v", name, err)
+		}
+		for _, workers := range []int{1, 2, 4, 8} {
+			got, err := replay.Replay(enc, cfg, workers)
+			if err != nil {
+				t.Fatalf("%s: replay workers=%d: %v", name, workers, err)
+			}
+			if got != want.Stats {
+				t.Errorf("%s cfg %+v workers=%d:\nreplay   = %+v\nsimulate = %+v",
+					name, cfg, workers, got, want.Stats)
+			}
+		}
+	}
+}
+
+// TestReplayMatchesSimulatorOnBenchmarks replays the six paper
+// benchmarks' full traces (≈23.5M references) through every geometry and
+// worker count. Skipped in -short mode; the progen corpus below keeps
+// real-program coverage cheap.
+func TestReplayMatchesSimulatorOnBenchmarks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full benchmark traces are slow; progen corpus covers -short")
+	}
+	ws, err := experiments.BuildAll(experiments.PaperGeometry(), experiments.Optimizing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range ws {
+		diffOne(t, w.Bench.Name, w.Trace)
+	}
+}
+
+// TestReplayMatchesSimulatorOnProgenCorpus runs 50 generated programs
+// through the compiler and VM with the streaming encoder attached, then
+// differentially replays each captured trace. Programs that trap at
+// runtime (the generator permits division by zero) still produce a valid
+// partial trace and stay in the corpus.
+func TestReplayMatchesSimulatorOnProgenCorpus(t *testing.T) {
+	const seeds = 50
+	kept := 0
+	for seed := int64(1); seed <= seeds; seed++ {
+		src := progen.Source(seed, progen.DefaultKnobs())
+		comp, err := core.Compile(src, core.Config{Mode: core.Unified, Check: true})
+		if err != nil {
+			t.Fatalf("seed %d: compile: %v", seed, err)
+		}
+		prog, err := codegen.Generate(comp)
+		if err != nil {
+			t.Fatalf("seed %d: codegen: %v", seed, err)
+		}
+		sink := replay.NewEncoder()
+		_, err = vm.Run(prog, vm.Config{
+			MemWords:  1 << 16,
+			MaxSteps:  2_000_000,
+			Cache:     cache.DefaultConfig(),
+			TraceSink: sink,
+		})
+		enc := sink.Finish()
+		if err != nil && enc.Len() == 0 {
+			continue // trapped before the first data reference
+		}
+		if enc.Len() == 0 {
+			continue // pure register program, nothing to replay
+		}
+		kept++
+		diffOne(t, fmt.Sprintf("seed-%d", seed), enc)
+	}
+	if kept < seeds/2 {
+		t.Fatalf("only %d/%d progen seeds produced usable traces", kept, seeds)
+	}
+}
+
+// TestBatchMatchesSingle pins the batched entry points to their
+// one-config forms: MeasureBatch and ReplayBatch decode once and step
+// many engines, and every element must be bit-identical (floats
+// included) to the corresponding standalone call.
+func TestBatchMatchesSingle(t *testing.T) {
+	src := progen.Source(3, progen.DefaultKnobs())
+	comp, err := core.Compile(src, core.Config{Mode: core.Unified, Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := codegen.Generate(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := replay.NewEncoder()
+	if _, err := vm.Run(prog, vm.Config{
+		MemWords: 1 << 16, MaxSteps: 2_000_000,
+		Cache: cache.DefaultConfig(), TraceSink: sink,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	enc := sink.Finish()
+	if enc.Len() == 0 {
+		t.Fatal("seed produced an empty trace")
+	}
+
+	var cfgs []cache.Config
+	for _, pol := range []cache.Policy{cache.LRU, cache.FIFO, cache.Random, cache.MIN} {
+		for _, dead := range []cache.DeadMode{cache.DeadOff, cache.DeadInvalidate} {
+			cfgs = append(cfgs, cache.Config{
+				Sets: 8, Ways: 2, LineWords: 1, Policy: pol,
+				Dead: dead, HonorBypass: true, Seed: 1,
+			})
+		}
+	}
+
+	gotM, err := replay.MeasureBatch(enc, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotR, err := replay.ReplayBatch(enc, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cfg := range cfgs {
+		wantM, err := replay.Measure(enc, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotM[i] != wantM {
+			t.Errorf("cfg %+v: MeasureBatch = %+v, Measure = %+v", cfg, gotM[i], wantM)
+		}
+		if gotR[i] != wantM.Stats {
+			t.Errorf("cfg %+v: ReplayBatch = %+v, want %+v", cfg, gotR[i], wantM.Stats)
+		}
+	}
+}

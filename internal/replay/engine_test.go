@@ -1,0 +1,162 @@
+package replay
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/trace"
+)
+
+// geometries is the cross-section of configs the synthetic differential
+// sweeps: every policy, every dead mode, bypass on/off, small and large
+// associativity (the latter exercises the hash tag index), direct-mapped
+// and fully-associative shapes, multi-word lines.
+func testConfigs() []cache.Config {
+	var out []cache.Config
+	base := []cache.Config{
+		{Sets: 32, Ways: 2, LineWords: 1},
+		{Sets: 16, Ways: 4, LineWords: 1},
+		{Sets: 64, Ways: 1, LineWords: 1},
+		{Sets: 8, Ways: 2, LineWords: 4},
+		{Sets: 1, Ways: 64, LineWords: 1}, // fully associative, hash index
+		{Sets: 2, Ways: 16, LineWords: 2}, // hash index, sharded sets
+	}
+	for _, g := range base {
+		for _, pol := range []cache.Policy{cache.LRU, cache.FIFO, cache.Random, cache.MIN} {
+			for _, dead := range []cache.DeadMode{cache.DeadOff, cache.DeadInvalidate, cache.DeadDemote} {
+				for _, hb := range []bool{false, true} {
+					cfg := g
+					cfg.Policy = pol
+					cfg.Dead = dead
+					cfg.HonorBypass = hb
+					cfg.Seed = 7
+					out = append(out, cfg)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func TestEngineMatchesSimulateTrace(t *testing.T) {
+	traces := []trace.Trace{
+		randomTrace(10, 5000),
+		randomTrace(11, 20000),
+		hotColdTrace(3000),
+	}
+	for ti, tr := range traces {
+		enc := EncodeTrace(tr)
+		for _, cfg := range testConfigs() {
+			want, err := cache.SimulateTrace(tr, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Measure(enc, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("trace %d cfg %+v:\nMeasure  = %+v\nSimulate = %+v", ti, cfg, got, want)
+			}
+			for _, workers := range []int{1, 2, 4, 8} {
+				st, err := Replay(enc, cfg, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if st != want.Stats {
+					t.Fatalf("trace %d cfg %+v workers %d:\nReplay   = %+v\nSimulate = %+v",
+						ti, cfg, workers, st, want.Stats)
+				}
+			}
+		}
+	}
+}
+
+// hotColdTrace mixes a hot working set with cold single-use streaming
+// references tagged Last — the access pattern dead marking exists for.
+func hotColdTrace(n int) trace.Trace {
+	var tr trace.Trace
+	for i := 0; i < n; i++ {
+		tr = append(tr, trace.Rec{Addr: int64(i % 16)})
+		if i%3 == 0 {
+			tr = append(tr, trace.Rec{Addr: int64(1000 + i), Kind: trace.Store, Last: true})
+		}
+		if i%5 == 0 {
+			tr = append(tr, trace.Rec{Addr: int64(2000 + i%7), Bypass: true})
+		}
+	}
+	return tr
+}
+
+func TestReplayEmptyTrace(t *testing.T) {
+	enc := EncodeTrace(nil)
+	cfg := cache.DefaultConfig()
+	st, err := Replay(enc, cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != (cache.Stats{}) {
+		t.Fatalf("empty trace produced stats %+v", st)
+	}
+	ms, err := Measure(enc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms != (cache.TraceStats{}) {
+		t.Fatalf("empty trace produced trace stats %+v", ms)
+	}
+}
+
+func TestReplayRejectsBadConfig(t *testing.T) {
+	enc := EncodeTrace(randomTrace(12, 10))
+	if _, err := Replay(enc, cache.Config{Sets: 3, Ways: 1, LineWords: 1}, 1); err == nil {
+		t.Fatal("non-power-of-two sets accepted")
+	}
+	if _, err := Measure(enc, cache.Config{Sets: 0, Ways: 1, LineWords: 1}); err == nil {
+		t.Fatal("zero sets accepted")
+	}
+}
+
+// TestReplayZeroAllocs is the satellite guard: the replay core must not
+// allocate per reference — decode, lookup, victim selection, and stats
+// all run on preallocated state. It covers both the scan path and the
+// hash-index path.
+func TestReplayZeroAllocs(t *testing.T) {
+	tr := randomTrace(13, 20000)
+	enc := EncodeTrace(tr)
+	for _, cfg := range []cache.Config{
+		{Sets: 32, Ways: 2, LineWords: 1, Policy: cache.LRU, Dead: cache.DeadInvalidate, HonorBypass: true, Seed: 1},
+		{Sets: 1, Ways: 64, LineWords: 1, Policy: cache.LRU, Seed: 1}, // tagIndex path
+		{Sets: 16, Ways: 4, LineWords: 1, Policy: cache.Random, Seed: 1},
+	} {
+		eng := newEngine(cfg, 0, cfg.Sets)
+		allocs := testing.AllocsPerRun(3, func() {
+			eng.run(enc)
+		})
+		if allocs != 0 {
+			t.Fatalf("cfg %+v: %v allocs per replay of %d refs, want 0", cfg, allocs, enc.Len())
+		}
+	}
+}
+
+func BenchmarkReplay(b *testing.B) {
+	tr := randomTrace(20, 200_000)
+	enc := EncodeTrace(tr)
+	cfg := cache.DefaultConfig()
+	b.Run("engine", func(b *testing.B) {
+		b.SetBytes(int64(enc.Len()))
+		for i := 0; i < b.N; i++ {
+			if _, err := Replay(enc, cfg, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("legacy", func(b *testing.B) {
+		b.SetBytes(int64(len(tr)))
+		for i := 0; i < b.N; i++ {
+			if _, err := cache.SimulateTrace(tr, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,230 @@
+package replay
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/cache"
+)
+
+// validate mirrors SimulateTrace's config acceptance: MIN is legal here
+// (replay has future knowledge), everything else defers to the cache
+// package's rules.
+func validate(cfg cache.Config) error {
+	probe := cfg
+	if probe.Policy == cache.MIN {
+		probe.Policy = cache.LRU
+	}
+	return probe.Validate()
+}
+
+// Replay replays an encoded trace against cfg and returns the traffic
+// statistics, equal field for field to cache.SimulateTrace's Stats on
+// the same trace.
+//
+// workers <= 0 means GOMAXPROCS. Parallel replay shards by cache set:
+// under a fixed geometry each reference touches exactly one set and sets
+// share no state, so each worker replays the full stream filtered to a
+// contiguous set range with its own tick counter. Relative recency and
+// insertion order within a set are preserved (ticks within a set rise in
+// stream order regardless of how many out-of-shard references are
+// skipped between them), every counter in Stats is a sum of per-set
+// events, and integer addition is associative and commutative — so the
+// merged result is bit-identical for any worker count. The Random policy
+// is the one exception: it consumes a single PRNG stream in global miss
+// order, which sharding would reorder, so it always runs on one worker.
+// MIN shards fine — its future-knowledge array is read-only and shared.
+func Replay(enc *Encoded, cfg cache.Config, workers int) (cache.Stats, error) {
+	if err := validate(cfg); err != nil {
+		return cache.Stats{}, err
+	}
+	var nextUse []int32
+	if cfg.Policy == cache.MIN {
+		nu, ok := enc.nextUses(int64(cfg.LineWords))
+		if !ok {
+			return cache.Stats{}, fmt.Errorf("replay: trace too long for MIN (%d refs)", enc.Len())
+		}
+		nextUse = nu
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Policy == cache.Random {
+		workers = 1
+	}
+	if workers > cfg.Sets {
+		workers = cfg.Sets
+	}
+
+	if workers == 1 {
+		eng := newEngine(cfg, 0, cfg.Sets)
+		if nextUse != nil {
+			eng.nextUse = nextUse
+			eng.nuse = make([]int32, cfg.Lines())
+		}
+		eng.run(enc)
+		return eng.st, nil
+	}
+
+	shards := make([]cache.Stats, workers)
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		lo := k * cfg.Sets / workers
+		hi := (k + 1) * cfg.Sets / workers
+		wg.Add(1)
+		go func(k, lo, hi int) {
+			defer wg.Done()
+			eng := newEngine(cfg, lo, hi)
+			if nextUse != nil {
+				eng.nextUse = nextUse
+				eng.nuse = make([]int32, cfg.Lines())
+			}
+			eng.run(enc)
+			shards[k] = eng.st
+		}(k, lo, hi)
+	}
+	wg.Wait()
+
+	var total cache.Stats
+	for _, s := range shards {
+		addStats(&total, s)
+	}
+	return total, nil
+}
+
+// addStats merges shard statistics by field-wise sum. Every Stats field
+// counts per-set events, so the sum over disjoint set ranges equals the
+// sequential count. (New Stats fields must be added here; the sharded
+// differential tests catch omissions.)
+func addStats(a *cache.Stats, b cache.Stats) {
+	a.Refs += b.Refs
+	a.CachedRefs += b.CachedRefs
+	a.BypassRefs += b.BypassRefs
+	a.Hits += b.Hits
+	a.Misses += b.Misses
+	a.Fetches += b.Fetches
+	a.Writebacks += b.Writebacks
+	a.StoreAllocs += b.StoreAllocs
+	a.BypassReads += b.BypassReads
+	a.BypassWrites += b.BypassWrites
+	a.DeadMarks += b.DeadMarks
+	a.DeadDiscards += b.DeadDiscards
+	a.SingleUseFills += b.SingleUseFills
+	a.Evictions += b.Evictions
+}
+
+// Measure replays single-threaded and additionally computes the
+// future-knowledge occupancy metrics (DeadOccupancy, AvgResidentLines),
+// equal bit for bit to cache.SimulateTrace's — including the
+// floating-point sums, which accumulate in the same sample order.
+// Sampling is over global reference counts, so Measure never shards.
+func Measure(enc *Encoded, cfg cache.Config) (cache.TraceStats, error) {
+	if err := validate(cfg); err != nil {
+		return cache.TraceStats{}, err
+	}
+	if enc.Len() >= int(never32) {
+		// Final-reference indexes are stored as int32 (SimulateTrace's
+		// equivalent arrays would need 16 bytes/ref — such traces are out
+		// of reach for it too).
+		return cache.TraceStats{}, fmt.Errorf("replay: trace too long to measure (%d refs)", enc.Len())
+	}
+	eng, err := newMeasureEngine(enc, cfg)
+	if err != nil {
+		return cache.TraceStats{}, err
+	}
+	eng.run(enc)
+	return measureResult(eng), nil
+}
+
+// newMeasureEngine builds a single-threaded engine with the
+// future-knowledge occupancy machinery wired up.
+func newMeasureEngine(enc *Encoded, cfg cache.Config) (*engine, error) {
+	if err := validate(cfg); err != nil {
+		return nil, err
+	}
+	if enc.Len() >= int(never32) {
+		// Final-reference indexes are stored as int32 (SimulateTrace's
+		// equivalent arrays would need 16 bytes/ref — such traces are out
+		// of reach for it too).
+		return nil, fmt.Errorf("replay: trace too long to measure (%d refs)", enc.Len())
+	}
+	eng := newEngine(cfg, 0, cfg.Sets)
+	eng.measure = true
+	eng.deadRes = make([]bool, cfg.Lines())
+	if cfg.Policy == cache.MIN {
+		nu, ok := enc.nextUses(int64(cfg.LineWords))
+		if !ok {
+			return nil, fmt.Errorf("replay: trace too long for MIN (%d refs)", enc.Len())
+		}
+		eng.nextUse = nu
+		eng.nuse = make([]int32, cfg.Lines())
+	} else {
+		eng.finalBit = enc.finalBits(int64(cfg.LineWords))
+	}
+	return eng, nil
+}
+
+func measureResult(eng *engine) cache.TraceStats {
+	var st cache.TraceStats
+	st.Stats = eng.st
+	st.Samples = eng.samples
+	if eng.samples > 0 {
+		st.DeadOccupancy = eng.occSum / float64(eng.samples)
+		st.AvgResidentLines = eng.resSum / float64(eng.samples)
+	}
+	return st
+}
+
+// MeasureBatch is Measure over several configurations of the same trace
+// in a single decoding pass. The engines are fully independent — each
+// keeps its own statistics, sampling accumulators, and PRNG — so every
+// element of the result is bit-identical to calling Measure with the
+// corresponding configuration alone; batching only avoids re-decoding
+// the stream once per configuration, which dominates experiments like
+// E2/E3 that sweep many cache shapes over one workload.
+func MeasureBatch(enc *Encoded, cfgs []cache.Config) ([]cache.TraceStats, error) {
+	engs := make([]*engine, len(cfgs))
+	for i, cfg := range cfgs {
+		eng, err := newMeasureEngine(enc, cfg)
+		if err != nil {
+			return nil, err
+		}
+		engs[i] = eng
+	}
+	runBatch(enc, engs)
+	out := make([]cache.TraceStats, len(engs))
+	for i, eng := range engs {
+		out[i] = measureResult(eng)
+	}
+	return out, nil
+}
+
+// ReplayBatch is Replay over several configurations of the same trace in
+// a single decoding pass on one goroutine (use Replay for set-sharded
+// parallel replay of a single configuration). Each element of the result
+// is bit-identical to Replay's for the corresponding configuration.
+func ReplayBatch(enc *Encoded, cfgs []cache.Config) ([]cache.Stats, error) {
+	engs := make([]*engine, len(cfgs))
+	for i, cfg := range cfgs {
+		if err := validate(cfg); err != nil {
+			return nil, err
+		}
+		eng := newEngine(cfg, 0, cfg.Sets)
+		if cfg.Policy == cache.MIN {
+			nu, ok := enc.nextUses(int64(cfg.LineWords))
+			if !ok {
+				return nil, fmt.Errorf("replay: trace too long for MIN (%d refs)", enc.Len())
+			}
+			eng.nextUse = nu
+			eng.nuse = make([]int32, cfg.Lines())
+		}
+		engs[i] = eng
+	}
+	runBatch(enc, engs)
+	out := make([]cache.Stats, len(engs))
+	for i, eng := range engs {
+		out[i] = eng.st
+	}
+	return out, nil
+}

@@ -7,6 +7,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 )
 
@@ -71,24 +72,31 @@ func (t Trace) Count() Counts {
 func (t Trace) Write(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	for _, r := range t {
-		if _, err := fmt.Fprintf(bw, "%s %d", r.Kind, r.Addr); err != nil {
-			return err
-		}
-		if r.Bypass {
-			if _, err := bw.WriteString(" b"); err != nil {
-				return err
-			}
-		}
-		if r.Last {
-			if _, err := bw.WriteString(" l"); err != nil {
-				return err
-			}
-		}
-		if err := bw.WriteByte('\n'); err != nil {
+		if err := WriteRec(bw, r); err != nil {
 			return err
 		}
 	}
 	return bw.Flush()
+}
+
+// WriteRec emits one record in Write's textual format. It exists so
+// streaming producers (internal/replay) can emit the format without
+// materializing a Trace; the caller owns flushing.
+func WriteRec(bw *bufio.Writer, r Rec) error {
+	if _, err := fmt.Fprintf(bw, "%s %d", r.Kind, r.Addr); err != nil {
+		return err
+	}
+	if r.Bypass {
+		if _, err := bw.WriteString(" b"); err != nil {
+			return err
+		}
+	}
+	if r.Last {
+		if _, err := bw.WriteString(" l"); err != nil {
+			return err
+		}
+	}
+	return bw.WriteByte('\n')
 }
 
 // Read parses the textual trace format produced by Write.
@@ -116,9 +124,13 @@ func Read(r io.Reader) (Trace, error) {
 		default:
 			return nil, fmt.Errorf("trace: line %d: bad kind %q", lineNo, fields[0])
 		}
-		if _, err := fmt.Sscanf(fields[1], "%d", &rec.Addr); err != nil {
+		addr, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			// Sscanf("%d") would silently accept trailing garbage such as
+			// "12abc"; ParseInt rejects the whole field.
 			return nil, fmt.Errorf("trace: line %d: bad address %q", lineNo, fields[1])
 		}
+		rec.Addr = addr
 		for _, f := range fields[2:] {
 			switch f {
 			case "b":

@@ -86,6 +86,8 @@ func TestReadErrors(t *testing.T) {
 	cases := []string{
 		"xx 5",
 		"ld notanumber",
+		"ld 12abc", // trailing garbage: ParseInt must reject the whole field
+		"ld 0x10",
 		"ld",
 		"ld 5 q",
 	}

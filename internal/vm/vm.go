@@ -23,7 +23,13 @@ type Config struct {
 	MemWords    int   // memory size in words (default 1<<22)
 	MaxSteps    int64 // instruction budget (default 2e9)
 	Cache       cache.Config
-	RecordTrace bool // capture the data-reference trace
+	RecordTrace bool // capture the data-reference trace in Result.Trace
+
+	// TraceSink, when non-nil, receives every data reference as it
+	// executes — the streaming alternative to RecordTrace (which
+	// materializes the whole trace in memory). internal/replay's Encoder
+	// implements it; the two options are independent and may be combined.
+	TraceSink TraceSink
 
 	// ICache, when non-nil, models an instruction cache: every fetch is a
 	// cached read of the PC (instructions are the paper's third reference
@@ -51,6 +57,14 @@ type Config struct {
 // cancelCheckMask spaces Config.Done polls: the budget check runs every
 // instruction, the cancellation check every 4096.
 const cancelCheckMask = 1<<12 - 1
+
+// TraceSink receives the data-reference stream during execution.
+// Implementations must not retain the record past the call (it is
+// passed by value, so they can't) and must be cheap: the VM calls Ref
+// inline on every load and store.
+type TraceSink interface {
+	Ref(trace.Rec)
+}
 
 // RefEvent is one executed data reference, as observed by Config.OnRef.
 type RefEvent struct {
@@ -174,10 +188,16 @@ func Run(p *isa.Program, cfg Config) (*Result, error) {
 	pc := p.Entry
 	n := len(p.Instrs)
 
+	// Hot-loop locals: the counters live in registers and land in res at
+	// HALT (error returns discard res), and the config fields consulted
+	// per instruction don't re-read the struct.
+	var instructions, loads, stores int64
+	maxSteps := cfg.MaxSteps
+	memWords := int64(cfg.MemWords)
 	done := cfg.Done
 	for steps := int64(0); ; steps++ {
-		if steps >= cfg.MaxSteps {
-			return nil, &BudgetError{Limit: cfg.MaxSteps, PC: pc, Func: p.FuncAt(pc)}
+		if steps >= maxSteps {
+			return nil, &BudgetError{Limit: maxSteps, PC: pc, Func: p.FuncAt(pc)}
 		}
 		if done != nil && steps&cancelCheckMask == 0 {
 			select {
@@ -190,7 +210,7 @@ func Run(p *isa.Program, cfg Config) (*Result, error) {
 			return nil, fmt.Errorf("vm: pc %d out of range", pc)
 		}
 		in := &p.Instrs[pc]
-		res.Instructions++
+		instructions++
 		if imem != nil {
 			imem.Load(int64(pc), false, false)
 		}
@@ -206,6 +226,9 @@ func Run(p *isa.Program, cfg Config) (*Result, error) {
 				return nil, fmt.Errorf("vm: at %s: %w", site(pc, p.FuncAt(pc)), err)
 			}
 			res.Output = out.String()
+			res.Instructions = instructions
+			res.Loads = loads
+			res.Stores = stores
 			res.CacheStats = mem.Stats()
 			res.FaultStats = mem.FaultStats()
 			if imem != nil {
@@ -273,7 +296,7 @@ func Run(p *isa.Program, cfg Config) (*Result, error) {
 			regs[in.Rd] = regs[in.Rs] + in.Imm
 		case isa.LW:
 			addr := regs[in.Rs] + in.Imm
-			if addr < 0 || addr >= int64(cfg.MemWords) {
+			if addr < 0 || addr >= memWords {
 				return nil, fmt.Errorf("vm: load address %d out of range at pc %d (%s)", addr, pc, in)
 			}
 			var before cache.Stats
@@ -284,7 +307,7 @@ func Run(p *isa.Program, cfg Config) (*Result, error) {
 			if err := mem.FaultErr(); err != nil {
 				return nil, fmt.Errorf("vm: at %s: %w", site(pc, p.FuncAt(pc)), err)
 			}
-			res.Loads++
+			loads++
 			if cfg.OnRef != nil {
 				after := mem.Stats()
 				cfg.OnRef(RefEvent{PC: pc, Addr: addr,
@@ -295,9 +318,13 @@ func Run(p *isa.Program, cfg Config) (*Result, error) {
 				res.Trace = append(res.Trace, trace.Rec{Addr: addr, Kind: trace.Load,
 					Bypass: in.Bypass, Last: in.Last})
 			}
+			if cfg.TraceSink != nil {
+				cfg.TraceSink.Ref(trace.Rec{Addr: addr, Kind: trace.Load,
+					Bypass: in.Bypass, Last: in.Last})
+			}
 		case isa.SW:
 			addr := regs[in.Rs] + in.Imm
-			if addr < 0 || addr >= int64(cfg.MemWords) {
+			if addr < 0 || addr >= memWords {
 				return nil, fmt.Errorf("vm: store address %d out of range at pc %d (%s)", addr, pc, in)
 			}
 			var before cache.Stats
@@ -308,7 +335,7 @@ func Run(p *isa.Program, cfg Config) (*Result, error) {
 			if err := mem.FaultErr(); err != nil {
 				return nil, fmt.Errorf("vm: at %s: %w", site(pc, p.FuncAt(pc)), err)
 			}
-			res.Stores++
+			stores++
 			if cfg.OnRef != nil {
 				after := mem.Stats()
 				cfg.OnRef(RefEvent{PC: pc, Store: true, Addr: addr,
@@ -317,6 +344,10 @@ func Run(p *isa.Program, cfg Config) (*Result, error) {
 			}
 			if cfg.RecordTrace {
 				res.Trace = append(res.Trace, trace.Rec{Addr: addr, Kind: trace.Store,
+					Bypass: in.Bypass, Last: in.Last})
+			}
+			if cfg.TraceSink != nil {
+				cfg.TraceSink.Ref(trace.Rec{Addr: addr, Kind: trace.Store,
 					Bypass: in.Bypass, Last: in.Last})
 			}
 		case isa.BEQZ:

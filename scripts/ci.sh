@@ -39,6 +39,7 @@ go test -run 'xxx^' -fuzz 'FuzzAsmRoundTrip$' -fuzztime 10s ./internal/isa
 go test -run 'xxx^' -fuzz 'FuzzCacheModel$' -fuzztime 10s ./internal/cache
 go test -run 'xxx^' -fuzz 'FuzzExact$' -fuzztime 10s ./internal/exact
 go test -run 'xxx^' -fuzz 'FuzzDiff$' -fuzztime 10s ./internal/difftest
+go test -run 'xxx^' -fuzz 'FuzzTraceCodec$' -fuzztime 10s ./internal/replay
 
 echo "== diff-smoke (differential conformance, fixed seed window) =="
 # 200 generated programs through every compile config x cache geometry
@@ -81,6 +82,29 @@ cmp /tmp/sweep-w1.json /tmp/sweep-w8.json
 /tmp/unisweep-ci -verify /tmp/sweep-w1.json
 /tmp/unisweep-ci -verify BENCH_sweep.json
 rm -f /tmp/unisweep-ci /tmp/sweep-w1.json /tmp/sweep-w8.json
+
+echo "== replay-smoke (engine equivalence, artifact, wall-time budget) =="
+# The replay engine's differential suite (simulator equivalence on real
+# traces at several worker counts), then a timed `-experiment all`: the
+# full table regeneration took ~56s before the replay engine existed, so
+# a 45s ceiling catches any wholesale performance regression while
+# leaving headroom for machine variance. The measured time feeds the
+# freshly regenerated BENCH_replay.json, which must verify, as must the
+# checked-in artifact.
+go test -race -run 'TestReplayMatchesSimulator|TestBatchMatchesSingle' -short ./internal/replay
+go build -o /tmp/unibench-ci ./cmd/unibench
+ALL_T0=$SECONDS
+/tmp/unibench-ci -experiment all >/tmp/unibench-all-ci.txt 2>/dev/null
+ALL_SEC=$((SECONDS - ALL_T0))
+echo "-experiment all: ${ALL_SEC}s (pre-replay baseline: ~56s)"
+if [ "$ALL_SEC" -gt 45 ]; then
+    echo "-experiment all took ${ALL_SEC}s, budget is 45s" >&2
+    exit 1
+fi
+/tmp/unibench-ci -experiment replay -all-sec "$ALL_SEC" -replay-out /tmp/replay-ci.json >/dev/null 2>&1
+/tmp/unibench-ci -verify-replay /tmp/replay-ci.json
+/tmp/unibench-ci -verify-replay BENCH_replay.json
+rm -f /tmp/unibench-ci /tmp/unibench-all-ci.txt /tmp/replay-ci.json
 
 echo "== serve-smoke (daemon boot, dedup, panic isolation, drain) =="
 # Boot unicached on an ephemeral port, drive it with concurrent mixed

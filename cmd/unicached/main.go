@@ -71,7 +71,7 @@ func main() {
 		if *addrFile != "" {
 			// The listener binds inside ListenAndServe; publish the address
 			// as soon as it is known so scripts using :0 can discover it.
-			go func() {
+			go func() { //unilint:ok goleak bounded by ctx: AwaitAddr returns once the address is known or the daemon is cancelled
 				a := srv.AwaitAddr(ctx)
 				if a == nil {
 					return

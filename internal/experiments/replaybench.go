@@ -120,20 +120,20 @@ func replayBenchSection(ws []*Workload, geom CacheGeometry) (ReplayBenchSection,
 		// timed region — SimulateTrace's callers held it resident) and
 		// simulate.
 		tr := enc.Records()
-		t0 := time.Now()
+		t0 := time.Now() //unilint:ok wallclock benchmark measurand: legacy-simulator wall time for the speedup table
 		want, err := cache.SimulateTrace(tr, cfg)
 		if err != nil {
 			return sec, fmt.Errorf("%s: simulate: %w", w.Bench.Name, err)
 		}
-		lsec := time.Since(t0).Seconds()
+		lsec := time.Since(t0).Seconds() //unilint:ok wallclock benchmark measurand; BENCH_replay.json is a perf trajectory, not a golden
 		tr = nil
 
-		t0 = time.Now()
+		t0 = time.Now() //unilint:ok wallclock benchmark measurand: replay-engine wall time for the speedup table
 		got, err := replay.Measure(enc, cfg)
 		if err != nil {
 			return sec, fmt.Errorf("%s: replay: %w", w.Bench.Name, err)
 		}
-		rsec := time.Since(t0).Seconds()
+		rsec := time.Since(t0).Seconds() //unilint:ok wallclock benchmark measurand; BENCH_replay.json is a perf trajectory, not a golden
 
 		sharded, err := replay.Replay(enc, cfg, 8)
 		if err != nil {

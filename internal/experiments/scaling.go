@@ -74,7 +74,7 @@ func RecordsScaling(spec ScalingSpec) ([]sweep.Record, error) {
 			SavedRegs: core.SavedRegCounts(comp),
 		}
 		for _, solver := range []string{exact.SolverAntichain, exact.SolverPowerset} {
-			t0 := time.Now()
+			t0 := time.Now() //unilint:ok wallclock E12 measures analysis wall time; WallNS is json:"-" in sweep artifacts
 			rep, err := exact.AnalyzeWith(comp.Prog, ccfg, opt, exact.Options{Solver: solver, StepBudget: spec.Budget})
 			if err != nil {
 				return nil, fmt.Errorf("progen seed %d (%s): %w", seed, solver, err)
@@ -93,7 +93,7 @@ func RecordsScaling(spec ScalingSpec) ([]sweep.Record, error) {
 			r.AnalysisSteps = rep.Steps
 			r.AnalysisStates = rep.PeakWidth
 			r.AnalysisExhausted = rep.Exhausted
-			r.WallNS = time.Since(t0).Nanoseconds()
+			r.WallNS = time.Since(t0).Nanoseconds() //unilint:ok wallclock E12 measures analysis wall time; WallNS is json:"-" in sweep artifacts
 			out = append(out, r)
 		}
 	}

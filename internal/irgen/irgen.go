@@ -374,7 +374,7 @@ func cmpKind(op token.Kind) ir.BinKind {
 	case token.GEQ:
 		return ir.CmpGE
 	}
-	panic("not a comparison: " + op.String())
+	panic("not a comparison: " + op.String()) //unilint:ok panicguard unreachable on type-checked input; ice.Guard at the front door converts any miss to a structured ICE
 }
 
 // ---- Lvalues ----
@@ -411,7 +411,7 @@ func (g *gen) lvalue(e ast.Expr) lvalue {
 				ref: &ir.MemRef{Kind: ir.RefPointer, Ptr: g.basePointer(e.X), AliasSet: -1}}
 		}
 	}
-	panic("irgen: invalid lvalue " + ast.ExprString(e))
+	panic("irgen: invalid lvalue " + ast.ExprString(e)) //unilint:ok panicguard unreachable on type-checked input; ice.Guard at the front door converts any miss to a structured ICE
 }
 
 func (g *gen) loadLv(lv lvalue, pos token.Pos) ir.Reg {
@@ -484,7 +484,7 @@ func (g *gen) arrayBase(e ast.Expr) (ir.Reg, *ir.MemRef) {
 			return p, &ir.MemRef{Kind: ir.RefPointer, Ptr: g.basePointer(e.X), AliasSet: -1}
 		}
 	}
-	panic("irgen: invalid array base " + ast.ExprString(e))
+	panic("irgen: invalid array base " + ast.ExprString(e)) //unilint:ok panicguard unreachable on type-checked input; ice.Guard at the front door converts any miss to a structured ICE
 }
 
 // scale multiplies idx by words unless words == 1.
@@ -547,7 +547,7 @@ func (g *gen) expr(e ast.Expr) ir.Reg {
 	case *ast.Call:
 		return g.call(e, true)
 	}
-	panic("irgen: unhandled expression")
+	panic("irgen: unhandled expression") //unilint:ok panicguard unreachable on type-checked input; ice.Guard at the front door converts any miss to a structured ICE
 }
 
 func (g *gen) unary(e *ast.Unary) ir.Reg {
@@ -571,7 +571,7 @@ func (g *gen) unary(e *ast.Unary) ir.Reg {
 	case token.AMP:
 		return g.addressOf(e.X)
 	}
-	panic("irgen: unhandled unary " + e.Op.String())
+	panic("irgen: unhandled unary " + e.Op.String()) //unilint:ok panicguard unreachable on type-checked input; ice.Guard at the front door converts any miss to a structured ICE
 }
 
 func (g *gen) addressOf(e ast.Expr) ir.Reg {
@@ -592,7 +592,7 @@ func (g *gen) addressOf(e ast.Expr) ir.Reg {
 			return g.expr(e.X) // &*p == p
 		}
 	}
-	panic("irgen: invalid address-of")
+	panic("irgen: invalid address-of") //unilint:ok panicguard unreachable on type-checked input; ice.Guard at the front door converts any miss to a structured ICE
 }
 
 func (g *gen) binary(e *ast.Binary) ir.Reg {
@@ -679,7 +679,7 @@ func binKind(op token.Kind) ir.BinKind {
 	case token.EQ, token.NEQ, token.LT, token.LEQ, token.GT, token.GEQ:
 		return cmpKind(op)
 	}
-	panic("irgen: unhandled binary " + op.String())
+	panic("irgen: unhandled binary " + op.String()) //unilint:ok panicguard unreachable on type-checked input; ice.Guard at the front door converts any miss to a structured ICE
 }
 
 // call lowers a function or builtin call. wantValue selects whether a

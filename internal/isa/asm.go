@@ -6,6 +6,7 @@ package isa
 
 import (
 	"fmt"
+	"slices"
 	"strconv"
 	"strings"
 	"unicode"
@@ -394,13 +395,7 @@ func (p *Program) Save() string {
 	for a := range p.GlobalInit {
 		addrs = append(addrs, a)
 	}
-	for i := 0; i < len(addrs); i++ {
-		for j := i + 1; j < len(addrs); j++ {
-			if addrs[j] < addrs[i] {
-				addrs[i], addrs[j] = addrs[j], addrs[i]
-			}
-		}
-	}
+	slices.Sort(addrs)
 	for _, a := range addrs {
 		fmt.Fprintf(&sb, ".init %d %d\n", a, p.GlobalInit[a])
 	}

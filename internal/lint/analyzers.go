@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// All returns every repo analyzer, in a fixed order.
+func All() []*Analyzer {
+	return []*Analyzer{Detmap, Goleak, Panicguard, Seededrand, Wallclock}
+}
+
+// ByName resolves a comma-free analyzer name, or nil.
+func ByName(name string) *Analyzer {
+	for _, az := range All() {
+		if az.Name == name {
+			return az
+		}
+	}
+	return nil
+}
+
+// stdFunc resolves a call to a standard-library package-level function
+// and returns (pkgPath, funcName, true) when the callee is one. Methods,
+// locals, builtins, and conversions all return false.
+func stdFunc(pass *Pass, call *ast.CallExpr) (string, string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	fn, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", "", false
+	}
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return "", "", false
+	}
+	return fn.Pkg().Path(), fn.Name(), true
+}
+
+// isPkgRef reports whether expr is a reference to the named imported
+// package (e.g. the `sort` in sort.Strings).
+func isPkgRef(pass *Pass, expr ast.Expr, pkgPath string) bool {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.ObjectOf(id).(*types.PkgName)
+	return ok && pn.Imported().Path() == pkgPath
+}
+
+// funcBodies visits every function body in the package (declarations and
+// literals), handing each to fn along with its body block.
+func funcBodies(pass *Pass, fn func(body *ast.BlockStmt)) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch d := n.(type) {
+			case *ast.FuncDecl:
+				if d.Body != nil {
+					fn(d.Body)
+				}
+			case *ast.FuncLit:
+				fn(d.Body)
+			}
+			return true
+		})
+	}
+}

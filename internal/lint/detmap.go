@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Detmap flags the repository's canonical determinism hazard: ranging
+// over a map while either appending to a slice that outlives the loop
+// (the sharded-merge pattern — record order would depend on map iteration
+// order) or writing/encoding output directly from the loop body. The
+// sanctioned idiom — collect keys, sort, then emit — is recognized: an
+// append target that is later passed to a sort/slices call in the same
+// function is not reported.
+var Detmap = &Analyzer{
+	Name: "detmap",
+	Doc:  "range over a map feeding a returned slice or an encoder/writer without a sort",
+	Run:  runDetmap,
+}
+
+// writerMethods are method names that commit bytes to an output stream;
+// reaching one from a map-range body emits in nondeterministic order.
+var writerMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Encode": true, "Fprintf": true, "Fprintln": true, "Fprint": true,
+}
+
+// printFuncs are fmt package functions that commit output directly.
+var printFuncs = map[string]bool{
+	"Fprintf": true, "Fprintln": true, "Fprint": true,
+	"Printf": true, "Println": true, "Print": true,
+}
+
+func runDetmap(pass *Pass) {
+	funcBodies(pass, func(body *ast.BlockStmt) {
+		// Find the map-range statements directly in this function (not
+		// in nested function literals — those get their own visit).
+		walkShallow(body, func(n ast.Node) {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok || !isMapType(pass.TypeOf(rng.X)) {
+				return
+			}
+			checkMapRange(pass, body, rng)
+		})
+	})
+}
+
+// walkShallow visits every node under root without descending into
+// nested function literals.
+func walkShallow(root ast.Node, visit func(ast.Node)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}
+
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+func checkMapRange(pass *Pass, body *ast.BlockStmt, rng *ast.RangeStmt) {
+	// Hazard 1: the body reaches a writer or encoder — bytes leave in
+	// map-iteration order, no later sort can save them.
+	// Hazard 2: the body appends to a slice declared outside the loop;
+	// unless that slice is sorted afterwards (before the function ends),
+	// its element order is map-iteration order.
+	type appendSite struct {
+		pos token.Pos
+		obj types.Object
+	}
+	var appends []appendSite
+	walkShallow(rng.Body, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		if pkg, name, ok := stdFunc(pass, call); ok && pkg == "fmt" && printFuncs[name] {
+			pass.Reportf(call.Pos(), "fmt.%s inside range over map: output order follows map iteration order", name)
+			return
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && writerMethods[sel.Sel.Name] {
+			if m, ok := pass.ObjectOf(sel.Sel).(*types.Func); ok && m.Type().(*types.Signature).Recv() != nil {
+				pass.Reportf(call.Pos(), "%s.%s inside range over map: emits in map iteration order", exprText(sel.X), sel.Sel.Name)
+				return
+			}
+		}
+		// v = append(v, ...) with v declared outside the range statement.
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" {
+			if _, isBuiltin := pass.ObjectOf(id).(*types.Builtin); isBuiltin && len(call.Args) > 0 {
+				if target, ok := call.Args[0].(*ast.Ident); ok {
+					obj := pass.ObjectOf(target)
+					if obj != nil && obj.Pos().IsValid() && (obj.Pos() < rng.Pos() || obj.Pos() > rng.End()) {
+						appends = append(appends, appendSite{call.Pos(), obj})
+					}
+				}
+			}
+		}
+	})
+	for _, a := range appends {
+		if !sortedAfter(pass, body, rng, a.obj) {
+			pass.Reportf(a.pos, "append to %s in map iteration order with no later sort in this function", a.obj.Name())
+		}
+	}
+}
+
+// sortedAfter reports whether obj is referenced by a sort/slices call
+// after the range statement, anywhere later in the same function body
+// (nested literals included — sort.Slice takes a closure).
+func sortedAfter(pass *Pass, body *ast.BlockStmt, rng *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !(isPkgRef(pass, sel.X, "sort") || isPkgRef(pass, sel.X, "slices")) {
+			return true
+		}
+		ast.Inspect(call, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok && pass.ObjectOf(id) == obj {
+				found = true
+			}
+			return !found
+		})
+		return true
+	})
+	return found
+}
+
+func exprText(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprText(x.X) + "." + x.Sel.Name
+	case *ast.CallExpr:
+		return exprText(x.Fun) + "()"
+	}
+	return "expr"
+}

@@ -1,0 +1,179 @@
+// Fixture runner, in the style of x/tools' analysistest: each analyzer
+// has a directory under testdata/src/<name>/ holding a small package that
+// plants its hazard, and `// want "regexp"` comments assert exactly which
+// lines the analyzer must flag. The runner type-checks the fixture,
+// executes the analyzer through the same Run/suppression pipeline as
+// production, and diffs the unsuppressed findings against the wants in
+// both directions — a finding with no want and a want with no finding
+// are both failures, so a fixture fails without its analyzer and passes
+// with it.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// fixtureContext returns the shared file set and stdlib source importer
+// used for fixtures and in-memory test packages. One instance for the
+// whole process so the standard library is type-checked once.
+var fixtureContext = sync.OnceValues(func() (*token.FileSet, types.Importer) {
+	fset := token.NewFileSet()
+	return fset, importer.ForCompiler(fset, "source", nil)
+})
+
+// LoadFixture parses and type-checks the single package in dir, outside
+// any module (imports must be standard library).
+func LoadFixture(dir string) (*Package, error) {
+	fset, imp := fixtureContext()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("fixture %s: no Go files", dir)
+	}
+	return checkFiles(fset, imp, "fixture/"+filepath.Base(dir), dir, files)
+}
+
+// checkFiles type-checks files as one package rooted at root.
+func checkFiles(fset *token.FileSet, imp types.Importer, path, root string, files []*ast.File) (*Package, error) {
+	var errs []string
+	conf := types.Config{
+		Importer: imp,
+		Error: func(err error) {
+			if len(errs) < 10 {
+				errs = append(errs, err.Error())
+			}
+		},
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if len(errs) > 0 {
+		return nil, fmt.Errorf("type-check %s:\n  %s", path, strings.Join(errs, "\n  "))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("type-check %s: %w", path, err)
+	}
+	return &Package{Path: path, Dir: root, Fset: fset, Files: files, Types: tpkg, Info: info, root: root}, nil
+}
+
+// want is one expectation parsed from a `// want "re"` comment.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	met  bool
+}
+
+// wantRe requires at least one quoted regexp so prose that merely
+// contains the word "want" is left alone. Regexps may not contain
+// escaped double quotes.
+var wantRe = regexp.MustCompile(`//\s*want\s+("[^"]*".*)$`)
+
+// parseWants extracts every expectation from the package's comments. A
+// want comment holds one or more double-quoted regexps and binds to its
+// own line.
+func parseWants(pkg *Package) ([]*want, error) {
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				position := pkg.Fset.Position(c.Pos())
+				file := pkg.relFile(position.Filename)
+				rest := strings.TrimSpace(m[1])
+				n := 0
+				for rest != "" {
+					if !strings.HasPrefix(rest, `"`) {
+						return nil, fmt.Errorf("%s:%d: want operand %q is not a quoted regexp", file, position.Line, rest)
+					}
+					end := strings.Index(rest[1:], `"`)
+					if end < 0 {
+						return nil, fmt.Errorf("%s:%d: unterminated want regexp", file, position.Line)
+					}
+					pat := rest[1 : 1+end]
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", file, position.Line, pat, err)
+					}
+					wants = append(wants, &want{file: file, line: position.Line, re: re})
+					rest = strings.TrimSpace(rest[2+end:])
+					n++
+				}
+				if n == 0 {
+					return nil, fmt.Errorf("%s:%d: want comment holds no regexps", file, position.Line)
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// CheckFixture runs az over the fixture in dir and returns a list of
+// mismatches between the unsuppressed findings and the `// want`
+// expectations (empty means the fixture passes).
+func CheckFixture(dir string, az *Analyzer) ([]string, error) {
+	pkg, err := LoadFixture(dir)
+	if err != nil {
+		return nil, err
+	}
+	wants, err := parseWants(pkg)
+	if err != nil {
+		return nil, err
+	}
+	res := Run([]*Package{pkg}, []*Analyzer{az})
+
+	var problems []string
+	for _, d := range res.Unsuppressed() {
+		matched := false
+		for _, w := range wants {
+			if !w.met && w.file == d.File && w.line == d.Line && w.re.MatchString(d.Message) {
+				w.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			problems = append(problems, fmt.Sprintf("unexpected finding: %s", d))
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			problems = append(problems, fmt.Sprintf("%s:%d: no %s finding matched %q", w.file, w.line, az.Name, w.re))
+		}
+	}
+	sort.Strings(problems)
+	return problems, nil
+}

@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Goleak flags fire-and-forget goroutines: a `go func(){...}()` whose
+// body references neither a sync.WaitGroup nor any channel has no join —
+// nothing can wait for it, and under the serving daemon's drain-based
+// shutdown an unjoined goroutine is a leak (or a write-after-shutdown).
+// Goroutines bounded some other way (context cancellation observed by a
+// callee, process-lifetime helpers) carry //unilint:ok goleak
+// annotations naming the bound.
+var Goleak = &Analyzer{
+	Name: "goleak",
+	Doc:  "go func literals with no WaitGroup or join channel referenced in the body",
+	Run:  runGoleak,
+}
+
+func runGoleak(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := g.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			if !hasJoin(pass, lit, g.Call.Args) {
+				pass.Reportf(g.Pos(), "goroutine has no join: body references no sync.WaitGroup and no channel")
+			}
+			return true
+		})
+	}
+}
+
+// hasJoin reports whether the goroutine body (or the arguments passed to
+// it) references a sync.WaitGroup or an expression of channel type — the
+// two join mechanisms the repo uses (wg.Done/Wait, send/close/receive on
+// a done channel, draining a work channel).
+func hasJoin(pass *Pass, lit *ast.FuncLit, args []ast.Expr) bool {
+	joined := false
+	check := func(n ast.Node) bool {
+		if joined {
+			return false
+		}
+		expr, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		t := pass.TypeOf(expr)
+		if t == nil {
+			return true
+		}
+		if isWaitGroup(t) || isChan(t) {
+			joined = true
+			return false
+		}
+		return true
+	}
+	ast.Inspect(lit.Body, check)
+	for _, a := range args {
+		if joined {
+			break
+		}
+		ast.Inspect(a, check)
+	}
+	return joined
+}
+
+func isChan(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+func isWaitGroup(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "WaitGroup" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}

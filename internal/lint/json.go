@@ -1,0 +1,169 @@
+package lint
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"path"
+	"sort"
+	"strings"
+)
+
+// Schema identifies the lint artifact format, mirroring the sweep/replay
+// artifact conventions: a schema header, counts, then one finding per
+// line in canonical order. The encoding contains no timestamps and no
+// map iterations, so the same tree lints to byte-identical artifacts.
+const Schema = "unicache-lint/v1"
+
+// Report is the decoded form of a lint artifact.
+type Report struct {
+	Schema       string       `json:"schema"`
+	Module       string       `json:"module"`
+	Analyzers    []string     `json:"analyzers"`
+	Packages     int          `json:"packages"`
+	Total        int          `json:"total"`
+	Suppressed   int          `json:"suppressed"`
+	Unsuppressed int          `json:"unsuppressed"`
+	Findings     []Diagnostic `json:"findings"`
+}
+
+// NewReport assembles the artifact form of a run result.
+func NewReport(module string, r *Result) *Report {
+	sup := r.SuppressedCount()
+	return &Report{
+		Schema:       Schema,
+		Module:       module,
+		Analyzers:    r.Analyzers,
+		Packages:     r.Packages,
+		Total:        len(r.Diags),
+		Suppressed:   sup,
+		Unsuppressed: len(r.Diags) - sup,
+		Findings:     r.Diags,
+	}
+}
+
+// WriteJSON writes the canonical artifact: header fields in fixed order,
+// then one finding per line (the unit a human diffs and a reader can
+// salvage), like the sweep artifact.
+func (rep *Report) WriteJSON(w io.Writer) error {
+	ab, err := json.Marshal(rep.Analyzers)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w,
+		"{\n\"schema\": %q,\n\"module\": %q,\n\"analyzers\": %s,\n\"packages\": %d,\n\"total\": %d,\n\"suppressed\": %d,\n\"unsuppressed\": %d,\n\"findings\": [\n",
+		rep.Schema, rep.Module, ab, rep.Packages, rep.Total, rep.Suppressed, rep.Unsuppressed); err != nil {
+		return err
+	}
+	for i, d := range rep.Findings {
+		b, err := json.Marshal(d)
+		if err != nil {
+			return err
+		}
+		sep := ","
+		if i == len(rep.Findings)-1 {
+			sep = ""
+		}
+		if _, err := fmt.Fprintf(w, "%s%s\n", b, sep); err != nil {
+			return err
+		}
+	}
+	_, err = fmt.Fprint(w, "]}\n")
+	return err
+}
+
+// Verify strictly reads a lint artifact: unknown fields, a wrong schema,
+// inconsistent counts, findings by unlisted analyzers, absolute or empty
+// paths, out-of-range positions, suppression/reason mismatches, and
+// non-canonical ordering are all errors. It returns the decoded report.
+func Verify(r io.Reader) (*Report, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	dec.DisallowUnknownFields()
+	var rep Report
+	if err := dec.Decode(&rep); err != nil {
+		return nil, fmt.Errorf("lint artifact: %w", err)
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return nil, fmt.Errorf("lint artifact: trailing data after document")
+	}
+	if rep.Schema != Schema {
+		return nil, fmt.Errorf("lint artifact: schema %q, want %q", rep.Schema, Schema)
+	}
+	if rep.Module == "" {
+		return nil, fmt.Errorf("lint artifact: empty module")
+	}
+	if !sort.StringsAreSorted(rep.Analyzers) || len(rep.Analyzers) == 0 {
+		return nil, fmt.Errorf("lint artifact: analyzers list must be non-empty and sorted")
+	}
+	if rep.Packages <= 0 {
+		return nil, fmt.Errorf("lint artifact: packages %d, want > 0", rep.Packages)
+	}
+	if rep.Total != len(rep.Findings) {
+		return nil, fmt.Errorf("lint artifact: total %d but %d findings", rep.Total, len(rep.Findings))
+	}
+	if rep.Suppressed+rep.Unsuppressed != rep.Total {
+		return nil, fmt.Errorf("lint artifact: suppressed %d + unsuppressed %d != total %d",
+			rep.Suppressed, rep.Unsuppressed, rep.Total)
+	}
+	known := make(map[string]bool, len(rep.Analyzers)+1)
+	for _, a := range rep.Analyzers {
+		known[a] = true
+	}
+	known[MetaAnalyzer] = true
+	sup := 0
+	for i, d := range rep.Findings {
+		if err := verifyFinding(d, known); err != nil {
+			return nil, fmt.Errorf("lint artifact: finding %d: %w", i, err)
+		}
+		if d.Suppressed {
+			sup++
+		}
+		if i > 0 && diagLess(d, rep.Findings[i-1]) {
+			return nil, fmt.Errorf("lint artifact: findings %d and %d out of canonical order", i-1, i)
+		}
+	}
+	if sup != rep.Suppressed {
+		return nil, fmt.Errorf("lint artifact: header claims %d suppressed, findings hold %d", rep.Suppressed, sup)
+	}
+	return &rep, nil
+}
+
+func verifyFinding(d Diagnostic, known map[string]bool) error {
+	if !known[d.Analyzer] {
+		return fmt.Errorf("analyzer %q not in header list", d.Analyzer)
+	}
+	if d.File == "" || path.IsAbs(d.File) || strings.HasPrefix(d.File, "..") || strings.Contains(d.File, `\`) {
+		return fmt.Errorf("file %q must be a slashed module-relative path", d.File)
+	}
+	if d.Line < 1 || d.Col < 1 {
+		return fmt.Errorf("position %d:%d out of range", d.Line, d.Col)
+	}
+	if d.Message == "" {
+		return fmt.Errorf("empty message")
+	}
+	if d.Suppressed && d.Reason == "" {
+		return fmt.Errorf("suppressed finding with no reason")
+	}
+	if !d.Suppressed && d.Reason != "" {
+		return fmt.Errorf("reason %q on an unsuppressed finding", d.Reason)
+	}
+	return nil
+}
+
+// diagLess is the canonical artifact order (same key sortDiags uses).
+func diagLess(a, b Diagnostic) bool {
+	if a.File != b.File {
+		return a.File < b.File
+	}
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	if a.Col != b.Col {
+		return a.Col < b.Col
+	}
+	if a.Analyzer != b.Analyzer {
+		return a.Analyzer < b.Analyzer
+	}
+	return a.Message < b.Message
+}

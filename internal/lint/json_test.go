@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleReport() *Report {
+	res := &Result{
+		Analyzers: []string{"detmap", "goleak", "panicguard", "seededrand", "wallclock"},
+		Packages:  3,
+		Diags: []Diagnostic{
+			{Analyzer: "detmap", File: "internal/a/a.go", Line: 10, Col: 3,
+				Message: "append to keys in map iteration order with no later sort"},
+			{Analyzer: "wallclock", File: "internal/a/a.go", Line: 12, Col: 9,
+				Message: "time.Now reads the wall clock", Suppressed: true, Reason: "latency seam"},
+			{Analyzer: "unilint", File: "internal/b/b.go", Line: 4, Col: 1,
+				Message: "unused suppression: no goleak finding on internal/b/b.go:5"},
+		},
+	}
+	return NewReport("repro", res)
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	rep := sampleReport()
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := Verify(&buf)
+	if err != nil {
+		t.Fatalf("verify rejects own artifact: %v", err)
+	}
+	if !reflect.DeepEqual(got, rep) {
+		t.Fatalf("round trip drift:\nwrote %+v\nread  %+v", rep, got)
+	}
+}
+
+// The writer must be deterministic: two encodings of the same report are
+// byte-identical.
+func TestReportDeterministic(t *testing.T) {
+	var b1, b2 bytes.Buffer
+	if err := sampleReport().WriteJSON(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := sampleReport().WriteJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("same report, different bytes")
+	}
+}
+
+func TestVerifyRejects(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*Report)
+		wantErr string
+	}{
+		{"wrong schema", func(r *Report) { r.Schema = "unicache-lint/v0" }, "schema"},
+		{"empty module", func(r *Report) { r.Module = "" }, "module"},
+		{"unsorted analyzers", func(r *Report) { r.Analyzers = []string{"b", "a"} }, "sorted"},
+		{"no analyzers", func(r *Report) { r.Analyzers = nil }, "non-empty"},
+		{"zero packages", func(r *Report) { r.Packages = 0 }, "packages"},
+		{"total drift", func(r *Report) { r.Total++ }, "total"},
+		{"count split drift", func(r *Report) { r.Suppressed++; r.Unsuppressed-- }, "suppressed"},
+		{"unknown analyzer", func(r *Report) { r.Findings[0].Analyzer = "ghost" }, "not in header list"},
+		{"absolute path", func(r *Report) { r.Findings[0].File = "/abs/a.go" }, "module-relative"},
+		{"backslash path", func(r *Report) { r.Findings[0].File = `internal\a\a.go` }, "module-relative"},
+		{"zero line", func(r *Report) { r.Findings[0].Line = 0 }, "out of range"},
+		{"empty message", func(r *Report) { r.Findings[0].Message = "" }, "empty message"},
+		{"suppressed without reason", func(r *Report) { r.Findings[1].Reason = "" }, "no reason"},
+		{"reason without suppressed", func(r *Report) { r.Findings[0].Reason = "stray" }, "unsuppressed"},
+		{"out of order", func(r *Report) {
+			r.Findings[0], r.Findings[2] = r.Findings[2], r.Findings[0]
+		}, "canonical order"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			rep := sampleReport()
+			c.mutate(rep)
+			var buf bytes.Buffer
+			if err := rep.WriteJSON(&buf); err != nil {
+				t.Fatalf("write: %v", err)
+			}
+			_, err := Verify(&buf)
+			if err == nil {
+				t.Fatalf("verify accepted a %s artifact", c.name)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+func TestVerifyRejectsForeignFields(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleReport().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	doc := strings.Replace(buf.String(), `"module":`, `"timestamp": 123456, "module":`, 1)
+	if _, err := Verify(strings.NewReader(doc)); err == nil {
+		t.Fatal("verify accepted an unknown field")
+	}
+}
+
+func TestVerifyRejectsTrailingData(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleReport().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString("{}\n")
+	if _, err := Verify(&buf); err == nil {
+		t.Fatal("verify accepted trailing data")
+	}
+}
+
+func TestVerifyRejectsTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleReport().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()/2]
+	if _, err := Verify(bytes.NewReader(cut)); err == nil {
+		t.Fatal("verify accepted a truncated artifact")
+	}
+}

@@ -1,0 +1,205 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// loadSource type-checks one in-memory file as a package, for tests that
+// exercise the suppression machinery directly.
+func loadSource(t *testing.T, src string) *Package {
+	t.Helper()
+	fset, imp := fixtureContext()
+	f, err := parser.ParseFile(fset, "mem_"+t.Name()+".go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	pkg, err := checkFiles(fset, imp, "mem/"+t.Name(), ".", []*ast.File{f})
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return pkg
+}
+
+// TestFixtures is the planted-bug suite: each analyzer's testdata package
+// introduces its hazard and `// want` comments assert the analyzer flags
+// exactly those lines. A fixture fails if a want goes unmatched (the
+// analyzer missed the planted bug) or a finding has no want (a false
+// positive crept in).
+func TestFixtures(t *testing.T) {
+	for _, az := range All() {
+		t.Run(az.Name, func(t *testing.T) {
+			dir := filepath.Join("testdata", "src", az.Name)
+			problems, err := CheckFixture(dir, az)
+			if err != nil {
+				t.Fatalf("fixture: %v", err)
+			}
+			for _, p := range problems {
+				t.Error(p)
+			}
+		})
+	}
+}
+
+// TestFixturesPlantBugs proves each fixture genuinely plants its hazard:
+// with the analyzer running, at least one unsuppressed finding appears
+// (so the want-based test above cannot vacuously pass on an empty
+// fixture), and with it absent the package is silent.
+func TestFixturesPlantBugs(t *testing.T) {
+	for _, az := range All() {
+		t.Run(az.Name, func(t *testing.T) {
+			pkg, err := LoadFixture(filepath.Join("testdata", "src", az.Name))
+			if err != nil {
+				t.Fatalf("fixture: %v", err)
+			}
+			with := Run([]*Package{pkg}, []*Analyzer{az})
+			if n := len(with.Unsuppressed()); n == 0 {
+				t.Fatalf("fixture plants no %s hazard (0 unsuppressed findings)", az.Name)
+			}
+			if n := with.SuppressedCount(); n == 0 {
+				t.Errorf("fixture exercises no %s suppression", az.Name)
+			}
+		})
+	}
+}
+
+func findingsOf(res *Result, analyzer string) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range res.Diags {
+		if d.Analyzer == analyzer {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func TestSuppressionTrailing(t *testing.T) {
+	pkg := loadSource(t, `package p
+
+import "time"
+
+func a() time.Time { return time.Now() } //unilint:ok wallclock latency seam
+`)
+	res := Run([]*Package{pkg}, []*Analyzer{Wallclock})
+	if n := len(res.Unsuppressed()); n != 0 {
+		t.Fatalf("want 0 unsuppressed, got %d: %v", n, res.Unsuppressed())
+	}
+	ds := findingsOf(res, Wallclock.Name)
+	if len(ds) != 1 || !ds[0].Suppressed || ds[0].Reason != "latency seam" {
+		t.Fatalf("want one suppressed finding with reason, got %+v", ds)
+	}
+}
+
+func TestSuppressionStandalone(t *testing.T) {
+	pkg := loadSource(t, `package p
+
+import "time"
+
+func a() time.Time {
+	//unilint:ok wallclock timing seam above the call
+	return time.Now()
+}
+`)
+	res := Run([]*Package{pkg}, []*Analyzer{Wallclock})
+	if n := len(res.Unsuppressed()); n != 0 {
+		t.Fatalf("want 0 unsuppressed, got %d: %v", n, res.Unsuppressed())
+	}
+}
+
+func TestSuppressionMissingReason(t *testing.T) {
+	pkg := loadSource(t, `package p
+
+import "time"
+
+func a() time.Time { return time.Now() } //unilint:ok wallclock
+`)
+	res := Run([]*Package{pkg}, []*Analyzer{Wallclock})
+	meta := findingsOf(res, MetaAnalyzer)
+	if len(meta) != 1 || !strings.Contains(meta[0].Message, "no reason") {
+		t.Fatalf("want a missing-reason meta finding, got %+v", meta)
+	}
+	// The malformed suppression waives nothing: the wallclock finding
+	// stays unsuppressed.
+	if n := len(res.Unsuppressed()); n != 2 {
+		t.Fatalf("want 2 unsuppressed (wallclock + meta), got %d: %v", n, res.Unsuppressed())
+	}
+}
+
+func TestSuppressionUnknownAnalyzer(t *testing.T) {
+	pkg := loadSource(t, `package p
+
+func a() int { return 1 } //unilint:ok nosuch because reasons
+`)
+	res := Run([]*Package{pkg}, []*Analyzer{Wallclock})
+	meta := findingsOf(res, MetaAnalyzer)
+	if len(meta) != 1 || !strings.Contains(meta[0].Message, `unknown analyzer "nosuch"`) {
+		t.Fatalf("want an unknown-analyzer meta finding, got %+v", meta)
+	}
+}
+
+func TestSuppressionUnused(t *testing.T) {
+	pkg := loadSource(t, `package p
+
+func a() int { return 1 } //unilint:ok wallclock nothing to waive here
+`)
+	res := Run([]*Package{pkg}, []*Analyzer{Wallclock})
+	meta := findingsOf(res, MetaAnalyzer)
+	if len(meta) != 1 || !strings.Contains(meta[0].Message, "unused suppression") {
+		t.Fatalf("want an unused-suppression meta finding, got %+v", meta)
+	}
+}
+
+func TestSuppressionUnusedNotReportedForAnalyzerThatDidNotRun(t *testing.T) {
+	pkg := loadSource(t, `package p
+
+func a() int { return 1 } //unilint:ok wallclock waives a check that is not running
+`)
+	res := Run([]*Package{pkg}, []*Analyzer{Panicguard})
+	if meta := findingsOf(res, MetaAnalyzer); len(meta) != 0 {
+		t.Fatalf("suppression for a non-running analyzer must not count as unused, got %+v", meta)
+	}
+}
+
+func TestMetaAnalyzerNotSuppressible(t *testing.T) {
+	pkg := loadSource(t, `package p
+
+func a() int { return 1 } //unilint:ok unilint trying to silence the framework
+`)
+	res := Run([]*Package{pkg}, []*Analyzer{Wallclock})
+	meta := findingsOf(res, MetaAnalyzer)
+	if len(meta) != 1 || !strings.Contains(meta[0].Message, "cannot be suppressed") {
+		t.Fatalf("want a cannot-be-suppressed meta finding, got %+v", meta)
+	}
+}
+
+// Prose that merely mentions the grammar must not parse as a suppression.
+func TestSuppressionProseMention(t *testing.T) {
+	pkg := loadSource(t, `package p
+
+// Findings are waived with //unilint:ok <analyzer> <reason> comments.
+func a() int { return 1 }
+`)
+	res := Run([]*Package{pkg}, []*Analyzer{Wallclock})
+	if len(res.Diags) != 0 {
+		t.Fatalf("prose mention produced findings: %v", res.Diags)
+	}
+}
+
+// Two runs over the same package must produce identical results — the
+// suite's own output is held to the repo's determinism bar.
+func TestRunDeterministic(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "detmap")
+	pkg, err := LoadFixture(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := Run([]*Package{pkg}, All())
+	r2 := Run([]*Package{pkg}, All())
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatalf("nondeterministic result:\n%v\n%v", r1, r2)
+	}
+}

@@ -1,0 +1,416 @@
+// Module-aware package loader. The repository has zero third-party
+// dependencies and no network, so the loader does everything locally: it
+// discovers the module's packages by walking the tree, parses them with
+// go/parser, topologically orders them by their intra-module imports
+// (rejecting cycles with the offending path spelled out), and type-checks
+// each with go/types. Standard-library imports are satisfied by the
+// stdlib source importer (go/importer "source" mode), which compiles
+// GOROOT/src on the fly — no export data, no x/tools.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build/constraint"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked module package.
+type Package struct {
+	Path  string // import path, e.g. "repro/internal/sweep"
+	Dir   string // absolute directory
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	root    string   // module root, for relFile
+	imports []string // intra-module imports (for topo sort)
+}
+
+// relFile renders filename relative to the module root so diagnostics and
+// artifacts are identical across checkouts.
+func (p *Package) relFile(filename string) string {
+	if rel, err := filepath.Rel(p.root, filename); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(filename)
+}
+
+// Module is a fully loaded module: every package, type-checked, in
+// dependency order (imports before importers).
+type Module struct {
+	Path string // module path from go.mod, e.g. "repro"
+	Root string // absolute module root
+	Fset *token.FileSet
+	Pkgs []*Package
+}
+
+// Select returns the packages matching the command-line patterns, in load
+// order. Supported patterns: "./..." (everything), "./dir/..." (subtree),
+// "./dir" (exact), and plain import paths with the same "..." convention.
+func (m *Module) Select(patterns []string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	keep := make(map[string]bool)
+	for _, pat := range patterns {
+		p := strings.TrimSuffix(strings.TrimPrefix(filepath.ToSlash(pat), "./"), "/")
+		matched := false
+		for _, pkg := range m.Pkgs {
+			if matchPattern(m.Path, pkg.Path, p) {
+				keep[pkg.Path] = true
+				matched = true
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("pattern %q matches no packages in module %s", pat, m.Path)
+		}
+	}
+	var out []*Package
+	for _, pkg := range m.Pkgs {
+		if keep[pkg.Path] {
+			out = append(out, pkg)
+		}
+	}
+	return out, nil
+}
+
+// matchPattern matches one cleaned pattern against an import path. The
+// pattern may be module-relative ("internal/sweep") or absolute
+// ("repro/internal/sweep"); "..." or "" match everything, and a
+// "/..." suffix matches the subtree rooted at the prefix.
+func matchPattern(modPath, pkgPath, pat string) bool {
+	rel := strings.TrimPrefix(strings.TrimPrefix(pkgPath, modPath), "/")
+	if rel == "" {
+		rel = "."
+	}
+	for _, candidate := range []string{pkgPath, rel} {
+		switch {
+		case pat == "..." || pat == "":
+			return true
+		case strings.HasSuffix(pat, "/..."):
+			prefix := strings.TrimSuffix(pat, "/...")
+			if candidate == prefix || strings.HasPrefix(candidate, prefix+"/") {
+				return true
+			}
+		case pat == ".":
+			if candidate == "." {
+				return true
+			}
+		case candidate == pat:
+			return true
+		}
+	}
+	return false
+}
+
+// LoadModule discovers, parses, orders, and type-checks every production
+// package under root (a directory inside a module). Test files
+// (_test.go), testdata trees, hidden directories, and files excluded by
+// their build constraints are all skipped: the analyzers judge what
+// ships, not what only the test harness compiles.
+func LoadModule(root string) (*Module, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	root, modPath, err := findModule(root)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+
+	byPath := make(map[string]*Package, len(dirs))
+	var paths []string
+	for _, dir := range dirs {
+		pkg, err := parseDir(fset, root, modPath, dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			continue // no production files survived filtering
+		}
+		byPath[pkg.Path] = pkg
+		paths = append(paths, pkg.Path)
+	}
+	sort.Strings(paths)
+
+	ordered, err := topoSort(modPath, byPath, paths)
+	if err != nil {
+		return nil, err
+	}
+	if err := typeCheck(fset, modPath, ordered); err != nil {
+		return nil, err
+	}
+	return &Module{Path: modPath, Root: root, Fset: fset, Pkgs: ordered}, nil
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module root and module path.
+func findModule(dir string) (string, string, error) {
+	for d := dir; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module"); ok {
+					mp := strings.TrimSpace(rest)
+					if mp == "" {
+						break
+					}
+					return d, mp, nil
+				}
+			}
+			return "", "", fmt.Errorf("%s: no module path", filepath.Join(d, "go.mod"))
+		}
+		if filepath.Dir(d) == d {
+			return "", "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+	}
+}
+
+// packageDirs returns every directory under root that may hold a
+// production package, skipping testdata, hidden, and VCS directories.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// parseDir parses the production files of one directory. Returns nil if
+// the directory holds no production Go files. Mixed package clauses (one
+// dir, two package names, tests excluded) are an error.
+func parseDir(fset *token.FileSet, root, modPath, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	pkgName := ""
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		full := filepath.Join(dir, name)
+		f, err := parser.ParseFile(fset, full, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %w", full, err)
+		}
+		if !buildIncluded(f) {
+			continue
+		}
+		if pkgName == "" {
+			pkgName = f.Name.Name
+		} else if f.Name.Name != pkgName {
+			return nil, fmt.Errorf("%s: two package clauses in one directory: %s and %s", dir, pkgName, f.Name.Name)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		return nil, err
+	}
+	path := modPath
+	if rel != "." {
+		path = modPath + "/" + filepath.ToSlash(rel)
+	}
+	pkg := &Package{Path: path, Dir: dir, Fset: fset, Files: files, root: root}
+	seen := map[string]bool{}
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			ip := strings.Trim(imp.Path.Value, `"`)
+			if (ip == modPath || strings.HasPrefix(ip, modPath+"/")) && !seen[ip] {
+				seen[ip] = true
+				pkg.imports = append(pkg.imports, ip)
+			}
+		}
+	}
+	sort.Strings(pkg.imports)
+	return pkg, nil
+}
+
+// buildIncluded evaluates a file's build constraints (//go:build and the
+// legacy // +build form) for the host platform. Tags that are neither the
+// host GOOS/GOARCH nor a go1.N version gate evaluate false, so
+// `//go:build ignore` files (generators) are excluded.
+func buildIncluded(f *ast.File) bool {
+	ok := func(tag string) bool {
+		return tag == runtime.GOOS || tag == runtime.GOARCH ||
+			tag == "unix" && unixGOOS[runtime.GOOS] ||
+			strings.HasPrefix(tag, "go1")
+	}
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break // constraints must precede the package clause
+		}
+		for _, c := range cg.List {
+			if constraint.IsGoBuild(c.Text) || constraint.IsPlusBuild(c.Text) {
+				expr, err := constraint.Parse(c.Text)
+				if err != nil {
+					continue
+				}
+				if !expr.Eval(ok) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+var unixGOOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "illumos": true, "ios": true, "linux": true,
+	"netbsd": true, "openbsd": true, "solaris": true,
+}
+
+// topoSort orders packages so every intra-module import precedes its
+// importer, and reports import cycles with the full path.
+func topoSort(modPath string, byPath map[string]*Package, paths []string) ([]*Package, error) {
+	const (
+		white = 0 // unvisited
+		grey  = 1 // on the current DFS stack
+		black = 2 // done
+	)
+	color := make(map[string]int, len(paths))
+	var order []*Package
+	var stack []string
+
+	var visit func(path string) error
+	visit = func(path string) error {
+		switch color[path] {
+		case black:
+			return nil
+		case grey:
+			i := 0
+			for j, p := range stack {
+				if p == path {
+					i = j
+					break
+				}
+			}
+			cycle := append(append([]string{}, stack[i:]...), path)
+			return fmt.Errorf("import cycle: %s", strings.Join(cycle, " -> "))
+		}
+		color[path] = grey
+		stack = append(stack, path)
+		pkg := byPath[path]
+		for _, imp := range pkg.imports {
+			dep, ok := byPath[imp]
+			if !ok {
+				return fmt.Errorf("package %s imports %s: not found in module %s", path, imp, modPath)
+			}
+			_ = dep
+			if err := visit(imp); err != nil {
+				return err
+			}
+		}
+		stack = stack[:len(stack)-1]
+		color[path] = black
+		order = append(order, pkg)
+		return nil
+	}
+	for _, p := range paths {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// moduleImporter satisfies go/types imports: module-internal paths come
+// from the packages already checked (load order guarantees availability),
+// everything else falls through to the stdlib source importer.
+type moduleImporter struct {
+	modPath string
+	done    map[string]*types.Package
+	std     types.Importer
+}
+
+func (mi *moduleImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == mi.modPath || strings.HasPrefix(path, mi.modPath+"/") {
+		if pkg, ok := mi.done[path]; ok {
+			return pkg, nil
+		}
+		return nil, fmt.Errorf("module package %s not yet type-checked (loader ordering bug?)", path)
+	}
+	return mi.std.Import(path)
+}
+
+// typeCheck runs go/types over the packages in load order, recording full
+// type information for the analyzers.
+func typeCheck(fset *token.FileSet, modPath string, ordered []*Package) error {
+	mi := &moduleImporter{
+		modPath: modPath,
+		done:    make(map[string]*types.Package, len(ordered)),
+		std:     importer.ForCompiler(fset, "source", nil),
+	}
+	for _, pkg := range ordered {
+		var errs []string
+		conf := types.Config{
+			Importer: mi,
+			Error: func(err error) {
+				if len(errs) < 10 {
+					errs = append(errs, err.Error())
+				}
+			},
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		}
+		tpkg, err := conf.Check(pkg.Path, fset, pkg.Files, info)
+		if len(errs) > 0 {
+			return fmt.Errorf("type-check %s:\n  %s", pkg.Path, strings.Join(errs, "\n  "))
+		}
+		if err != nil {
+			return fmt.Errorf("type-check %s: %w", pkg.Path, err)
+		}
+		pkg.Types = tpkg
+		pkg.Info = info
+		mi.done[pkg.Path] = tpkg
+	}
+	return nil
+}

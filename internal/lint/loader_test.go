@@ -1,0 +1,208 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule materializes a throwaway module from path->content pairs
+// and returns its root.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for path, content := range files {
+		full := filepath.Join(root, filepath.FromSlash(path))
+		if err := os.MkdirAll(filepath.Dir(full), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(content), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+const testGoMod = "module example.test\n\ngo 1.22\n"
+
+func TestLoaderImportCycle(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod":   testGoMod,
+		"a/a.go":   "package a\n\nimport _ \"example.test/b\"\n",
+		"b/b.go":   "package b\n\nimport _ \"example.test/c\"\n",
+		"c/c.go":   "package c\n\nimport _ \"example.test/a\"\n",
+		"ok/ok.go": "package ok\n",
+	})
+	_, err := LoadModule(root)
+	if err == nil {
+		t.Fatal("cycle not detected")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "import cycle") {
+		t.Fatalf("error does not name the cycle: %v", err)
+	}
+	// The full path must be spelled out, e.g. a -> b -> c -> a.
+	for _, pkg := range []string{"example.test/a", "example.test/b", "example.test/c"} {
+		if !strings.Contains(msg, pkg) {
+			t.Errorf("cycle error %q misses member %s", msg, pkg)
+		}
+	}
+}
+
+// Production analysis must not see test files, testdata trees, or files
+// excluded by build tags — each of the planted hazards below would be a
+// wallclock finding if its file were loaded.
+func TestLoaderExclusions(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": testGoMod,
+		"p/p.go": "package p\n\nfunc Ok() int { return 1 }\n",
+		"p/p_test.go": "package p\n\nimport \"time\"\n\n" +
+			"func leak() int64 { return time.Now().UnixNano() }\n",
+		"p/testdata/fixture.go": "package broken !! not even Go syntax\n",
+		"p/gen.go": "//go:build ignore\n\npackage main\n\nimport \"time\"\n\n" +
+			"func main() { _ = time.Now() }\n",
+		"p/legacy.go": "// +build ignore\n\npackage main\n\nimport \"time\"\n\n" +
+			"func main() { _ = time.Now() }\n",
+	})
+	mod, err := LoadModule(root)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(mod.Pkgs) != 1 || mod.Pkgs[0].Path != "example.test/p" {
+		t.Fatalf("want exactly example.test/p, got %v", pkgPaths(mod.Pkgs))
+	}
+	if n := len(mod.Pkgs[0].Files); n != 1 {
+		t.Fatalf("want 1 production file after exclusions, got %d", n)
+	}
+	res := Run(mod.Pkgs, []*Analyzer{Wallclock})
+	if len(res.Diags) != 0 {
+		t.Fatalf("excluded files leaked into analysis: %v", res.Diags)
+	}
+}
+
+// Several main packages (cmd/*) must coexist: each directory is its own
+// package even though all are named main.
+func TestLoaderCmdMains(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod":      testGoMod,
+		"lib/lib.go":  "package lib\n\nfunc V() int { return 1 }\n",
+		"cmd/a/m.go":  "package main\n\nimport \"example.test/lib\"\n\nfunc main() { _ = lib.V() }\n",
+		"cmd/b/m.go":  "package main\n\nimport \"example.test/lib\"\n\nfunc main() { _ = lib.V() }\n",
+		"cmd/b/m2.go": "package main\n\nfunc aux() {}\n",
+	})
+	mod, err := LoadModule(root)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	mains, err := mod.Select([]string{"./cmd/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mains) != 2 {
+		t.Fatalf("want 2 cmd packages, got %v", pkgPaths(mains))
+	}
+	for _, pkg := range mains {
+		if pkg.Types.Name() != "main" {
+			t.Errorf("%s: package name %q, want main", pkg.Path, pkg.Types.Name())
+		}
+	}
+	// Dependency order: lib must precede both mains.
+	order := pkgPaths(mod.Pkgs)
+	libAt, aAt := indexOf(order, "example.test/lib"), indexOf(order, "example.test/cmd/a")
+	if libAt < 0 || aAt < 0 || libAt > aAt {
+		t.Fatalf("lib not loaded before its importer: %v", order)
+	}
+}
+
+func TestLoaderSelectPatterns(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod":       testGoMod,
+		"top.go":       "package top\n",
+		"x/x.go":       "package x\n",
+		"x/deep/d.go":  "package deep\n",
+		"other/o.go":   "package other\n",
+		"cmd/c/cmd.go": "package main\n\nfunc main() {}\n",
+	})
+	mod, err := LoadModule(root)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	cases := []struct {
+		patterns []string
+		want     int
+	}{
+		{nil, 5},
+		{[]string{"./..."}, 5},
+		{[]string{"./x/..."}, 2},
+		{[]string{"./x"}, 1},
+		{[]string{"example.test/x/..."}, 2},
+		{[]string{"./x", "./other"}, 2},
+		{[]string{"."}, 1},
+	}
+	for _, c := range cases {
+		got, err := mod.Select(c.patterns)
+		if err != nil {
+			t.Errorf("Select(%v): %v", c.patterns, err)
+			continue
+		}
+		if len(got) != c.want {
+			t.Errorf("Select(%v) = %v, want %d packages", c.patterns, pkgPaths(got), c.want)
+		}
+	}
+	if _, err := mod.Select([]string{"./nosuch"}); err == nil {
+		t.Error("Select of a nonexistent package did not fail")
+	}
+}
+
+func TestLoaderMissingImport(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": testGoMod,
+		"a/a.go": "package a\n\nimport _ \"example.test/missing\"\n",
+	})
+	_, err := LoadModule(root)
+	if err == nil || !strings.Contains(err.Error(), "not found in module") {
+		t.Fatalf("missing intra-module import not reported: %v", err)
+	}
+}
+
+func TestLoaderTypeError(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": testGoMod,
+		"a/a.go": "package a\n\nfunc f() int { return \"not an int\" }\n",
+	})
+	_, err := LoadModule(root)
+	if err == nil || !strings.Contains(err.Error(), "type-check") {
+		t.Fatalf("type error not reported: %v", err)
+	}
+}
+
+func TestLoaderMixedPackageClauses(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod":  testGoMod,
+		"a/a.go":  "package a\n",
+		"a/b.go":  "package b\n",
+		"ok/k.go": "package ok\n",
+	})
+	_, err := LoadModule(root)
+	if err == nil || !strings.Contains(err.Error(), "two package clauses") {
+		t.Fatalf("mixed package clauses not reported: %v", err)
+	}
+}
+
+func pkgPaths(pkgs []*Package) []string {
+	var out []string
+	for _, p := range pkgs {
+		out = append(out, p.Path)
+	}
+	return out
+}
+
+func indexOf(xs []string, x string) int {
+	for i, v := range xs {
+		if v == x {
+			return i
+		}
+	}
+	return -1
+}

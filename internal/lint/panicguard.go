@@ -1,0 +1,42 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Panicguard preserves the panic-free front door: internal/ice converts
+// pipeline panics into structured errors at the public entry points, and
+// nothing else in the tree may panic without saying why. Every panic(...)
+// outside internal/ice is flagged; sites that are genuinely unreachable
+// by construction, deliberately injected for testing, or guarded by an
+// ice.Guard at the phase boundary carry //unilint:ok panicguard
+// annotations stating which.
+var Panicguard = &Analyzer{
+	Name: "panicguard",
+	Doc:  "panic() outside internal/ice and ice-guarded phases",
+	Run:  runPanicguard,
+}
+
+func runPanicguard(pass *Pass) {
+	if pass.Pkg.Path == "repro/internal/ice" || strings.HasSuffix(pass.Pkg.Path, "/internal/ice") {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if _, isBuiltin := pass.ObjectOf(id).(*types.Builtin); isBuiltin {
+				pass.Reportf(call.Pos(), "panic outside internal/ice: route through an error or annotate the ice-guarded/unreachable seam")
+			}
+			return true
+		})
+	}
+}

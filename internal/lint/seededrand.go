@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// Seededrand enforces the repository's randomness discipline: every
+// random stream must come from an explicitly seeded generator —
+// rand.New(rand.NewSource(seed)) — whose seed flows in as a parameter.
+// The global math/rand top-level functions (process-wide shared state,
+// auto-seeded since Go 1.20) make runs unreproducible, and a literal
+// seed buried in a function body hides the knob every harness needs to
+// expose; both are flagged.
+var Seededrand = &Analyzer{
+	Name: "seededrand",
+	Doc:  "global math/rand functions, or generator constructors with literal seeds",
+	Run:  runSeededrand,
+}
+
+// seededrandCtors are the sanctioned constructors; everything else at
+// package level in math/rand (Intn, Float64, Perm, Shuffle, Seed, ...)
+// is global-generator state.
+var seededrandCtors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	// math/rand/v2 spellings
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runSeededrand(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, name, ok := stdFunc(pass, call)
+			if !ok || (pkg != "math/rand" && pkg != "math/rand/v2") {
+				return true
+			}
+			if !seededrandCtors[name] {
+				pass.Reportf(call.Pos(), "global rand.%s uses process-wide RNG state; use rand.New(rand.NewSource(seed))", name)
+				return true
+			}
+			if name == "NewSource" || name == "NewPCG" || name == "NewChaCha8" {
+				for _, arg := range call.Args {
+					if tv, ok := pass.Pkg.Info.Types[arg]; ok && tv.Value != nil {
+						pass.Reportf(call.Pos(), "rand.%s with constant seed %s hidden in a function body; thread the seed from an explicit parameter", name, tv.Value)
+						break
+					}
+				}
+			}
+			return true
+		})
+	}
+}

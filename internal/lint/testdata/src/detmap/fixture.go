@@ -1,0 +1,76 @@
+// Planted determinism hazards for the detmap analyzer: slices and output
+// fed in map-iteration order, next to the sanctioned collect-sort-emit
+// idiom that must stay clean.
+package fixture
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func badAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "append to keys in map iteration order with no later sort"
+	}
+	return keys
+}
+
+func goodSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func goodSortSlice(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+func badEmit(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want "fmt.Println inside range over map: output order follows map iteration order"
+	}
+}
+
+func badWriter(m map[string]int, sb *strings.Builder) {
+	for k := range m {
+		sb.WriteString(k) // want "sb.WriteString inside range over map: emits in map iteration order"
+	}
+}
+
+// Loop-local appends are fine: the slice dies with the iteration.
+func goodLocal(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}
+
+// Counting and map-to-map transforms never observe iteration order.
+func goodCount(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+func waived(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) //unilint:ok detmap consumed as an unordered set by the caller
+	}
+	return keys
+}

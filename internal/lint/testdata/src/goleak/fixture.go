@@ -1,0 +1,74 @@
+// Planted goroutine leaks for the goleak analyzer: fire-and-forget
+// literals next to the two sanctioned join mechanisms (WaitGroup and
+// channels) and an annotated process-lifetime helper.
+package fixture
+
+import "sync"
+
+var sink int
+
+func bad() {
+	go func() { // want "goroutine has no join: body references no sync.WaitGroup and no channel"
+		sink++
+	}()
+}
+
+func badCapture(xs []int) {
+	go func(n int) { // want "goroutine has no join: body references no sync.WaitGroup and no channel"
+		sink += n
+	}(len(xs))
+}
+
+func goodWG(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sink++
+	}()
+}
+
+func goodValueWG() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+func goodDoneChan(done chan struct{}) {
+	go func() {
+		defer close(done)
+		sink++
+	}()
+}
+
+func goodSend(errc chan error, work func() error) {
+	go func() { errc <- work() }()
+}
+
+func goodDrain(idx chan int) {
+	go func() {
+		for i := range idx {
+			sink += i
+		}
+	}()
+}
+
+// A channel passed as a call argument joins the goroutine too.
+func goodArgChan(c chan int) {
+	go func(ch chan int) { <-ch }(c)
+}
+
+// Non-literal go statements are out of scope for this analyzer.
+func goodNamed() {
+	go loop()
+}
+
+func loop() {}
+
+func waived() {
+	go func() { //unilint:ok goleak process-lifetime helper; exits with the daemon
+		loop()
+	}()
+}

@@ -1,0 +1,38 @@
+// Planted panics for the panicguard analyzer: a bare panic in a package
+// outside internal/ice, an annotated unreachable seam, and a shadowed
+// identifier that is not the builtin.
+package fixture
+
+import "errors"
+
+func bad(x int) {
+	if x < 0 {
+		panic("negative input") // want "panic outside internal/ice"
+	}
+}
+
+func badValue(err error) {
+	panic(err) // want "panic outside internal/ice"
+}
+
+func waived(mode int) int {
+	switch mode {
+	case 0, 1:
+		return mode
+	}
+	panic("unreachable: modes are validated at the front door") //unilint:ok panicguard unreachable by construction; callers validate mode
+}
+
+// A shadowed panic identifier is not the builtin and is not flagged.
+func shadowed() {
+	panic := func(string) {}
+	panic("just a local function")
+}
+
+// Returning errors is the sanctioned path.
+func good(x int) error {
+	if x < 0 {
+		return errors.New("negative input")
+	}
+	return nil
+}

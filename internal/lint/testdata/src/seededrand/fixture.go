@@ -1,0 +1,42 @@
+// Planted randomness-discipline violations for the seededrand analyzer:
+// global math/rand state and literal seeds, next to the sanctioned
+// parameter-threaded constructor.
+package fixture
+
+import "math/rand"
+
+func badGlobal() int {
+	return rand.Intn(10) // want "global rand.Intn uses process-wide RNG state"
+}
+
+func badGlobalFloat() float64 {
+	return rand.Float64() // want "global rand.Float64 uses process-wide RNG state"
+}
+
+func badShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global rand.Shuffle uses process-wide RNG state"
+}
+
+func badLiteralSeed() *rand.Rand {
+	return rand.New(rand.NewSource(42)) // want "rand.NewSource with constant seed 42 hidden in a function body"
+}
+
+const defaultSeed = 7
+
+func badConstSeed() *rand.Rand {
+	return rand.New(rand.NewSource(defaultSeed)) // want "rand.NewSource with constant seed 7 hidden in a function body"
+}
+
+// The sanctioned idiom: the seed flows in as an explicit parameter.
+func good(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Methods on an explicit generator are always fine.
+func goodUse(r *rand.Rand) int {
+	return r.Intn(10)
+}
+
+func waived() int {
+	return rand.Int() //unilint:ok seededrand one-off jitter in a non-reproducible path
+}

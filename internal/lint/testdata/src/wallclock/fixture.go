@@ -1,0 +1,41 @@
+// Planted wall-clock reads for the wallclock analyzer, next to
+// legitimate annotated timing seams and lookalike method names.
+package fixture
+
+import "time"
+
+func bad() int64 {
+	t0 := time.Now() // want "time.Now reads the wall clock"
+	busy()
+	return time.Since(t0).Nanoseconds() // want "time.Since reads the wall clock"
+}
+
+func badUntil(deadline time.Time) time.Duration {
+	return time.Until(deadline) // want "time.Until reads the wall clock"
+}
+
+func waived() time.Time {
+	return time.Now() //unilint:ok wallclock latency metric only; never serialized
+}
+
+// A standalone suppression waives the line below it.
+func waivedAbove() time.Time {
+	//unilint:ok wallclock timing seam for the uptime metric
+	return time.Now()
+}
+
+type fakeClock struct{}
+
+func (fakeClock) Now() int64 { return 0 }
+
+// A Now method on a non-time type is not the wall clock.
+func goodLookalike(c fakeClock) int64 {
+	return c.Now()
+}
+
+// Deterministic time construction is fine.
+func goodDate() time.Time {
+	return time.Date(1989, 6, 1, 0, 0, 0, 0, time.UTC)
+}
+
+func busy() {}

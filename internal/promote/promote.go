@@ -20,6 +20,8 @@
 package promote
 
 import (
+	"sort"
+
 	"repro/internal/alias"
 	"repro/internal/cfg"
 	"repro/internal/ir"
@@ -154,13 +156,7 @@ func promoteFunc(prog *ir.Program, f *ir.Func, an *alias.Analysis, mr modref) St
 		return st
 	}
 	// Deterministic order.
-	for i := 0; i < len(cands); i++ {
-		for j := i + 1; j < len(cands); j++ {
-			if cands[j].ID < cands[i].ID {
-				cands[i], cands[j] = cands[j], cands[i]
-			}
-		}
-	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].ID < cands[j].ID })
 
 	homeReg := make(map[*sem.Object]ir.Reg, len(cands))
 	for _, obj := range cands {

@@ -99,7 +99,7 @@ func (e *Encoder) Ref(r trace.Rec) {
 // encoder must not be used afterwards.
 func (e *Encoder) Finish() *Encoded {
 	if e.finished {
-		panic("replay: Encoder.Finish called twice")
+		panic("replay: Encoder.Finish called twice") //unilint:ok panicguard API-misuse guard: a second Finish would silently corrupt the stream; unreachable on the VM single-Finish path
 	}
 	e.finished = true
 	chunks := e.chunks

@@ -220,16 +220,16 @@ func Run(opt Options) (*Report, error) {
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	idx := make(chan int)
-	start := time.Now()
+	start := time.Now() //unilint:ok wallclock throughput denominator of the load-test report; wall time is the measurand
 	for w := 0; w < opt.Concurrency; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range idx {
 				rq := opt.requestFor(i, pool)
-				t0 := time.Now()
+				t0 := time.Now() //unilint:ok wallclock per-request latency sample; the report is a measurement, not a golden
 				resp, err := postEval(client, opt.BaseURL, rq)
-				ns := time.Since(t0).Nanoseconds()
+				ns := time.Since(t0).Nanoseconds() //unilint:ok wallclock per-request latency sample; the report is a measurement, not a golden
 				mu.Lock()
 				if rq.InjectPanic != "" {
 					rep.PanicsInjected++
@@ -270,7 +270,7 @@ func Run(opt Options) (*Report, error) {
 	}
 	close(idx)
 	wg.Wait()
-	elapsed := time.Since(start)
+	elapsed := time.Since(start) //unilint:ok wallclock throughput denominator of the load-test report; wall time is the measurand
 
 	rep.DurationMS = elapsed.Milliseconds()
 	if secs := elapsed.Seconds(); secs > 0 {

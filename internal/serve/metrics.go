@@ -98,7 +98,7 @@ type metrics struct {
 
 func newMetrics() *metrics {
 	return &metrics{
-		start:    time.Now(),
+		start:    time.Now(), //unilint:ok wallclock uptime metric epoch for the /metrics endpoint
 		outcomes: make(map[string]int64),
 		degraded: make(map[string]int64),
 		hist:     newHistogram(),
@@ -169,7 +169,7 @@ func (m *metrics) snapshot(arts artifact.Stats, workers, qlen, qcap int, drainin
 	}
 	s := &Snapshot{
 		Schema:   StatsSchema,
-		UptimeMS: time.Since(m.start).Milliseconds(),
+		UptimeMS: time.Since(m.start).Milliseconds(), //unilint:ok wallclock uptime metric for the /metrics endpoint; operational, never hashed
 		Workers:  workers, QueueLen: qlen, QueueCap: qcap, Draining: draining,
 		Outcomes: out, Degraded: deg, Panics: m.panics,
 		Deduped:   arts.BuildHits,

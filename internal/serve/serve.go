@@ -196,7 +196,7 @@ func (s *Server) worker() {
 			// shed, do not start. Running work is unaffected.
 			resp = (&Response{}).fail(http.StatusServiceUnavailable, KindShed, "",
 				"server drained before the request was admitted")
-			resp.Timing.QueueNS = time.Since(t.enq).Nanoseconds()
+			resp.Timing.QueueNS = time.Since(t.enq).Nanoseconds() //unilint:ok wallclock Response.Timing latency metric; informational, excluded from dedup keys and artifacts
 			resp.Timing.TotalNS = resp.Timing.QueueNS
 		} else {
 			resp = s.process(t)
@@ -209,10 +209,10 @@ func (s *Server) worker() {
 // process runs one admitted request through the tier pipeline.
 func (s *Server) process(t *task) *Response {
 	resp := &Response{ID: fmt.Sprintf("r%06d", s.seq.Add(1)), Status: http.StatusOK}
-	resp.Timing.QueueNS = time.Since(t.enq).Nanoseconds()
-	started := time.Now()
+	resp.Timing.QueueNS = time.Since(t.enq).Nanoseconds() //unilint:ok wallclock Response.Timing latency metric; informational, excluded from dedup keys and artifacts
+	started := time.Now()                                 //unilint:ok wallclock Response.Timing latency metric; informational, excluded from dedup keys and artifacts
 	defer func() {
-		resp.Timing.TotalNS = resp.Timing.QueueNS + time.Since(started).Nanoseconds()
+		resp.Timing.TotalNS = resp.Timing.QueueNS + time.Since(started).Nanoseconds() //unilint:ok wallclock Response.Timing latency metric; informational, excluded from dedup keys and artifacts
 	}()
 
 	rq := t.req
@@ -268,7 +268,7 @@ func (s *Server) runTiers(t *task, want map[string]bool, resp *Response) (phase 
 	rq := t.req
 	if s.cfg.Debug && rq.InjectPanic != "" {
 		phase = rq.InjectPanic
-		panic(fmt.Sprintf("injected panic in %q (debug)", rq.InjectPanic))
+		panic(fmt.Sprintf("injected panic in %q (debug)", rq.InjectPanic)) //unilint:ok panicguard deliberate fault injection (debug mode) exercised by serve-smoke; the per-request guard recovers it
 	}
 
 	ccfg, err := rq.coreConfig()
@@ -281,12 +281,12 @@ func (s *Server) runTiers(t *task, want map[string]bool, resp *Response) (phase 
 	}
 
 	phase = "compile"
-	tic := time.Now()
+	tic := time.Now() //unilint:ok wallclock Response.Timing latency metric; informational, excluded from dedup keys and artifacts
 	art, shared, err := s.arts.BuildShared(rq.Source, ccfg)
 	if err == nil && art.Comp == nil && (want[TierCheck] || want[TierExact]) {
 		art, err = s.arts.BuildIR(rq.Source, ccfg)
 	}
-	resp.Timing.CompileNS = time.Since(tic).Nanoseconds()
+	resp.Timing.CompileNS = time.Since(tic).Nanoseconds() //unilint:ok wallclock Response.Timing latency metric; informational, excluded from dedup keys and artifacts
 	if err != nil {
 		return phase, err
 	}
@@ -301,13 +301,13 @@ func (s *Server) runTiers(t *task, want map[string]bool, resp *Response) (phase 
 
 	if want[TierSimulate] {
 		phase = "simulate"
-		tic = time.Now()
+		tic = time.Now() //unilint:ok wallclock Response.Timing latency metric; informational, excluded from dedup keys and artifacts
 		res, rerr := s.arts.Run(art, vm.Config{
 			MaxSteps: rq.MaxSteps,
 			Cache:    cacheCfg,
 			Done:     t.ctx.Done(),
 		})
-		resp.Timing.SimNS = time.Since(tic).Nanoseconds()
+		resp.Timing.SimNS = time.Since(tic).Nanoseconds() //unilint:ok wallclock Response.Timing latency metric; informational, excluded from dedup keys and artifacts
 		if rerr != nil {
 			return phase, rerr
 		}
@@ -324,12 +324,12 @@ func (s *Server) runTiers(t *task, want map[string]bool, resp *Response) (phase 
 
 	if want[TierCheck] {
 		phase = "check"
-		tic = time.Now()
+		tic = time.Now() //unilint:ok wallclock Response.Timing latency metric; informational, excluded from dedup keys and artifacts
 		vs := check.Structural(art.Comp.Prog, copt)
 		vs = append(vs, check.DeadMarking(art.Comp.Prog, copt)...)
 		vs = append(vs, check.Machine(art.Prog, copt)...)
 		rep, aerr := check.AnalyzeCache(art.Comp.Prog, cacheCfg, copt)
-		resp.Timing.CheckNS = time.Since(tic).Nanoseconds()
+		resp.Timing.CheckNS = time.Since(tic).Nanoseconds() //unilint:ok wallclock Response.Timing latency metric; informational, excluded from dedup keys and artifacts
 		if aerr != nil {
 			return phase, aerr
 		}
@@ -345,10 +345,10 @@ func (s *Server) runTiers(t *task, want map[string]bool, resp *Response) (phase 
 
 	if want[TierExact] {
 		phase = "exact"
-		tic = time.Now()
+		tic = time.Now() //unilint:ok wallclock Response.Timing latency metric; informational, excluded from dedup keys and artifacts
 		rep, xerr := exact.AnalyzeWith(art.Comp.Prog, cacheCfg, copt,
 			exact.Options{StepBudget: s.cfg.ExactStepBudget})
-		resp.Timing.ExactNS = time.Since(tic).Nanoseconds()
+		resp.Timing.ExactNS = time.Since(tic).Nanoseconds() //unilint:ok wallclock Response.Timing latency metric; informational, excluded from dedup keys and artifacts
 		if xerr != nil {
 			return phase, xerr
 		}
@@ -455,7 +455,7 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request, defWant []st
 	ctx, cancel := context.WithTimeout(r.Context(), d)
 	defer cancel()
 
-	t := &task{req: &req, ctx: ctx, enq: time.Now(), reply: make(chan *Response, 1)}
+	t := &task{req: &req, ctx: ctx, enq: time.Now(), reply: make(chan *Response, 1)} //unilint:ok wallclock queue-wait timestamp for the QueueNS latency metric
 	select {
 	case s.queue <- t:
 	default:

@@ -62,7 +62,7 @@ func Run(g Grid, opt Options) (*Result, error) {
 		arts = artifact.New()
 	}
 
-	start := time.Now()
+	start := time.Now() //unilint:ok wallclock progress display and Result.Elapsed only; the artifact serializes neither
 	recs := make([]Record, len(units))
 	errs := make([]error, len(units))
 	var (
@@ -108,13 +108,13 @@ func Run(g Grid, opt Options) (*Result, error) {
 			return nil, fmt.Errorf("sweep: unit %s: %w", units[i].Key(), err)
 		}
 	}
-	return &Result{Grid: g, Records: recs, Ran: ran, Elapsed: time.Since(start)}, nil
+	return &Result{Grid: g, Records: recs, Ran: ran, Elapsed: time.Since(start)}, nil //unilint:ok wallclock Elapsed stays in memory; WriteJSON emits no timing fields
 }
 
 // runUnit compiles (cached) and simulates one unit, self-checking the
 // program output against the benchmark's expected text.
 func runUnit(arts *artifact.Cache, u Unit) (Record, error) {
-	start := time.Now()
+	start := time.Now() //unilint:ok wallclock feeds WallNS, which is json:"-" in the artifact
 	art, err := arts.Build(u.Bench.Source, u.CoreConfig())
 	if err != nil {
 		return Record{}, err
@@ -130,7 +130,7 @@ func runUnit(arts *artifact.Cache, u Unit) (Record, error) {
 	rec.SetStatic(art.Comp.Stats, spilledWebs(art))
 	rec.SetStats(res.CacheStats)
 	rec.Instructions = res.Instructions
-	rec.WallNS = time.Since(start).Nanoseconds()
+	rec.WallNS = time.Since(start).Nanoseconds() //unilint:ok wallclock WallNS is json:"-": measured, logged, never serialized
 	return rec, nil
 }
 

@@ -18,6 +18,26 @@ go vet ./...
 echo "== go build =="
 go build ./...
 
+echo "== lint-smoke (unilint: determinism/panic/cancellation invariants) =="
+# The stdlib-only static-analysis suite (internal/lint) must prove its
+# own analyzers against the planted-bug fixtures, then run clean over the
+# whole tree: zero unsuppressed findings, and the unicache-lint/v1
+# artifact it emits must verify. Budgeted like replay-smoke: the loader
+# type-checks the module plus the stdlib closure from source in a few
+# seconds, so 60s catches any wholesale regression.
+LINT_T0=$SECONDS
+go build -o /tmp/unilint-ci ./cmd/unilint
+go test -count=1 -run 'TestFixtures' ./internal/lint
+/tmp/unilint-ci -q -json /tmp/lint-ci.json ./...
+/tmp/unilint-ci -verify /tmp/lint-ci.json
+LINT_SEC=$((SECONDS - LINT_T0))
+echo "lint-smoke: ${LINT_SEC}s"
+if [ "$LINT_SEC" -gt 60 ]; then
+    echo "lint-smoke took ${LINT_SEC}s, budget is 60s" >&2
+    exit 1
+fi
+rm -f /tmp/unilint-ci /tmp/lint-ci.json
+
 echo "== go test -race =="
 go test -race ./...
 

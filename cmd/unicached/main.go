@@ -17,11 +17,15 @@
 //	-deadline DUR       default per-request deadline (default 10s)
 //	-max-deadline DUR   per-request deadline clamp (default 60s)
 //	-drain DUR          shutdown drain budget (default 15s)
+//	-batch-wait DUR     admission batching window (default 2ms; negative disables)
+//	-batch-max N        flush a batch early at N requests (default 16)
+//	-campaign-window N  per-campaign in-flight unit cap (default 4x workers)
+//	-store-budget N     store byte budget; GC after campaigns and via /v1/gc
 //	-debug              honor fault-injection request fields (load tests, CI)
 //
-// Endpoints: POST /v1/eval /v1/compile /v1/simulate /v1/check /v1/exact,
-// GET /v1/stats /healthz. The first SIGINT/SIGTERM drains gracefully
-// (exit 0); a second one exits immediately (exit 1).
+// Endpoints: POST /v1/eval /v1/compile /v1/simulate /v1/check /v1/exact
+// /v1/sweep /v1/gc, GET /v1/stats /healthz. The first SIGINT/SIGTERM
+// drains gracefully (exit 0); a second one exits immediately (exit 1).
 package main
 
 import (
@@ -46,6 +50,10 @@ func main() {
 	deadline := flag.Duration("deadline", 0, "default per-request deadline (0 = 10s)")
 	maxDeadline := flag.Duration("max-deadline", 0, "per-request deadline clamp (0 = 60s)")
 	drain := flag.Duration("drain", 0, "shutdown drain budget (0 = 15s)")
+	batchWait := flag.Duration("batch-wait", 0, "admission batching window (0 = 2ms, negative disables)")
+	batchMax := flag.Int("batch-max", 0, "flush a batch early at this many requests (0 = 16)")
+	campaignWindow := flag.Int("campaign-window", 0, "in-flight unit cap per campaign (0 = 4x workers)")
+	storeBudget := flag.Int64("store-budget", 0, "store byte budget for GC (0 = no automatic GC)")
 	debug := flag.Bool("debug", false, "honor fault-injection request fields")
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -54,14 +62,18 @@ func main() {
 
 	logger := log.New(os.Stderr, tool+": ", log.LstdFlags)
 	srv, err := serve.New(serve.Config{
-		Workers:         *workers,
-		QueueDepth:      *queue,
-		DefaultDeadline: *deadline,
-		MaxDeadline:     *maxDeadline,
-		DrainDeadline:   *drain,
-		CacheDir:        *cacheDir,
-		Debug:           *debug,
-		Logf:            logger.Printf,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		DefaultDeadline:  *deadline,
+		MaxDeadline:      *maxDeadline,
+		DrainDeadline:    *drain,
+		BatchMaxWait:     *batchWait,
+		BatchMaxSize:     *batchMax,
+		CampaignWindow:   *campaignWindow,
+		StoreBudgetBytes: *storeBudget,
+		CacheDir:         *cacheDir,
+		Debug:            *debug,
+		Logf:             logger.Printf,
 	})
 	if err != nil {
 		cli.Fatal(tool, "serve", err)

@@ -9,6 +9,7 @@
 //	unicall [flags] eval file.mc         compile + simulate
 //	unicall [flags] stats                print the daemon's /v1/stats
 //	unicall [flags] health               probe /healthz (exit 1 when down)
+//	unicall [flags] gc                   run a store GC cycle (-budget bytes)
 //	unicall [flags] loadtest             run the seeded load-test harness
 //
 //	-s URL            daemon address (default http://127.0.0.1:8347)
@@ -35,12 +36,19 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/campaign"
 	"repro/internal/cli"
 	"repro/internal/serve"
 	"repro/internal/serve/loadtest"
 )
 
 const tool = "unicall"
+
+// hc is the one HTTP client every verb shares: a tuned transport with
+// keep-alives and a deep idle pool, so -n 1000 -c 32 runs over a handful
+// of reused connections instead of dialing per request (the default
+// transport keeps only two idle connections per host).
+var hc = campaign.NewHTTPClient()
 
 func main() {
 	defer cli.Trap(tool)
@@ -57,6 +65,7 @@ func main() {
 	requests := flag.Int("requests", 0, "loadtest: total requests (0 = default)")
 	seed := flag.Int64("seed", 0, "loadtest: traffic seed (0 = default)")
 	verifyBench := flag.String("verify-bench", "", "validate a bench report file and exit")
+	gcBudget := flag.Int64("budget", 0, "gc: byte budget (0 = the daemon's configured budget)")
 	flag.Parse()
 
 	if *verifyBench != "" {
@@ -90,19 +99,27 @@ func main() {
 		get(base + "/v1/stats")
 		return
 	case "health":
-		hr, err := http.Get(base + "/healthz")
+		hr, err := hc.Get(base + "/healthz")
 		if err != nil || hr.StatusCode != http.StatusOK {
 			cli.Fatalf(tool, "health", "daemon not healthy: %v", err)
 		}
 		hr.Body.Close()
 		fmt.Println("ok")
 		return
+	case "gc":
+		rep, err := campaign.RunGC(hc, base, *gcBudget)
+		if err != nil {
+			cli.Fatal(tool, "gc", err)
+		}
+		b, _ := json.MarshalIndent(rep, "", "  ")
+		fmt.Println(string(b))
+		return
 	case "loadtest":
 		runLoadtest(base, *requests, *seed, *conc, *benchOut)
 		return
 	case "compile", "simulate", "check", "exact", "eval":
 	default:
-		cli.Usage("unicall [flags] compile|simulate|check|exact|eval file.mc | stats | health | loadtest", flag.PrintDefaults)
+		cli.Usage("unicall [flags] compile|simulate|check|exact|eval file.mc | stats | health | gc | loadtest", flag.PrintDefaults)
 	}
 
 	if len(args) != 1 {
@@ -161,7 +178,7 @@ func send(base, path string, req *serve.Request, n, c int) (*serve.Response, int
 		go func() {
 			defer wg.Done()
 			for range idx {
-				hr, err := http.Post(base+path, "application/json", bytes.NewReader(body))
+				hr, err := hc.Post(base+path, "application/json", bytes.NewReader(body))
 				if err != nil {
 					cli.Fatal(tool, "connect", err)
 				}
@@ -217,7 +234,7 @@ func runLoadtest(base string, requests int, seed int64, conc int, benchOut strin
 }
 
 func get(url string) {
-	hr, err := http.Get(url)
+	hr, err := hc.Get(url)
 	if err != nil {
 		cli.Fatal(tool, "connect", err)
 	}

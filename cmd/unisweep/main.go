@@ -10,18 +10,29 @@
 //	         [-ways 1,2,4] [-line 1] [-policies lru,fifo,random]
 //	         [-workers N] [-o BENCH_sweep.json] [-resume]
 //	         [-json=false] [-list] [-quiet]
+//	unisweep -remote URL | -remote-addr-file FILE [grid flags]
+//	         [-remote-gc] [-campaign-bench BENCH_campaign.json]
 //	unisweep -verify BENCH_sweep.json
+//	unisweep -verify-campaign BENCH_campaign.json
 //
 // The artifact is byte-identical for any -workers value: units are merged
 // in canonical grid order and wall-clock time is excluded from the
 // encoding. While running, finished records are streamed to <out>.partial
 // (completion order); -resume salvages complete records from both the
 // output file and the partial sidecar, re-running only the missing units.
+//
+// With -remote the grid is not executed locally: it is POSTed to a
+// unicached daemon's /v1/sweep campaign endpoint, the record stream is
+// reassembled (resuming by unit cursor if the connection breaks), and the
+// resulting artifact is byte-identical to the local run of the same grid.
+// -remote-gc asks the daemon for a store-GC cycle afterwards, and
+// -campaign-bench records the transfer as a BENCH_campaign.json artifact.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strconv"
@@ -29,6 +40,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/campaign"
 	"repro/internal/cli"
 	"repro/internal/sweep"
 )
@@ -52,6 +64,12 @@ func main() {
 		list      = flag.Bool("list", false, "print the canonical unit keys and exit")
 		quiet     = flag.Bool("quiet", false, "suppress per-unit progress lines")
 		verify    = flag.String("verify", "", "strictly verify an existing artifact and exit")
+
+		remote         = flag.String("remote", "", "run the grid through a unicached daemon at this base URL")
+		remoteAddrFile = flag.String("remote-addr-file", "", "read the daemon address from this file (unicached -addr-file)")
+		remoteGC       = flag.Bool("remote-gc", false, "ask the daemon for a store-GC cycle after the campaign")
+		campaignBench  = flag.String("campaign-bench", "", "write a BENCH_campaign.json transfer report here (remote mode)")
+		verifyCampaign = flag.String("verify-campaign", "", "strictly verify a campaign bench report and exit")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -60,6 +78,14 @@ func main() {
 
 	if *verify != "" {
 		runVerify(*verify)
+		return
+	}
+	if *verifyCampaign != "" {
+		b, err := campaign.VerifyBench(*verifyCampaign)
+		if err != nil {
+			cli.Fatal(tool, "verify-campaign", err)
+		}
+		fmt.Printf("%s: ok (%d units, %d resumes, %d bytes)\n", *verifyCampaign, b.Units, b.Resumes, b.Bytes)
 		return
 	}
 
@@ -86,6 +112,19 @@ func main() {
 		for _, u := range units {
 			fmt.Println(u.Key())
 		}
+		return
+	}
+
+	if *remote != "" || *remoteAddrFile != "" {
+		base := strings.TrimRight(*remote, "/")
+		if *remoteAddrFile != "" {
+			raw, err := os.ReadFile(*remoteAddrFile)
+			if err != nil {
+				cli.Fatal(tool, "remote-addr-file", err)
+			}
+			base = "http://" + strings.TrimSpace(string(raw))
+		}
+		runRemote(base, g, len(units), *out, *remoteGC, *campaignBench)
 		return
 	}
 
@@ -204,12 +243,53 @@ func countDone(done map[string]sweep.Record, units []sweep.Unit) int {
 	return n
 }
 
+// runRemote executes the grid through a daemon's campaign endpoint and
+// writes the same canonical artifact a local run would have produced.
+func runRemote(base string, g sweep.Grid, units int, out string, gc bool, benchPath string) {
+	start := time.Now() //unilint:ok wallclock campaign bench duration; transfer measurement, not part of the sweep artifact
+	res, err := campaign.Fetch(campaign.Options{BaseURL: base, Grid: g})
+	if err != nil {
+		cli.Fatal(tool, "remote", err)
+	}
+	durMS := time.Since(start).Milliseconds() //unilint:ok wallclock campaign bench duration; transfer measurement, not part of the sweep artifact
+
+	writeTo(out, func(w io.Writer) error { return res.WriteArtifact(w) })
+
+	b := campaign.NewBench(res, durMS)
+	if gc {
+		rep, err := campaign.RunGC(nil, base, 0)
+		if err != nil {
+			cli.Fatal(tool, "remote-gc", err)
+		}
+		b.GC = rep
+		fmt.Fprintf(os.Stderr, "%s: gc: evicted %d entries (%d bytes), %d bytes remain\n",
+			tool, rep.EvictedBypass+rep.EvictedLive, rep.EvictedBytes, rep.RemainingBytes)
+	}
+	if benchPath != "" {
+		if err := campaign.WriteBench(benchPath, b); err != nil {
+			cli.Fatal(tool, "campaign-bench", err)
+		}
+		if _, err := campaign.VerifyBench(benchPath); err != nil {
+			cli.Fatal(tool, "campaign-bench", err)
+		}
+		fmt.Fprintf(os.Stderr, "%s: wrote %s\n", tool, benchPath)
+	}
+	fmt.Fprintf(os.Stderr, "%s: remote: %d units streamed (%d resumes, %d bytes) in %s\n",
+		tool, units, res.Resumes, res.Bytes, time.Duration(durMS)*time.Millisecond)
+}
+
 // writeArtifact writes the canonical artifact atomically: a temp file in
 // the same directory, renamed over the target, so readers (and -resume)
 // never see a half-written canonical file.
 func writeArtifact(out string, res *sweep.Result) {
+	writeTo(out, func(w io.Writer) error { return sweep.WriteJSON(w, res.Grid, res.Records) })
+}
+
+// writeTo streams write into out ("-" for stdout) atomically: a temp file
+// in the same directory, renamed over the target.
+func writeTo(out string, write func(io.Writer) error) {
 	if out == "-" {
-		if err := sweep.WriteJSON(os.Stdout, res.Grid, res.Records); err != nil {
+		if err := write(os.Stdout); err != nil {
 			cli.Fatal(tool, "write", err)
 		}
 		return
@@ -219,7 +299,7 @@ func writeArtifact(out string, res *sweep.Result) {
 	if err != nil {
 		cli.Fatal(tool, "write", err)
 	}
-	if err := sweep.WriteJSON(f, res.Grid, res.Records); err != nil {
+	if err := write(f); err != nil {
 		f.Close()
 		cli.Fatal(tool, "write", err)
 	}

@@ -35,6 +35,7 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/isa"
@@ -71,6 +72,7 @@ func openDisk(dir string) (*disk, error) {
 type diskBuild struct {
 	Schema string           `json:"schema"`
 	Key    string           `json:"key"`
+	Class  string           `json:"class,omitempty"` // reuse class; absent = bypass
 	Asm    string           `json:"asm"`
 	Static core.StaticStats `json:"static"`
 }
@@ -80,6 +82,7 @@ type diskBuild struct {
 type diskRun struct {
 	Schema string    `json:"schema"`
 	Key    string    `json:"key"`
+	Class  string    `json:"class,omitempty"` // reuse class; absent = bypass
 	Result vm.Result `json:"result"`
 }
 
@@ -129,7 +132,7 @@ func (c *Cache) salvage(path string, reason error) {
 	_ = os.Remove(path)
 }
 
-func (c *Cache) diskReadBuild(k Key) (*Artifact, error) {
+func (c *Cache) diskReadBuild(k Key) (*Artifact, ReuseClass, error) {
 	path := c.disk.buildPath(k)
 	var db diskBuild
 	ok, err := c.readEntry(path, &db, hex.EncodeToString(k[:]), func() string {
@@ -139,24 +142,26 @@ func (c *Cache) diskReadBuild(k Key) (*Artifact, error) {
 		return db.Key
 	})
 	if !ok || err != nil {
-		return nil, err
+		return nil, ClassBypass, err
 	}
 	prog, aerr := isa.Assemble(db.Asm)
 	if aerr != nil {
 		c.salvage(path, aerr)
-		return nil, nil
+		return nil, ClassBypass, nil
 	}
 	if verr := prog.Validate(); verr != nil {
 		c.salvage(path, verr)
-		return nil, nil
+		return nil, ClassBypass, nil
 	}
-	return &Artifact{Key: k, Prog: prog, Static: db.Static}, nil
+	touch(path)
+	return &Artifact{Key: k, Prog: prog, Static: db.Static}, parseClass(db.Class), nil
 }
 
-func (c *Cache) diskWriteBuild(k Key, prog *isa.Program, static core.StaticStats) error {
+func (c *Cache) diskWriteBuild(k Key, prog *isa.Program, static core.StaticStats, cls ReuseClass) error {
 	b, err := json.Marshal(diskBuild{
 		Schema: buildSchema,
 		Key:    hex.EncodeToString(k[:]),
+		Class:  classLabel(cls),
 		Asm:    prog.Save(),
 		Static: static,
 	})
@@ -166,7 +171,7 @@ func (c *Cache) diskWriteBuild(k Key, prog *isa.Program, static core.StaticStats
 	return atomicWrite(c.disk.buildPath(k), b)
 }
 
-func (c *Cache) diskReadRun(key string) (*vm.Result, error) {
+func (c *Cache) diskReadRun(key string) (*vm.Result, ReuseClass, error) {
 	path := c.disk.runPath(key)
 	var dr diskRun
 	ok, err := c.readEntry(path, &dr, key, func() string {
@@ -176,21 +181,30 @@ func (c *Cache) diskReadRun(key string) (*vm.Result, error) {
 		return dr.Key
 	})
 	if !ok || err != nil {
-		return nil, err
+		return nil, ClassBypass, err
 	}
+	touch(path)
 	res := dr.Result
 	res.Trace = nil // traces are never persisted; belt and suspenders
-	return &res, nil
+	return &res, parseClass(dr.Class), nil
 }
 
-func (c *Cache) diskWriteRun(key string, res *vm.Result) error {
+func (c *Cache) diskWriteRun(key string, res *vm.Result, cls ReuseClass) error {
 	stored := *res
 	stored.Trace = nil
-	b, err := json.Marshal(diskRun{Schema: runSchema, Key: key, Result: stored})
+	b, err := json.Marshal(diskRun{Schema: runSchema, Key: key, Class: classLabel(cls), Result: stored})
 	if err != nil {
 		return err
 	}
 	return atomicWrite(c.disk.runPath(key), b)
+}
+
+// touch refreshes a store file's mtime on a read hit, making mtime a
+// last-access clock for the GC's within-class recency ordering. Best
+// effort: a failed touch only makes the entry look colder.
+func touch(path string) {
+	now := time.Now() //unilint:ok wallclock — GC recency metadata only, never in computed results
+	_ = os.Chtimes(path, now, now)
 }
 
 // atomicWrite lands data under path via a same-directory ".partial"

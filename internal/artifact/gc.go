@@ -1,0 +1,212 @@
+// Liveness-driven garbage collection for the persistent store.
+//
+// The store grows one file per distinct compilation and per distinct
+// simulation configuration; a long-lived daemon would fill the disk. GC
+// reclaims space under a byte budget using the paper's own framing:
+// entries are tagged at insert time with a predicted-reuse class
+// (session.go) — one-shot traffic is bypass-eligible, campaign traffic is
+// live — and eviction is ordered by class first, last access second.
+// Within the budget nothing is touched; over it, every bypass-class entry
+// goes before any live-class entry, coldest first.
+//
+// Two categories are never evicted, whatever the budget:
+//
+//   - protected entries: files currently being read or written, or pinned
+//     by an open Session (a campaign in flight pins everything it
+//     touches). A GC racing live traffic cannot yank an entry mid-use.
+//   - nothing else — there is deliberately no age grace: an unprotected
+//     bypass entry written a millisecond ago is fair game.
+//
+// The scan doubles as an integrity pass: entries that fail the cheap
+// checks (JSON, schema, key re-derivation against the filename) are
+// salvaged exactly like read-path corruption — counted, warned, removed —
+// and orphaned ".partial" sidecars from crashed writes are swept.
+package artifact
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// GCReport is the outcome of one GC cycle.
+type GCReport struct {
+	Budget         int64 `json:"budget_bytes"`
+	ScannedFiles   int   `json:"scanned_files"`
+	ScannedBytes   int64 `json:"scanned_bytes"`
+	EvictedBypass  int   `json:"evicted_bypass"`
+	EvictedLive    int   `json:"evicted_live"`
+	EvictedBytes   int64 `json:"evicted_bytes"`
+	RemainingFiles int   `json:"remaining_files"`
+	RemainingBytes int64 `json:"remaining_bytes"`
+	Protected      int   `json:"protected"`   // entries shielded (pinned or in-flight)
+	Corrupt        int   `json:"corrupt"`     // damaged entries salvaged during the scan
+	Partials       int   `json:"partials"`    // orphaned .partial sidecars removed
+	OverBudget     bool  `json:"over_budget"` // protected entries alone exceed the budget
+}
+
+// gcEntry is one valid store file considered for eviction.
+type gcEntry struct {
+	path  string
+	class ReuseClass
+	size  int64
+	mtime time.Time
+}
+
+// GC scans the persistent store, salvages corrupt entries and orphaned
+// partial writes, and — if the store exceeds budget bytes — evicts
+// unprotected entries ordered by reuse class (bypass first), then last
+// access (coldest first), then path (a deterministic tie-break), until
+// the store fits. Protected entries (in-flight or session-pinned) are
+// never evicted; if they alone exceed the budget the report says so and
+// the store is left over budget. Cycles are serialized; regular traffic
+// proceeds concurrently. Errors are returned only for a memory-only
+// cache, a non-positive budget, or an unreadable store directory.
+func (c *Cache) GC(budget int64) (*GCReport, error) {
+	if c.disk == nil {
+		return nil, fmt.Errorf("artifact: GC: cache has no persistent store")
+	}
+	if budget <= 0 {
+		return nil, fmt.Errorf("artifact: GC: budget must be positive, got %d", budget)
+	}
+	c.gcMu.Lock()
+	defer c.gcMu.Unlock()
+
+	rep := &GCReport{Budget: budget}
+	protected := c.protectedPaths()
+	var entries []gcEntry
+	for _, sub := range []string{"builds", "runs"} {
+		dir := filepath.Join(c.disk.dir, sub)
+		des, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, fmt.Errorf("artifact: GC: %w", err)
+		}
+		for _, de := range des {
+			if de.IsDir() {
+				continue
+			}
+			path := filepath.Join(dir, de.Name())
+			if filepath.Ext(de.Name()) != ".json" {
+				// Anything that is not a finished entry is a leftover from
+				// a crashed write (the atomicWrite ".partial" sidecar) —
+				// unless its final name is protected, meaning the write is
+				// happening right now.
+				if !protected[path] && !protected[trimPartial(path)] {
+					rep.Partials++
+					_ = os.Remove(path)
+				}
+				continue
+			}
+			info, err := de.Info()
+			if err != nil {
+				continue // removed concurrently; nothing to account
+			}
+			cls, ok := c.gcValidate(sub, path)
+			if !ok {
+				rep.Corrupt++
+				continue
+			}
+			rep.ScannedFiles++
+			rep.ScannedBytes += info.Size()
+			entries = append(entries, gcEntry{path: path, class: cls, size: info.Size(), mtime: info.ModTime()})
+		}
+	}
+
+	total := rep.ScannedBytes
+	var victims []gcEntry
+	for _, e := range entries {
+		if protected[e.path] {
+			rep.Protected++
+			continue
+		}
+		victims = append(victims, e)
+	}
+	sort.Slice(victims, func(i, j int) bool {
+		a, b := victims[i], victims[j]
+		if a.class != b.class {
+			return a.class < b.class // bypass (0) before live (1)
+		}
+		if !a.mtime.Equal(b.mtime) {
+			return a.mtime.Before(b.mtime) // coldest first
+		}
+		return a.path < b.path
+	})
+	remaining := rep.ScannedFiles
+	for _, v := range victims {
+		if total <= budget {
+			break
+		}
+		_ = os.Remove(v.path)
+		total -= v.size
+		remaining--
+		rep.EvictedBytes += v.size
+		if v.class == ClassLive {
+			rep.EvictedLive++
+		} else {
+			rep.EvictedBypass++
+		}
+	}
+	rep.RemainingFiles = remaining
+	rep.RemainingBytes = total
+	rep.OverBudget = total > budget
+	if rep.EvictedBypass+rep.EvictedLive > 0 || rep.Corrupt > 0 || rep.Partials > 0 {
+		c.warnf("artifact: GC: evicted %d bypass + %d live entries (%d bytes), %d corrupt salvaged, %d partials swept; %d bytes of %d budget remain",
+			rep.EvictedBypass, rep.EvictedLive, rep.EvictedBytes, rep.Corrupt, rep.Partials, rep.RemainingBytes, budget)
+	}
+	return rep, nil
+}
+
+// gcValidate runs the cheap integrity checks on one store entry: parse,
+// schema, and key re-derivation against the filename (builds store the
+// hex key as their name; runs store the SHA-256 of the embedded run key).
+// It deliberately skips the expensive reassembly pass — the read path
+// still performs it, so a well-formed entry with a damaged assembly
+// listing is caught on first use. Corrupt entries are salvaged with the
+// standard convention (counted, warned, removed).
+func (c *Cache) gcValidate(sub, path string) (ReuseClass, bool) {
+	raw, err := readFile(path)
+	if err != nil {
+		c.salvage(path, err)
+		return ClassBypass, false
+	}
+	base := filepath.Base(path)
+	name := base[:len(base)-len(".json")]
+	if sub == "builds" {
+		var db diskBuild
+		if err := json.Unmarshal(raw, &db); err != nil {
+			c.salvage(path, err)
+			return ClassBypass, false
+		}
+		if db.Schema != buildSchema || db.Key != name {
+			c.salvage(path, fmt.Errorf("schema/key mismatch (%s, %.16s…)", db.Schema, db.Key))
+			return ClassBypass, false
+		}
+		return parseClass(db.Class), true
+	}
+	var dr diskRun
+	if err := json.Unmarshal(raw, &dr); err != nil {
+		c.salvage(path, err)
+		return ClassBypass, false
+	}
+	sum := sha256.Sum256([]byte(dr.Key))
+	if dr.Schema != runSchema || hex.EncodeToString(sum[:]) != name {
+		c.salvage(path, fmt.Errorf("schema/key mismatch (%s)", dr.Schema))
+		return ClassBypass, false
+	}
+	return parseClass(dr.Class), true
+}
+
+// trimPartial maps a ".partial" sidecar to its final entry name (the
+// protection key used while a write is in flight).
+func trimPartial(path string) string {
+	const suffix = ".partial"
+	if len(path) > len(suffix) && path[len(path)-len(suffix):] == suffix {
+		return path[:len(path)-len(suffix)]
+	}
+	return path
+}

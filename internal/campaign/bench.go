@@ -1,0 +1,97 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/artifact"
+	"repro/internal/sweep"
+)
+
+// BenchSchema tags the BENCH_campaign.json artifact.
+const BenchSchema = "unicache-campaign-bench/v1"
+
+// Bench is the machine-readable record of one remote campaign: what was
+// streamed, how the transfer behaved, and what the post-campaign GC did.
+// Deliberately free of throughput numbers — the artifact pins protocol
+// behavior (completeness, resumability, store hygiene), not machine speed.
+type Bench struct {
+	Schema     string             `json:"schema"`
+	Grid       sweep.Grid         `json:"grid"`
+	Units      int                `json:"units"`
+	Streamed   int                `json:"streamed"` // records received; == Units on success
+	Resumes    int                `json:"resumes"`  // streams re-opened mid-campaign
+	Bytes      int64              `json:"bytes"`    // stream bytes, all pages
+	DurationMS int64              `json:"duration_ms"`
+	GC         *artifact.GCReport `json:"gc,omitempty"` // post-campaign cycle, when requested
+}
+
+// NewBench summarizes a fetch result.
+func NewBench(res *Result, durationMS int64) *Bench {
+	return &Bench{
+		Schema:     BenchSchema,
+		Grid:       res.Grid,
+		Units:      res.Units,
+		Streamed:   len(res.Lines),
+		Resumes:    res.Resumes,
+		Bytes:      res.Bytes,
+		DurationMS: durationMS,
+	}
+}
+
+// WriteBench writes the report as indented JSON.
+func WriteBench(path string, b *Bench) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o666)
+}
+
+// VerifyBench strictly validates a bench report: schema, internal
+// consistency (a complete campaign streamed every unit of a valid grid),
+// and GC-report sanity when present. The CI campaign-smoke stage runs it
+// against both the freshly generated and the committed artifact.
+func VerifyBench(path string) (*Bench, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Bench
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if b.Schema != BenchSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, b.Schema, BenchSchema)
+	}
+	units, err := b.Grid.Units()
+	if err != nil {
+		return nil, fmt.Errorf("%s: grid: %w", path, err)
+	}
+	if b.Units != len(units) {
+		return nil, fmt.Errorf("%s: says %d units, grid expands to %d", path, b.Units, len(units))
+	}
+	if b.Streamed != b.Units {
+		return nil, fmt.Errorf("%s: streamed %d of %d units", path, b.Streamed, b.Units)
+	}
+	if b.Resumes < 0 {
+		return nil, fmt.Errorf("%s: negative resume count %d", path, b.Resumes)
+	}
+	if b.Bytes <= 0 {
+		return nil, fmt.Errorf("%s: implausible stream size %d bytes", path, b.Bytes)
+	}
+	if b.DurationMS < 0 {
+		return nil, fmt.Errorf("%s: negative duration", path)
+	}
+	if g := b.GC; g != nil {
+		if g.Budget <= 0 {
+			return nil, fmt.Errorf("%s: gc report without a budget", path)
+		}
+		if g.RemainingBytes > g.Budget && !g.OverBudget {
+			return nil, fmt.Errorf("%s: gc left %d bytes over a %d budget without flagging over_budget",
+				path, g.RemainingBytes, g.Budget)
+		}
+	}
+	return &b, nil
+}

@@ -1,0 +1,241 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/sweep"
+)
+
+// testGrid is a reduced paper grid: 2 benchmarks x 2 modes x 2 set counts
+// = 8 units, small enough for a unit test, wide enough that the canonical
+// order actually interleaves dimensions.
+func testGrid() sweep.Grid {
+	return sweep.Grid{
+		Benchmarks: []string{"bubble", "sieve"},
+		Compilers:  []string{sweep.CompilerBaseline},
+		Modes:      []string{sweep.ModeConventional, sweep.ModeUnified},
+		Sets:       []int{8, 16},
+		Ways:       []int{1},
+		LineWords:  []int{1},
+		Policies:   []string{"lru"},
+	}
+}
+
+func newDaemon(t *testing.T, cfg serve.Config) (*serve.Server, *httptest.Server) {
+	t.Helper()
+	s, err := serve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return s, ts
+}
+
+// localArtifact runs the grid in-process and renders the canonical sweep
+// artifact — the reference bytes every remote campaign must reproduce.
+func localArtifact(t *testing.T, g sweep.Grid) []byte {
+	t.Helper()
+	res, err := sweep.Run(g, sweep.Options{Workers: 2})
+	if err != nil {
+		t.Fatalf("local sweep: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := sweep.WriteJSON(&buf, g, res.Records); err != nil {
+		t.Fatalf("local artifact: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestRemoteLocalConformance is the campaign conformance golden: the
+// artifact reassembled from the daemon's /v1/sweep stream must be
+// byte-identical to the artifact a local in-process sweep of the same
+// grid writes.
+func TestRemoteLocalConformance(t *testing.T) {
+	g := testGrid()
+	want := localArtifact(t, g)
+
+	_, ts := newDaemon(t, serve.Config{Workers: 2})
+	res, err := Fetch(Options{BaseURL: ts.URL, Grid: g})
+	if err != nil {
+		t.Fatalf("fetch: %v", err)
+	}
+	if res.Resumes != 0 {
+		t.Errorf("unbroken stream recorded %d resumes", res.Resumes)
+	}
+	units, _ := g.Units()
+	if res.Units != len(units) || len(res.Lines) != len(units) {
+		t.Fatalf("streamed %d lines for %d units", len(res.Lines), len(units))
+	}
+	if res.Bytes == 0 {
+		t.Error("byte accounting recorded nothing")
+	}
+
+	var got bytes.Buffer
+	if err := res.WriteArtifact(&got); err != nil {
+		t.Fatalf("write artifact: %v", err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Fatalf("remote artifact differs from local sweep (%d vs %d bytes)", got.Len(), len(want))
+	}
+
+	// The reassembled artifact must also satisfy the strict verifier.
+	if n, err := sweep.Verify(bytes.NewReader(got.Bytes())); err != nil || n != len(units) {
+		t.Fatalf("verify: %d records, err %v", n, err)
+	}
+}
+
+// chopTransport breaks the first /v1/sweep stream after a fixed number of
+// newline-terminated lines, simulating a mid-stream disconnect. Later
+// requests pass through untouched.
+type chopTransport struct {
+	base  http.RoundTripper
+	lines int // complete lines to let through on the first stream
+	used  atomic.Bool
+}
+
+func (c *chopTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	resp, err := c.base.RoundTrip(req)
+	if err != nil || req.URL.Path != "/v1/sweep" {
+		return resp, err
+	}
+	if c.used.Swap(true) {
+		return resp, nil
+	}
+	resp.Body = &chopBody{rc: resp.Body, linesLeft: c.lines}
+	return resp, nil
+}
+
+// chopBody forwards reads until linesLeft newlines have passed, never
+// delivering bytes past the last permitted newline, then fails the read.
+type chopBody struct {
+	rc        io.ReadCloser
+	linesLeft int
+}
+
+func (c *chopBody) Read(p []byte) (int, error) {
+	if c.linesLeft <= 0 {
+		return 0, fmt.Errorf("injected mid-stream disconnect")
+	}
+	n, err := c.rc.Read(p)
+	for i := 0; i < n; i++ {
+		if p[i] == '\n' {
+			c.linesLeft--
+			if c.linesLeft == 0 {
+				return i + 1, err
+			}
+		}
+	}
+	return n, err
+}
+
+func (c *chopBody) Close() error { return c.rc.Close() }
+
+// TestResumeAfterDisconnect: a stream killed mid-flight resumes from the
+// unit-index cursor and the merged artifact is still byte-identical to
+// the local sweep — the mid-stream break is invisible in the output.
+func TestResumeAfterDisconnect(t *testing.T) {
+	g := testGrid()
+	want := localArtifact(t, g)
+
+	_, ts := newDaemon(t, serve.Config{Workers: 2})
+	// Let the header plus three record lines through, then cut.
+	hc := &http.Client{Transport: &chopTransport{base: http.DefaultTransport, lines: 4}}
+	res, err := Fetch(Options{BaseURL: ts.URL, Grid: g, HTTP: hc})
+	if err != nil {
+		t.Fatalf("fetch with injected disconnect: %v", err)
+	}
+	if res.Resumes == 0 {
+		t.Fatal("the injected disconnect never triggered a resume")
+	}
+
+	var got bytes.Buffer
+	if err := res.WriteArtifact(&got); err != nil {
+		t.Fatalf("write artifact: %v", err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Fatalf("resumed artifact differs from local sweep (%d vs %d bytes)", got.Len(), len(want))
+	}
+}
+
+// TestResumeGivesUp: when every attempt dies before progress is possible,
+// Fetch fails with a structured error instead of looping forever.
+func TestResumeGivesUp(t *testing.T) {
+	g := testGrid()
+	// A transport that kills every stream immediately after the header.
+	rt := roundTripFunc(func(req *http.Request) (*http.Response, error) {
+		resp, err := http.DefaultTransport.RoundTrip(req)
+		if err != nil || req.URL.Path != "/v1/sweep" {
+			return resp, err
+		}
+		resp.Body = &chopBody{rc: resp.Body, linesLeft: 1}
+		return resp, nil
+	})
+	_, ts := newDaemon(t, serve.Config{Workers: 2})
+	_, err := Fetch(Options{BaseURL: ts.URL, Grid: g, HTTP: &http.Client{Transport: rt}, MaxResumes: 2})
+	if err == nil {
+		t.Fatal("fetch succeeded with a transport that breaks every stream")
+	}
+}
+
+type roundTripFunc func(*http.Request) (*http.Response, error)
+
+func (f roundTripFunc) RoundTrip(req *http.Request) (*http.Response, error) { return f(req) }
+
+// TestCampaignBenchRoundTrip: the bench artifact survives write + verify.
+func TestCampaignBenchRoundTrip(t *testing.T) {
+	g := testGrid()
+	_, ts := newDaemon(t, serve.Config{Workers: 2})
+	res, err := Fetch(Options{BaseURL: ts.URL, Grid: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/BENCH_campaign.json"
+	b := NewBench(res, 12)
+	if err := WriteBench(path, b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := VerifyBench(path); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+// TestRemoteGC: a campaign against a disk-backed daemon populates the
+// store; /v1/gc under a tiny budget reclaims it and reports honestly.
+func TestRemoteGC(t *testing.T) {
+	g := testGrid()
+	_, ts := newDaemon(t, serve.Config{Workers: 2, CacheDir: t.TempDir()})
+	if _, err := Fetch(Options{BaseURL: ts.URL, Grid: g}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunGC(nil, ts.URL, 1)
+	if err != nil {
+		t.Fatalf("gc: %v", err)
+	}
+	if rep.Budget != 1 {
+		t.Errorf("budget echoed as %d", rep.Budget)
+	}
+	if rep.ScannedFiles == 0 {
+		t.Error("campaign left no store entries to scan")
+	}
+	if rep.EvictedBypass+rep.EvictedLive == 0 {
+		t.Error("a 1-byte budget evicted nothing")
+	}
+	if rep.RemainingBytes > rep.Budget && !rep.OverBudget {
+		t.Errorf("store left at %d bytes over budget %d without OverBudget", rep.RemainingBytes, rep.Budget)
+	}
+}

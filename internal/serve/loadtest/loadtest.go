@@ -14,12 +14,15 @@ package loadtest
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
+	"net"
 	"net/http"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/serve"
@@ -108,7 +111,14 @@ type Report struct {
 	// admission (429/503) — they never reached a worker, so there was
 	// nothing to isolate. Injected = Isolated + Shed, or the daemon
 	// swallowed a panic.
-	PanicsShed      int64 `json:"panics_shed"`
+	PanicsShed int64 `json:"panics_shed"`
+	// Dials counts TCP connections the harness opened. With keep-alives a
+	// storm should reuse roughly one connection per concurrent client, so
+	// the acceptance bar is dials ≪ requests (VerifyBench enforces it) —
+	// the regression this catches is a client stack quietly falling back
+	// to a dial per request.
+	Dials int64 `json:"dials"`
+
 	BudgetsInjected int64 `json:"budgets_injected"`
 	// BudgetsStructured counts budget bombs that came back as one of the
 	// structured refusals (budget, timeout, or an admission shed). A bomb
@@ -216,7 +226,23 @@ func Run(opt Options) (*Report, error) {
 		Latency:     serve.NewHistogram(),
 	}
 
-	client := &http.Client{Timeout: time.Duration(opt.DeadlineMS+10_000) * time.Millisecond}
+	// One shared client with keep-alives and a counted dialer: the dial
+	// count lands in the report so connection churn is an asserted
+	// invariant, not a hidden cost.
+	var dials atomic.Int64
+	dialer := &net.Dialer{Timeout: 10 * time.Second, KeepAlive: 30 * time.Second}
+	client := &http.Client{
+		Timeout: time.Duration(opt.DeadlineMS+10_000) * time.Millisecond,
+		Transport: &http.Transport{
+			DialContext: func(ctx context.Context, network, addr string) (net.Conn, error) {
+				dials.Add(1)
+				return dialer.DialContext(ctx, network, addr)
+			},
+			MaxIdleConns:        256,
+			MaxIdleConnsPerHost: 256,
+			IdleConnTimeout:     90 * time.Second,
+		},
+	}
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	idx := make(chan int)
@@ -280,6 +306,7 @@ func Run(opt Options) (*Report, error) {
 	rep.P90NS = rep.Latency.Quantile(0.90)
 	rep.P99NS = rep.Latency.Quantile(0.99)
 	rep.MaxNS = rep.Latency.MaxNS
+	rep.Dials = dials.Load()
 
 	if hr, err := client.Get(opt.BaseURL + "/healthz"); err == nil {
 		hr.Body.Close()
@@ -354,6 +381,15 @@ func VerifyBench(path string) (*Report, error) {
 	if rep.BudgetsInjected != rep.BudgetsStructured {
 		return nil, fmt.Errorf("%s: %d budget bombs injected but only %d came back structured",
 			path, rep.BudgetsInjected, rep.BudgetsStructured)
+	}
+	if rep.Requests >= 100 {
+		if rep.Dials < 1 {
+			return nil, fmt.Errorf("%s: no dial accounting (dials=%d)", path, rep.Dials)
+		}
+		if rep.Dials*8 > int64(rep.Requests) {
+			return nil, fmt.Errorf("%s: %d dials for %d requests — connection reuse is broken",
+				path, rep.Dials, rep.Requests)
+		}
 	}
 	return &rep, nil
 }

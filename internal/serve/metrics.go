@@ -94,6 +94,32 @@ type metrics struct {
 	degraded map[string]int64 // shed tier -> count
 	panics   int64
 	hist     *Histogram
+
+	// Batching-layer counters.
+	coalesced int64 // follower requests answered by a coalesced leader
+	flushes   int64 // batch windows flushed into the queue
+	grouped   int64 // request sets served through a shared batch execution
+
+	// Campaign counters and the latest GC outcome.
+	campaigns     int64
+	campaignUnits int64
+	lastGC        *artifact.GCReport
+}
+
+func (m *metrics) noteCoalesced() { m.mu.Lock(); m.coalesced++; m.mu.Unlock() }
+func (m *metrics) noteFlush()     { m.mu.Lock(); m.flushes++; m.mu.Unlock() }
+func (m *metrics) noteGrouped(sets int) {
+	m.mu.Lock()
+	m.grouped += int64(sets)
+	m.mu.Unlock()
+}
+func (m *metrics) noteCampaign() { m.mu.Lock(); m.campaigns++; m.mu.Unlock() }
+func (m *metrics) noteUnit()     { m.mu.Lock(); m.campaignUnits++; m.mu.Unlock() }
+func (m *metrics) noteGC(rep *artifact.GCReport) {
+	cp := *rep
+	m.mu.Lock()
+	m.lastGC = &cp
+	m.mu.Unlock()
 }
 
 func newMetrics() *metrics {
@@ -138,6 +164,17 @@ type Snapshot struct {
 	Deduped   int64          `json:"deduped"`
 	Artifacts artifact.Stats `json:"artifacts"`
 
+	// Batching-layer counters: followers coalesced before the queue,
+	// windows flushed, and request sets served via shared batch replay.
+	Coalesced    int64 `json:"coalesced,omitempty"`
+	BatchFlushes int64 `json:"batch_flushes,omitempty"`
+	GroupedSets  int64 `json:"grouped_sets,omitempty"`
+
+	// Campaign counters and the most recent store-GC report.
+	Campaigns     int64              `json:"campaigns,omitempty"`
+	CampaignUnits int64              `json:"campaign_units,omitempty"`
+	LastGC        *artifact.GCReport `json:"last_gc,omitempty"`
+
 	Latency  *Histogram `json:"latency"`
 	P50NS    int64      `json:"p50_ns"`
 	P90NS    int64      `json:"p90_ns"`
@@ -172,13 +209,19 @@ func (m *metrics) snapshot(arts artifact.Stats, workers, qlen, qcap int, drainin
 		UptimeMS: time.Since(m.start).Milliseconds(), //unilint:ok wallclock uptime metric for the /metrics endpoint; operational, never hashed
 		Workers:  workers, QueueLen: qlen, QueueCap: qcap, Draining: draining,
 		Outcomes: out, Degraded: deg, Panics: m.panics,
-		Deduped:   arts.BuildHits,
-		Artifacts: arts,
-		Latency:   h,
-		P50NS:     h.Quantile(0.50),
-		P90NS:     h.Quantile(0.90),
-		P99NS:     h.Quantile(0.99),
-		Requests:  h.Count,
+		Deduped:       arts.BuildHits,
+		Artifacts:     arts,
+		Coalesced:     m.coalesced,
+		BatchFlushes:  m.flushes,
+		GroupedSets:   m.grouped,
+		Campaigns:     m.campaigns,
+		CampaignUnits: m.campaignUnits,
+		LastGC:        m.lastGC,
+		Latency:       h,
+		P50NS:         h.Quantile(0.50),
+		P90NS:         h.Quantile(0.90),
+		P99NS:         h.Quantile(0.99),
+		Requests:      h.Count,
 	}
 	if h.Count > 0 {
 		s.MeanNS = h.SumNS / h.Count

@@ -2,7 +2,9 @@ package serve
 
 import (
 	"fmt"
+	"sort"
 
+	"repro/internal/artifact"
 	"repro/internal/cache"
 	"repro/internal/check"
 	"repro/internal/core"
@@ -140,6 +142,10 @@ type Response struct {
 	Exact    *ExactResult   `json:"exact,omitempty"`
 
 	Timing Timing `json:"timing"`
+
+	// recLine carries a campaign unit's marshaled sweep.Record line from
+	// the worker to the streaming handler; never serialized.
+	recLine []byte
 }
 
 // outcome tags the response for the metrics maps.
@@ -219,6 +225,51 @@ func (rq *Request) cacheConfig(mode core.Mode) (cache.Config, error) {
 		cfg.Seed = o.Seed
 	}
 	return cfg, nil
+}
+
+// batchKey returns the coalescing identity of a request: two requests
+// with equal keys are guaranteed the same response (up to ID, timing and
+// the Deduped marker), so the batcher may execute one and fan the answer
+// out. DeadlineMS is deliberately excluded — it shapes when an answer may
+// be abandoned, not what the answer is. Debug-injection requests are
+// never batchable (false).
+func (rq *Request) batchKey() (string, bool) {
+	if rq.InjectPanic != "" || rq.InjectSleepMS > 0 {
+		return "", false
+	}
+	want := append([]string(nil), rq.Want...)
+	sort.Strings(want)
+	hb := "-"
+	if rq.Cache.HonorBypass != nil {
+		hb = fmt.Sprintf("%v", *rq.Cache.HonorBypass)
+	}
+	return fmt.Sprintf("%q|%s|%v%v%v%v|%v|%d.%d.%d.%s.%s.%s.%d|ms%d|asm%v",
+		rq.Source, rq.Mode, rq.Optimize, rq.Inline, rq.PromoteGlobals, rq.StackScalars,
+		want, rq.Cache.Sets, rq.Cache.Ways, rq.Cache.LineWords, rq.Cache.Policy,
+		rq.Cache.DeadMarking, hb, rq.Cache.Seed, rq.MaxSteps, rq.WantAssembly), true
+}
+
+// groupKey returns the artifact-group identity: requests with equal group
+// keys compile the same program under the same execution identity, so the
+// batcher may serve them through one artifact.RunBatch (the VM runs once,
+// the other geometries replay the encoded trace). Only simulate requests
+// without analysis tiers group — check and exact run their own passes.
+// Invalid requests (bad tier, mode or cache spec) report false and fail
+// individually on the singleton path.
+func (rq *Request) groupKey() (string, bool) {
+	want, err := wantSet(rq.Want)
+	if err != nil || !want[TierSimulate] || want[TierCheck] || want[TierExact] {
+		return "", false
+	}
+	ccfg, err := rq.coreConfig()
+	if err != nil {
+		return "", false
+	}
+	if _, err := rq.cacheConfig(ccfg.Mode); err != nil {
+		return "", false
+	}
+	k := artifact.KeyOf(rq.Source, ccfg)
+	return fmt.Sprintf("%x|ms%d", k[:], rq.MaxSteps), true
 }
 
 // wantSet validates and normalizes the requested tiers.

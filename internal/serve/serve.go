@@ -1,20 +1,33 @@
 // Package serve lifts the unicache compile-and-simulate pipeline into a
 // hardened, long-running HTTP/JSON service.
 //
-// Robustness is the design axis, in five mechanisms:
+// Robustness is the design axis, in six mechanisms:
 //
 //   - Admission control: a bounded worker pool behind an explicit bounded
 //     queue. A full queue sheds load with 429 immediately — the service
 //     never buffers unboundedly and never stalls accepted work behind an
 //     unbounded backlog.
+//   - Batched admission: requests accumulate for a max-wait window (or a
+//     size threshold) before entering the queue. Identical requests
+//     coalesce into one queue slot and one execution; distinct simulate
+//     requests for the same program merge into one group task that
+//     executes the VM once and derives the other geometries by replaying
+//     the encoded trace (artifact.RunBatch) — bit-identical to direct
+//     execution. A storm of near-identical traffic costs one compile and
+//     ~one simulation. See batch.go.
 //   - Deadlines: every request carries one (client-set, server-clamped),
 //     measured from admission so queue time counts. It is plumbed as a
 //     cancellation channel into the simulator (vm.Config.Done) and the
 //     analyses (check.Options.Done), so an expiring request surfaces as a
 //     structured timeout from inside the hot loops — not a hung worker.
+//     Coalesced work runs under a context detached from any single
+//     client, so one disconnect cannot cancel the others' answer.
 //   - Single-flight dedup: identical in-flight compiles are keyed by the
 //     artifact content hash and compile exactly once (internal/artifact),
-//     optionally backed by the crash-safe persistent store.
+//     optionally backed by the crash-safe persistent store — which, since
+//     the store gained reuse classes, is kept under a byte budget by a
+//     liveness-driven GC (artifact.GC, the /v1/gc endpoint, and the
+//     post-campaign sweep).
 //   - Graceful degradation: under queue pressure the service sheds exact
 //     analysis first, then check — never simulate. The paper's own claim
 //     (hints are performance-only; PR 2 proved it executable) is what
@@ -23,9 +36,15 @@
 //     panic in any pass becomes a 500 carrying the failing phase while
 //     the daemon lives on.
 //
-// Shutdown is drain-based: new admissions are refused (503), requests
-// already running complete, requests still queued are shed with 503, and
-// the listener closes — all under a drain deadline.
+// Campaigns: POST /v1/sweep accepts a sweep.Grid, expands it to canonical
+// units, executes them through the same worker pool, and streams one
+// record line per unit back (campaign.go) — resumable by unit cursor and
+// byte-identical to a local unisweep run.
+//
+// Shutdown is drain-based: new admissions are refused (503), pending
+// batch members are shed, requests already running complete, requests
+// still queued are shed with 503, and the listener closes — all under a
+// drain deadline.
 package serve
 
 import (
@@ -58,6 +77,26 @@ type Config struct {
 	DefaultDeadline time.Duration // per-request default (default 10s)
 	MaxDeadline     time.Duration // per-request clamp (default 60s)
 	DrainDeadline   time.Duration // shutdown drain budget (default 15s)
+
+	// BatchMaxWait is the admission batching window: a batchable request
+	// waits up to this long for near-identical traffic to coalesce with
+	// before entering the queue (default 2ms; negative disables batching).
+	// Requests carrying debug injections are never batched.
+	BatchMaxWait time.Duration
+	// BatchMaxSize flushes a batch early once this many requests have
+	// accumulated (default 16).
+	BatchMaxSize int
+
+	// CampaignWindow bounds how many campaign units one /v1/sweep request
+	// may have in flight at once (default 4×workers) — the campaign's
+	// private admission window, so a grid cannot monopolize the queue.
+	CampaignWindow int
+
+	// StoreBudgetBytes, when positive, is the persistent store's byte
+	// budget: a GC cycle runs after every campaign (and on demand via
+	// /v1/gc), evicting bypass-class entries before live ones. Zero means
+	// no automatic GC.
+	StoreBudgetBytes int64
 
 	// CacheDir enables the persistent artifact store; empty keeps the
 	// single-flight cache memory-only.
@@ -100,6 +139,15 @@ func (c Config) withDefaults() Config {
 	if c.DrainDeadline <= 0 {
 		c.DrainDeadline = 15 * time.Second
 	}
+	if c.BatchMaxWait == 0 {
+		c.BatchMaxWait = 2 * time.Millisecond
+	}
+	if c.BatchMaxSize <= 0 {
+		c.BatchMaxSize = 16
+	}
+	if c.CampaignWindow <= 0 {
+		c.CampaignWindow = 4 * c.Workers
+	}
 	if c.DegradeExactPct <= 0 {
 		c.DegradeExactPct = 50
 	}
@@ -115,12 +163,31 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// task is one admitted request waiting for (or being served by) a worker.
+// reqSet is one distinct request together with every client waiting on
+// it: the batcher coalesces identical requests into a single set, and a
+// set costs one queue slot and one execution however many clients ride
+// on it.
+type reqSet struct {
+	req     *Request
+	enq     time.Time
+	ctxs    []context.Context
+	waiters []chan *Response // each buffered(1); exactly one send per waiter
+}
+
+// task is one unit of queued work: either one or more request sets (a
+// singleton from the direct path, a coalesced set, or an artifact-sharing
+// group served by batch replay), or a campaign unit (exec != nil).
 type task struct {
-	req   *Request
-	ctx   context.Context
-	enq   time.Time
-	reply chan *Response // buffered: the worker never blocks on delivery
+	sets   []*reqSet
+	ctx    context.Context
+	cancel context.CancelFunc // non-nil when ctx is a detached merged context
+	enq    time.Time
+
+	// Campaign units: exec produces the single response, reply receives
+	// it, done releases the campaign's window slot.
+	exec  func(*task) *Response
+	reply chan *Response
+	done  func()
 }
 
 // Server is the service instance. Create with New; it is ready (workers
@@ -129,6 +196,7 @@ type Server struct {
 	cfg   Config
 	arts  *artifact.Cache
 	queue chan *task
+	batch *batcher // nil when batching is disabled
 	met   *metrics
 	seq   atomic.Int64
 
@@ -163,6 +231,9 @@ func New(cfg Config) (*Server, error) {
 		met:   newMetrics(),
 	}
 	arts.SetWarnFunc(func(msg string) { s.logf("%s", msg) })
+	if cfg.BatchMaxWait > 0 {
+		s.batch = newBatcher(s, cfg.BatchMaxWait, cfg.BatchMaxSize)
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.workersWG.Add(1)
 		go s.worker()
@@ -185,24 +256,93 @@ func (s *Server) Snapshot() *Snapshot {
 	return s.met.snapshot(s.arts.Stats(), s.cfg.Workers, len(s.queue), cap(s.queue), s.draining.Load())
 }
 
+// GC runs one store GC cycle under budget bytes (0 uses the configured
+// StoreBudgetBytes). Exposed for the /v1/gc endpoint and embedders.
+func (s *Server) GC(budget int64) (*artifact.GCReport, error) {
+	if budget <= 0 {
+		budget = s.cfg.StoreBudgetBytes
+	}
+	if budget <= 0 {
+		return nil, fmt.Errorf("no byte budget: configure StoreBudgetBytes or pass one")
+	}
+	rep, err := s.arts.GC(budget)
+	if err != nil {
+		return nil, err
+	}
+	s.met.noteGC(rep)
+	return rep, nil
+}
+
 // ---- worker pool ----
 
 func (s *Server) worker() {
 	defer s.workersWG.Done()
 	for t := range s.queue {
-		var resp *Response
-		if s.draining.Load() {
-			// Queued but never admitted to a worker before drain began:
-			// shed, do not start. Running work is unaffected.
-			resp = (&Response{}).fail(http.StatusServiceUnavailable, KindShed, "",
-				"server drained before the request was admitted")
-			resp.Timing.QueueNS = time.Since(t.enq).Nanoseconds() //unilint:ok wallclock Response.Timing latency metric; informational, excluded from dedup keys and artifacts
-			resp.Timing.TotalNS = resp.Timing.QueueNS
-		} else {
-			resp = s.process(t)
+		s.serveTask(t)
+	}
+}
+
+func (s *Server) serveTask(t *task) {
+	defer func() {
+		if t.cancel != nil {
+			t.cancel()
 		}
+		if t.done != nil {
+			t.done()
+		}
+	}()
+	if s.draining.Load() {
+		// Queued but never admitted to a worker before drain began:
+		// shed, do not start. Running work is unaffected.
+		if t.exec != nil {
+			resp := s.shedResponse(t)
+			s.met.observe(resp)
+			t.reply <- resp
+			return
+		}
+		for _, set := range t.sets {
+			s.deliverSet(set, s.shedResponse(t))
+		}
+		return
+	}
+	if t.exec != nil {
+		resp := t.exec(t)
 		s.met.observe(resp)
 		t.reply <- resp
+		return
+	}
+	if len(t.sets) == 1 {
+		s.deliverSet(t.sets[0], s.process(t))
+		return
+	}
+	resps := s.processGroup(t)
+	for i, set := range t.sets {
+		s.deliverSet(set, resps[i])
+	}
+}
+
+func (s *Server) shedResponse(t *task) *Response {
+	resp := (&Response{}).fail(http.StatusServiceUnavailable, KindShed, "",
+		"server drained before the request was admitted")
+	resp.Timing.QueueNS = time.Since(t.enq).Nanoseconds() //unilint:ok wallclock Response.Timing latency metric; informational, excluded from dedup keys and artifacts
+	resp.Timing.TotalNS = resp.Timing.QueueNS
+	return resp
+}
+
+// deliverSet fans one response out to every client of a set: the first
+// waiter gets resp itself, followers get copies marked Deduped (they
+// rode on the leader's execution). One metrics observation per delivered
+// response keeps the stats honest about client-visible traffic.
+func (s *Server) deliverSet(set *reqSet, resp *Response) {
+	for i, ch := range set.waiters {
+		r := resp
+		if i > 0 {
+			cp := *resp
+			cp.Deduped = true
+			r = &cp
+		}
+		s.met.observe(r)
+		ch <- r
 	}
 }
 
@@ -215,7 +355,7 @@ func (s *Server) process(t *task) *Response {
 		resp.Timing.TotalNS = resp.Timing.QueueNS + time.Since(started).Nanoseconds() //unilint:ok wallclock Response.Timing latency metric; informational, excluded from dedup keys and artifacts
 	}()
 
-	rq := t.req
+	rq := t.sets[0].req
 	want, err := wantSet(rq.Want)
 	if err != nil {
 		return resp.fail(http.StatusBadRequest, KindRequest, "request", err.Error())
@@ -259,13 +399,138 @@ func (s *Server) process(t *task) *Response {
 	return resp
 }
 
+// processGroup serves a group task: several distinct requests for the
+// same artifact and execution identity, wanting only compile/simulate
+// tiers (the batcher's groupKey guarantees both). One shared compile,
+// then one RunBatch — the VM executes at most once and the remaining
+// geometries replay the encoded trace. Each set still gets its own
+// response (its own tiers, its own assembly flag, its own error if its
+// geometry is invalid — though groupKey pre-validated, so that is
+// defensive).
+func (s *Server) processGroup(t *task) []*Response {
+	resps := make([]*Response, len(t.sets))
+	queueNS := time.Since(t.enq).Nanoseconds() //unilint:ok wallclock Response.Timing latency metric; informational, excluded from dedup keys and artifacts
+	started := time.Now()                      //unilint:ok wallclock Response.Timing latency metric; informational, excluded from dedup keys and artifacts
+	for i := range resps {
+		resps[i] = &Response{ID: fmt.Sprintf("r%06d", s.seq.Add(1)), Status: http.StatusOK}
+		resps[i].Timing.QueueNS = queueNS
+	}
+	defer func() {
+		total := queueNS + time.Since(started).Nanoseconds() //unilint:ok wallclock Response.Timing latency metric; informational, excluded from dedup keys and artifacts
+		for i := range resps {
+			resps[i].Timing.TotalNS = total
+		}
+	}()
+	failAll := func(phase string, err error) []*Response {
+		for i := range resps {
+			if resps[i].ErrorKind == "" && resps[i].Simulate == nil && resps[i].Compile == nil {
+				s.classify(resps[i], phase, err)
+			}
+		}
+		return resps
+	}
+	if t.ctx.Err() != nil {
+		return failAll("queue", &vm.CancelError{})
+	}
+	s.met.noteGrouped(len(t.sets))
+
+	lead := t.sets[0].req
+	ccfg, err := lead.coreConfig()
+	if err != nil {
+		return failAll("request", err)
+	}
+
+	var art *artifact.Artifact
+	var shared bool
+	phase, err := func() (phase string, err error) {
+		phase = "compile"
+		defer ice.GuardPhase(&phase, &err)
+		tic := time.Now() //unilint:ok wallclock Response.Timing latency metric; informational, excluded from dedup keys and artifacts
+		art, shared, err = s.arts.BuildShared(lead.Source, ccfg)
+		compileNS := time.Since(tic).Nanoseconds() //unilint:ok wallclock Response.Timing latency metric; informational, excluded from dedup keys and artifacts
+		for i := range resps {
+			resps[i].Timing.CompileNS = compileNS
+		}
+		return phase, err
+	}()
+	if err != nil {
+		return failAll(phase, err)
+	}
+
+	// Per-set compile results; collect the simulate configurations.
+	var cfgs []vm.Config
+	var simIdx []int
+	for i, set := range t.sets {
+		rq := set.req
+		want, werr := wantSet(rq.Want)
+		if werr != nil {
+			s.classify(resps[i], "request", werr)
+			continue
+		}
+		resps[i].Deduped = shared || i > 0
+		if want[TierCompile] {
+			cr := &CompileResult{Key: art.Key.String(), Static: art.Static}
+			if rq.WantAssembly {
+				cr.Assembly = art.Prog.Save()
+			}
+			resps[i].Compile = cr
+		}
+		if want[TierSimulate] {
+			cacheCfg, cerr := rq.cacheConfig(ccfg.Mode)
+			if cerr != nil {
+				s.classify(resps[i], "request", cerr)
+				resps[i].Compile = nil
+				continue
+			}
+			cfgs = append(cfgs, vm.Config{MaxSteps: rq.MaxSteps, Cache: cacheCfg, Done: t.ctx.Done()})
+			simIdx = append(simIdx, i)
+		}
+	}
+	if len(cfgs) == 0 {
+		return resps
+	}
+
+	var results []*vm.Result
+	phase, err = func() (phase string, err error) {
+		phase = "simulate"
+		defer ice.GuardPhase(&phase, &err)
+		tic := time.Now() //unilint:ok wallclock Response.Timing latency metric; informational, excluded from dedup keys and artifacts
+		results, err = s.arts.RunBatch(art, cfgs)
+		simNS := time.Since(tic).Nanoseconds() //unilint:ok wallclock Response.Timing latency metric; informational, excluded from dedup keys and artifacts
+		for _, i := range simIdx {
+			resps[i].Timing.SimNS = simNS
+		}
+		return phase, err
+	}()
+	if err != nil {
+		// The batch shares one execution; its error is every simulate
+		// member's error (compile-only members keep their results).
+		for _, i := range simIdx {
+			resps[i].Compile = nil
+			s.classify(resps[i], phase, err)
+		}
+		return resps
+	}
+	for j, i := range simIdx {
+		res := results[j]
+		resps[i].Simulate = &SimResult{
+			Output:       res.Output,
+			Instructions: res.Instructions,
+			Loads:        res.Loads,
+			Stores:       res.Stores,
+			Cache:        res.CacheStats,
+		}
+	}
+	return resps
+}
+
 // runTiers executes the requested tiers in order. Any internal panic is
 // recovered by the ice guard and attributed to the phase that was running.
 func (s *Server) runTiers(t *task, want map[string]bool, resp *Response) (phase string, err error) {
 	phase = "request"
 	defer ice.GuardPhase(&phase, &err)
 
-	rq := t.req
+	rq := t.sets[0].req
 	if s.cfg.Debug && rq.InjectPanic != "" {
 		phase = rq.InjectPanic
 		panic(fmt.Sprintf("injected panic in %q (debug)", rq.InjectPanic)) //unilint:ok panicguard deliberate fault injection (debug mode) exercised by serve-smoke; the per-request guard recovers it
@@ -408,6 +673,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/simulate", eval(TierSimulate))
 	mux.HandleFunc("POST /v1/check", eval(TierCheck))
 	mux.HandleFunc("POST /v1/exact", eval(TierExact))
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("POST /v1/gc", s.handleGC)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -455,7 +722,22 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request, defWant []st
 	ctx, cancel := context.WithTimeout(r.Context(), d)
 	defer cancel()
 
-	t := &task{req: &req, ctx: ctx, enq: time.Now(), reply: make(chan *Response, 1)} //unilint:ok wallclock queue-wait timestamp for the QueueNS latency metric
+	reply := make(chan *Response, 1)
+	enq := time.Now() //unilint:ok wallclock queue-wait timestamp for the QueueNS latency metric
+
+	if s.batch != nil {
+		if key, ok := req.batchKey(); ok {
+			s.batch.submit(key, &req, ctx, enq, reply)
+			writeJSON(w, <-reply)
+			return
+		}
+	}
+
+	t := &task{
+		sets: []*reqSet{{req: &req, enq: enq,
+			ctxs: []context.Context{ctx}, waiters: []chan *Response{reply}}},
+		ctx: ctx, enq: enq,
+	}
 	select {
 	case s.queue <- t:
 	default:
@@ -463,7 +745,7 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request, defWant []st
 			"admission queue full"))
 		return
 	}
-	writeJSON(w, <-t.reply)
+	writeJSON(w, <-reply)
 }
 
 // reject records and writes an admission-path response (no worker, no
@@ -473,6 +755,22 @@ func (s *Server) reject(w http.ResponseWriter, resp *Response) {
 	s.met.outcomes[resp.outcome()]++
 	s.met.mu.Unlock()
 	writeJSON(w, resp)
+}
+
+// rejectSet delivers an admission-path refusal to every waiter of a set
+// (the batcher's overload and drain paths).
+func (s *Server) rejectSet(set *reqSet, resp *Response) {
+	for i, ch := range set.waiters {
+		r := resp
+		if i > 0 {
+			cp := *resp
+			r = &cp
+		}
+		s.met.mu.Lock()
+		s.met.outcomes[r.outcome()]++
+		s.met.mu.Unlock()
+		ch <- r
+	}
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -543,14 +841,20 @@ func (s *Server) Addr() net.Addr {
 	return s.ln.Addr()
 }
 
-// Shutdown drains the server: refuse new admissions (503), let running
-// requests complete, shed still-queued ones (503), close the listener,
-// stop the workers. Safe to call once; later calls return the first
-// result. The context bounds the drain.
+// Shutdown drains the server: refuse new admissions (503), shed pending
+// batch members (503), let running requests complete, shed still-queued
+// ones (503), close the listener, stop the workers. Safe to call once;
+// later calls return the first result. The context bounds the drain.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.shutOnce.Do(func() {
 		s.draining.Store(true)
 		s.logf("draining: refusing new admissions")
+
+		// Stop the batcher first: members still waiting in a batch window
+		// get their shed reply immediately, which releases their handlers.
+		if s.batch != nil {
+			s.batch.close()
+		}
 
 		s.mu.Lock()
 		srv := s.httpSrv

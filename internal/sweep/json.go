@@ -19,21 +19,34 @@ const Schema = "unicache-sweep/v1"
 // timestamps, map iterations or float formatting ambiguity, so two sweeps
 // of the same grid produce byte-identical files at any worker count.
 func WriteJSON(w io.Writer, g Grid, recs []Record) error {
-	gb, err := json.Marshal(g)
-	if err != nil {
-		return err
-	}
-	if _, err := fmt.Fprintf(w, "{\n\"schema\": %q,\n\"grid\": %s,\n\"units\": %d,\n\"records\": [\n",
-		Schema, gb, len(recs)); err != nil {
-		return err
-	}
+	lines := make([][]byte, len(recs))
 	for i, r := range recs {
 		b, err := r.MarshalLine()
 		if err != nil {
 			return err
 		}
+		lines[i] = b
+	}
+	return WriteJSONLines(w, g, lines)
+}
+
+// WriteJSONLines is WriteJSON over already-marshaled record lines. It is
+// the single source of truth for the artifact layout: the remote campaign
+// client assembles its artifact from the raw lines the daemon streamed,
+// through this writer, so remote and local artifacts agree byte-for-byte
+// by construction rather than by re-marshaling.
+func WriteJSONLines(w io.Writer, g Grid, lines [][]byte) error {
+	gb, err := json.Marshal(g)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "{\n\"schema\": %q,\n\"grid\": %s,\n\"units\": %d,\n\"records\": [\n",
+		Schema, gb, len(lines)); err != nil {
+		return err
+	}
+	for i, b := range lines {
 		sep := ","
-		if i == len(recs)-1 {
+		if i == len(lines)-1 {
 			sep = ""
 		}
 		if _, err := fmt.Fprintf(w, "%s%s\n", b, sep); err != nil {

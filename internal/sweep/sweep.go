@@ -7,8 +7,19 @@ import (
 	"time"
 
 	"repro/internal/artifact"
+	"repro/internal/core"
 	"repro/internal/vm"
 )
+
+// Runner is the slice of the artifact cache a unit execution needs.
+// *artifact.Cache satisfies it directly; *artifact.Session satisfies it
+// with a reuse class and GC pinning attached — which is how the serving
+// daemon runs campaign units without letting a concurrent GC cycle evict
+// the artifacts mid-campaign.
+type Runner interface {
+	BuildIR(src string, cfg core.Config) (*artifact.Artifact, error)
+	Run(art *artifact.Artifact, cfg vm.Config) (*vm.Result, error)
+}
 
 // Options controls one engine run.
 type Options struct {
@@ -82,7 +93,7 @@ func Run(g Grid, opt Options) (*Result, error) {
 				if r, ok := opt.Done[u.Key()]; ok {
 					recs[i] = r
 				} else {
-					recs[i], errs[i] = runUnit(arts, u)
+					recs[i], errs[i] = RunUnit(arts, u, nil)
 					executed = true
 				}
 				mu.Lock()
@@ -111,15 +122,20 @@ func Run(g Grid, opt Options) (*Result, error) {
 	return &Result{Grid: g, Records: recs, Ran: ran, Elapsed: time.Since(start)}, nil //unilint:ok wallclock Elapsed stays in memory; WriteJSON emits no timing fields
 }
 
-// runUnit compiles (cached) and simulates one unit, self-checking the
-// program output against the benchmark's expected text.
-func runUnit(arts *artifact.Cache, u Unit) (Record, error) {
+// RunUnit compiles (cached) and simulates one unit, self-checking the
+// program output against the benchmark's expected text. The record is a
+// pure function of the unit — cancel (optional) and the Runner's caching
+// never influence its bytes, which is what makes a remote campaign
+// byte-identical to a local sweep. BuildIR rather than Build: a
+// disk-restored artifact carries no IR, and the record's static columns
+// come from the compilation.
+func RunUnit(arts Runner, u Unit, cancel <-chan struct{}) (Record, error) {
 	start := time.Now() //unilint:ok wallclock feeds WallNS, which is json:"-" in the artifact
-	art, err := arts.Build(u.Bench.Source, u.CoreConfig())
+	art, err := arts.BuildIR(u.Bench.Source, u.CoreConfig())
 	if err != nil {
 		return Record{}, err
 	}
-	res, err := arts.Run(art, vm.Config{Cache: u.CacheConfig()})
+	res, err := arts.Run(art, vm.Config{Cache: u.CacheConfig(), Done: cancel})
 	if err != nil {
 		return Record{}, err
 	}

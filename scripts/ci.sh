@@ -163,4 +163,55 @@ wait "$UCD_PID" || { echo "daemon exited nonzero after drain" >&2; exit 1; }
 grep -q "drained" /tmp/unicached-ci.log || { echo "no drain confirmation in daemon log" >&2; exit 1; }
 rm -f /tmp/unicached-ci /tmp/unicall-ci /tmp/unicached-ci.addr /tmp/unicached-ci.log /tmp/serve-loadtest-ci.txt
 
+echo "== campaign-smoke (remote sweep conformance + liveness store GC) =="
+# Boot a disk-backed daemon with a store budget, run a reduced paper grid
+# both locally and through the /v1/sweep campaign endpoint, and require
+# the two artifacts to be byte-identical. Then one GC cycle (via unicall)
+# against the daemon's configured budget, schema checks on the freshly
+# written and the committed BENCH_campaign.json, and a SIGTERM drain.
+# Budgeted at 60s: the grid is 32 units and both runs share nothing.
+CAMP_T0=$SECONDS
+go build -o /tmp/unicached-ci ./cmd/unicached
+go build -o /tmp/unicall-ci ./cmd/unicall
+go build -o /tmp/unisweep-ci ./cmd/unisweep
+rm -rf /tmp/unicached-ci-store
+rm -f /tmp/unicached-ci.addr
+/tmp/unicached-ci -addr 127.0.0.1:0 -addr-file /tmp/unicached-ci.addr \
+    -cache-dir /tmp/unicached-ci-store -store-budget $((4*1024*1024)) \
+    -drain 10s >/tmp/unicached-ci.log 2>&1 &
+UCD_PID=$!
+for i in $(seq 1 100); do
+    [ -s /tmp/unicached-ci.addr ] && break
+    sleep 0.1
+done
+[ -s /tmp/unicached-ci.addr ] || { echo "daemon never bound" >&2; cat /tmp/unicached-ci.log >&2; exit 1; }
+CAMP_GRID="-bench bubble,sieve -sets 8,16 -ways 1,2 -policies lru,fifo"
+/tmp/unisweep-ci $CAMP_GRID -quiet -o /tmp/campaign-local-ci.json
+/tmp/unisweep-ci $CAMP_GRID -remote-addr-file /tmp/unicached-ci.addr \
+    -remote-gc -campaign-bench /tmp/campaign-bench-ci.json \
+    -o /tmp/campaign-remote-ci.json
+cmp /tmp/campaign-local-ci.json /tmp/campaign-remote-ci.json
+/tmp/unisweep-ci -verify /tmp/campaign-remote-ci.json
+/tmp/unisweep-ci -verify-campaign /tmp/campaign-bench-ci.json
+/tmp/unisweep-ci -verify-campaign BENCH_campaign.json
+/tmp/unicall-ci -addr-file /tmp/unicached-ci.addr gc >/dev/null
+kill -TERM "$UCD_PID"
+DRAIN_OK=0
+for i in $(seq 1 100); do
+    if ! kill -0 "$UCD_PID" 2>/dev/null; then DRAIN_OK=1; break; fi
+    sleep 0.1
+done
+[ "$DRAIN_OK" = 1 ] || { echo "daemon did not drain within 10s of SIGTERM" >&2; kill -9 "$UCD_PID"; exit 1; }
+wait "$UCD_PID" || { echo "daemon exited nonzero after drain" >&2; exit 1; }
+CAMP_SEC=$((SECONDS - CAMP_T0))
+echo "campaign-smoke: ${CAMP_SEC}s"
+if [ "$CAMP_SEC" -gt 60 ]; then
+    echo "campaign-smoke took ${CAMP_SEC}s, budget is 60s" >&2
+    exit 1
+fi
+rm -rf /tmp/unicached-ci-store
+rm -f /tmp/unicached-ci /tmp/unicall-ci /tmp/unisweep-ci /tmp/unicached-ci.addr \
+    /tmp/unicached-ci.log /tmp/campaign-local-ci.json /tmp/campaign-remote-ci.json \
+    /tmp/campaign-bench-ci.json
+
 echo "CI OK"
